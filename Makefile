@@ -1,0 +1,41 @@
+# Development entry points for the mpmb repository.
+
+GO ?= go
+
+.PHONY: all build test test-race cover bench fuzz vet fmt experiments clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Scaled-down benchmark per paper table/figure plus ablations.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Brief fuzzing sessions over both graph parsers.
+fuzz:
+	$(GO) test ./internal/bigraph/ -run '^FuzzRead$$' -fuzz '^FuzzRead$$' -fuzztime=30s
+	$(GO) test ./internal/bigraph/ -run '^FuzzReadBinary$$' -fuzz '^FuzzReadBinary$$' -fuzztime=30s
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every paper table and figure (laptop-scaled defaults).
+experiments:
+	$(GO) run ./cmd/mpmb-bench -exp all
+
+clean:
+	$(GO) clean ./...

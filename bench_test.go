@@ -1,0 +1,375 @@
+package mpmb
+
+// This file holds one testing.B benchmark per table and figure of the
+// paper's evaluation (Section VIII), plus ablation benchmarks for the
+// design choices called out in DESIGN.md §6. The mpmb-bench command runs
+// the same experiments at full trial counts with tabular output; these
+// benchmarks keep per-iteration work small so `go test -bench=.` is a
+// practical smoke of every experiment path, and so -benchmem exposes the
+// allocation behaviour behind Fig. 13.
+//
+// Naming: BenchmarkFigure7Overall/<dataset>/<method> etc. Sub-benchmark
+// time/op is the cost of the stated trial counts, not of a full paper
+// run; relative ordering (the figures' shapes) is what matters.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/bench"
+	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/dataset"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// benchTrials keeps a single benchmark iteration cheap; mpmb-bench runs
+// the full counts.
+const (
+	benchTrials     = 50
+	benchPrepTrials = 20
+)
+
+var (
+	benchOnce sync.Once
+	benchSets map[string]*dataset.Dataset
+)
+
+// benchDatasets generates moderately sized datasets once: ABIDE at full
+// size and the three larger sets scaled down so that even the MC-VP
+// baseline can run a few trials.
+func benchDatasets(b *testing.B) map[string]*dataset.Dataset {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchSets = make(map[string]*dataset.Dataset)
+		scales := map[string]float64{
+			"abide":     1,
+			"movielens": 0.2,
+			"jester":    0.2,
+			"protein":   0.2,
+		}
+		for name, sc := range scales {
+			d, err := dataset.ByName(name, dataset.Config{Seed: 1, Scale: sc})
+			if err != nil {
+				panic(err)
+			}
+			benchSets[name] = d
+		}
+	})
+	return benchSets
+}
+
+// BenchmarkTable3DatasetDetails measures dataset generation itself (the
+// substrate behind Table III).
+func BenchmarkTable3DatasetDetails(b *testing.B) {
+	for _, name := range dataset.Names {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				d, err := dataset.ByName(name, dataset.Config{Seed: uint64(i + 1), Scale: 0.05})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if d.G.NumEdges() == 0 {
+					b.Fatal("empty dataset")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure6RatioMatrix evaluates the Equation 8 grid.
+func BenchmarkFigure6RatioMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		m := bench.RunRatioMatrix()
+		if len(m.Values) == 0 {
+			b.Fatal("empty matrix")
+		}
+	}
+}
+
+// BenchmarkFigure7Overall is the headline comparison: every method on
+// every dataset, fixed small trial counts per iteration. MC-VP runs only
+// on ABIDE (elsewhere a single trial already exceeds a sensible iteration
+// budget — exactly the paper's DNF observation).
+func BenchmarkFigure7Overall(b *testing.B) {
+	ds := benchDatasets(b)
+	for _, name := range dataset.Names {
+		g := ds[name].G
+		b.Run(name+"/mc-vp", func(b *testing.B) {
+			if name != "abide" {
+				b.Skip("MC-VP is impractical beyond the smallest dataset (paper Fig. 7 DNF)")
+			}
+			for i := 0; i < b.N; i++ {
+				if _, err := core.MCVP(g, core.MCVPOptions{Trials: 5, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name+"/os", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.OS(g, core.OSOptions{Trials: benchTrials, Seed: uint64(i + 1)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		for _, kl := range []bool{true, false} {
+			label := name + "/ols"
+			if kl {
+				label = name + "/ols-kl"
+			}
+			kl := kl
+			b.Run(label, func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					_, err := core.OLS(g, core.OLSOptions{
+						PrepTrials:  benchPrepTrials,
+						Trials:      benchTrials,
+						Seed:        uint64(i + 1),
+						UseKarpLuby: kl,
+						KL:          core.KLOptions{Mu: 0.05},
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure8PhaseSweep separates the two OLS phases, the quantity
+// Fig. 8 varies.
+func BenchmarkFigure8PhaseSweep(b *testing.B) {
+	ds := benchDatasets(b)
+	for _, name := range dataset.Names {
+		g := ds[name].G
+		b.Run(name+"/preparing", func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := core.PrepareCandidates(g, benchPrepTrials, uint64(i+1), core.OSOptions{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		cands, err := core.PrepareCandidates(g, benchPrepTrials, 1, core.OSOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, frac := range []int{25, 50, 100} {
+			frac := frac
+			b.Run(fmt.Sprintf("%s/sampling-%d%%", name, frac), func(b *testing.B) {
+				trials := benchTrials * frac / 100
+				if trials < 1 {
+					trials = 1
+				}
+				for i := 0; i < b.N; i++ {
+					if _, err := core.EstimateOptimized(cands, core.OptimizedOptions{Trials: trials, Seed: uint64(i + 1)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure9Scalability runs OS on growing vertex fractions.
+func BenchmarkFigure9Scalability(b *testing.B) {
+	ds := benchDatasets(b)
+	for _, name := range []string{"abide", "movielens"} {
+		g := ds[name].G
+		for _, pct := range []int{25, 50, 75, 100} {
+			pct := pct
+			b.Run(fmt.Sprintf("%s/%d%%", name, pct), func(b *testing.B) {
+				sub := g
+				if pct < 100 {
+					var err error
+					sub, err = g.VertexSample(float64(pct)/100, benchRNG(uint64(pct)))
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := core.OS(sub, core.OSOptions{Trials: benchTrials, Seed: uint64(i + 1)}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkFigure10TrialRatios prices the Eq. 8 ratio for every candidate
+// of every dataset (the figure's bar data).
+func BenchmarkFigure10TrialRatios(b *testing.B) {
+	ds := benchDatasets(b)
+	for _, name := range dataset.Names {
+		g := ds[name].G
+		cands, err := core.PrepareCandidates(g, benchPrepTrials, 1, core.OSOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name, func(b *testing.B) {
+			if cands.Len() == 0 {
+				b.Skip("no candidates")
+			}
+			for i := 0; i < b.N; i++ {
+				sum := 0.0
+				for j := 0; j < cands.Len(); j++ {
+					sum += core.KLOpRatio(cands.List[j].ExistProb, cands.SI(j), 0.1)
+				}
+				if sum < 0 {
+					b.Fatal("impossible")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure11Convergence traces estimator convergence (the Fig. 11
+// machinery) on ABIDE.
+func BenchmarkFigure11Convergence(b *testing.B) {
+	opt := bench.DefaultOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 300
+	opt.PrepTrials = benchPrepTrials
+	for i := 0; i < b.N; i++ {
+		opt.Seed = uint64(i + 1)
+		if _, err := bench.RunSamplingConvergence(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12PreparingTrend runs the independent preparing-phase
+// sweep (the Fig. 12 machinery) on ABIDE.
+func BenchmarkFigure12PreparingTrend(b *testing.B) {
+	opt := bench.DefaultOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 200
+	opt.PrepTrials = benchPrepTrials
+	for i := 0; i < b.N; i++ {
+		opt.Seed = uint64(i + 1)
+		if _, err := bench.RunPreparingTrend(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13Memory exercises each method under -benchmem; the
+// B/op and allocs/op columns are this repo's analogue of the paper's
+// memory plot (see also mpmb-bench -exp fig13 for peak-heap numbers).
+func BenchmarkFigure13Memory(b *testing.B) {
+	ds := benchDatasets(b)
+	g := ds["abide"].G
+	b.Run("mc-vp", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.MCVP(g, core.MCVPOptions{Trials: 5, Seed: uint64(i + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("os", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.OS(g, core.OSOptions{Trials: benchTrials, Seed: uint64(i + 1)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, kl := range []bool{true, false} {
+		name := "ols"
+		if kl {
+			name = "ols-kl"
+		}
+		kl := kl
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				_, err := core.OLS(g, core.OLSOptions{
+					PrepTrials: benchPrepTrials, Trials: benchTrials,
+					Seed: uint64(i + 1), UseKarpLuby: kl, KL: core.KLOptions{Mu: 0.05},
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationEdgePrune isolates the Section V-B edge-ordering prune
+// (DESIGN.md §6.1).
+func BenchmarkAblationEdgePrune(b *testing.B) {
+	g := benchDatasets(b)["abide"].G
+	for _, disable := range []bool{false, true} {
+		name := "prune-on"
+		if disable {
+			name = "prune-off"
+		}
+		disable := disable
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.OS(g, core.OSOptions{Trials: benchTrials, Seed: uint64(i + 1), DisableEdgePrune: disable})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAngleOrdering isolates the Section V-C top-2 angle
+// classes against keeping every angle (DESIGN.md §6.2).
+func BenchmarkAblationAngleOrdering(b *testing.B) {
+	g := benchDatasets(b)["abide"].G
+	for _, all := range []bool{false, true} {
+		name := "top2-classes"
+		if all {
+			name = "all-angles"
+		}
+		all := all
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_, err := core.OS(g, core.OSOptions{Trials: benchTrials, Seed: uint64(i + 1), KeepAllAngles: all})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationLazySampling isolates Algorithm 5's lazy edge sampling
+// against eagerly sampling every candidate edge per trial (DESIGN.md
+// §6.3), and the early weight break (§6.4).
+func BenchmarkAblationLazySampling(b *testing.B) {
+	g := benchDatasets(b)["movielens"].G
+	cands, err := core.PrepareCandidates(g, benchPrepTrials, 1, core.OSOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		opt  core.OptimizedOptions
+	}{
+		{"lazy", core.OptimizedOptions{}},
+		{"eager", core.OptimizedOptions{EagerSampling: true}},
+		{"no-early-break", core.OptimizedOptions{DisableEarlyBreak: true}},
+	}
+	for _, c := range cases {
+		c := c
+		b.Run(c.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opt := c.opt
+				opt.Trials = benchTrials * 4
+				opt.Seed = uint64(i + 1)
+				if _, err := core.EstimateOptimized(cands, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchRNG builds a deterministic generator for vertex subsampling.
+func benchRNG(seed uint64) *randx.RNG { return randx.New(seed) }

@@ -1,0 +1,128 @@
+// Command mpmb-bench regenerates the tables and figures of the paper's
+// evaluation section (Section VIII) on the synthetic dataset analogues.
+//
+// Usage:
+//
+//	mpmb-bench [flags] -exp <experiment>
+//
+// Experiments: table3, table4, fig6, fig7, fig8, fig9, fig10, fig11,
+// fig12, fig13, ablation (DESIGN.md §6 design-choice costs), summary
+// (= fig7's speedup table), or all.
+//
+// Examples:
+//
+//	mpmb-bench -exp all                      # full sweep, laptop defaults
+//	mpmb-bench -exp fig7 -trials 20000       # the paper's trial count
+//	mpmb-bench -exp fig9 -datasets abide     # one dataset only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/bench"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpmb-bench:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and executes the selected experiments, writing tables
+// to out. Split from main for testability.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("mpmb-bench", flag.ContinueOnError)
+	var (
+		exp      = fs.String("exp", "all", "experiment to run: table3,table4,fig6..fig13,ablation,topk,summary,all")
+		trials   = fs.Int("trials", 2000, "sampling-phase trials N (paper: 20000)")
+		prep     = fs.Int("prep", 100, "OLS preparing-phase trials N_os")
+		seed     = fs.Uint64("seed", 1, "random seed for datasets and samplers")
+		scale    = fs.Float64("scale", 1, "dataset scale multiplier")
+		budget   = fs.Duration("budget", 30*time.Second, "per-cell time budget before extrapolation")
+		datasets = fs.String("datasets", "", "comma-separated dataset subset (default: all four)")
+		mu       = fs.Float64("mu", 0.05, "target probability for trial-number arithmetic")
+		jsonOut  = fs.String("json", "", "write structured JSON results to this file instead of text tables")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	opt := bench.DefaultOptions()
+	opt.SampleTrials = *trials
+	opt.PrepTrials = *prep
+	opt.Seed = *seed
+	opt.Scale = *scale
+	opt.TimeBudget = *budget
+	opt.Mu = *mu
+	if *datasets != "" {
+		opt.Datasets = strings.Split(*datasets, ",")
+	}
+
+	if *jsonOut != "" {
+		var selected []string
+		if e := strings.ToLower(*exp); e != "all" {
+			if e == "summary" {
+				e = "fig7"
+			}
+			selected = []string{e}
+		}
+		f, err := os.Create(*jsonOut)
+		if err != nil {
+			return err
+		}
+		if err := bench.ExportJSON(f, opt, selected); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *jsonOut)
+		return nil
+	}
+
+	experiments := []struct {
+		name string
+		fn   func() error
+	}{
+		{"table3", func() error { return bench.PrintTable3(out, opt) }},
+		{"table4", func() error { return bench.PrintTable4(out, opt) }},
+		{"fig6", func() error { bench.PrintRatioMatrix(out); return nil }},
+		{"fig7", func() error { return bench.PrintOverall(out, opt) }},
+		{"fig8", func() error { return bench.PrintPhaseSweep(out, opt) }},
+		{"fig9", func() error { return bench.PrintScalability(out, opt) }},
+		{"fig10", func() error { return bench.PrintTrialRatios(out, opt) }},
+		{"fig11", func() error { return bench.PrintSamplingConvergence(out, opt) }},
+		{"fig12", func() error { return bench.PrintPreparingTrend(out, opt) }},
+		{"fig13", func() error { return bench.PrintMemory(out, opt) }},
+		{"ablation", func() error { return bench.PrintAblations(out, opt) }},
+		{"topk", func() error { return bench.PrintTopKAgreement(out, opt) }},
+	}
+
+	want := strings.ToLower(*exp)
+	if want == "summary" {
+		want = "fig7" // the speedup summary is printed with fig7
+	}
+	ran := false
+	for _, e := range experiments {
+		if want == "all" || want == e.name {
+			t0 := time.Now()
+			if err := e.fn(); err != nil {
+				return fmt.Errorf("%s: %w", e.name, err)
+			}
+			fmt.Fprintf(out, "[%s completed in %v]\n\n", e.name, time.Since(t0).Round(time.Millisecond))
+			ran = true
+		}
+	}
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

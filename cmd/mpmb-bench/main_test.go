@@ -1,0 +1,80 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+// tinyArgs keeps the CLI experiments fast in tests.
+var tinyArgs = []string{"-scale", "0.05", "-trials", "40", "-prep", "10", "-datasets", "abide", "-budget", "5s"}
+
+func TestRunSingleExperiments(t *testing.T) {
+	cases := map[string]string{
+		"table3":   "Table III",
+		"table4":   "Table IV",
+		"fig6":     "Figure 6",
+		"fig10":    "Figure 10",
+		"ablation": "Ablations",
+	}
+	for exp, marker := range cases {
+		var sb strings.Builder
+		if err := run(append([]string{"-exp", exp}, tinyArgs...), &sb); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, marker) {
+			t.Fatalf("%s: missing %q:\n%s", exp, marker, out)
+		}
+		if !strings.Contains(out, "["+exp+" completed") {
+			t.Fatalf("%s: missing completion line:\n%s", exp, out)
+		}
+	}
+}
+
+func TestRunSummaryAliasesFig7(t *testing.T) {
+	var sb strings.Builder
+	if err := run(append([]string{"-exp", "summary"}, tinyArgs...), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "speedups") {
+		t.Fatalf("summary output missing speedups:\n%s", sb.String())
+	}
+}
+
+func TestRunBenchErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run([]string{"-badflag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(append([]string{"-exp", "fig7", "-datasets", "bogus"}, tinyArgs[:4]...), &sb); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestRunJSONExport(t *testing.T) {
+	path := t.TempDir() + "/report.json"
+	var sb strings.Builder
+	if err := run(append([]string{"-exp", "table3", "-json", path}, tinyArgs...), &sb); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var report map[string]any
+	if err := json.Unmarshal(data, &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	results, ok := report["results"].(map[string]any)
+	if !ok || results["table3"] == nil {
+		t.Fatalf("missing table3 in JSON: %v", report)
+	}
+	if err := run([]string{"-exp", "fig99", "-json", path}, &sb); err == nil {
+		t.Fatal("unknown experiment accepted for JSON export")
+	}
+}

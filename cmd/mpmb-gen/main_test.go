@@ -1,0 +1,86 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"abide", "movielens", "jester", "protein"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Fatalf("-list output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunGeneratesBothFormats(t *testing.T) {
+	dir := t.TempDir()
+	for _, format := range []string{"text", "binary"} {
+		path := filepath.Join(dir, "abide-"+format+".graph")
+		var sb strings.Builder
+		err := run([]string{"-dataset", "abide", "-scale", "0.05", "-format", format, "-out", path}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		if !strings.Contains(sb.String(), "wrote "+path) {
+			t.Fatalf("%s: missing confirmation:\n%s", format, sb.String())
+		}
+		g, err := mpmb.LoadGraph(path)
+		if err != nil {
+			t.Fatalf("%s: reload: %v", format, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph written", format)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("missing -dataset accepted")
+	}
+	if err := run([]string{"-dataset", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+	if err := run([]string{"-dataset", "abide", "-scale", "0.05", "-format", "xml"}, &sb); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run([]string{"-nosuchflag"}, &sb); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "no", "dir", "x.graph")
+	if err := run([]string{"-dataset", "abide", "-scale", "0.05", "-out", bad}, &sb); err == nil {
+		t.Fatal("unwritable path accepted")
+	}
+}
+
+func TestRunSynthetic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "syn.graph")
+	var sb strings.Builder
+	err := run([]string{"-dataset", "synthetic", "-numl", "30", "-numr", "40",
+		"-edges", "200", "-skew", "0.9", "-wdist", "halfstep", "-pdist", "normal",
+		"-out", path}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := mpmb.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumL() != 30 || g.NumR() != 40 || g.NumEdges() != 200 {
+		t.Fatalf("synthetic graph is %dx%d/%d", g.NumL(), g.NumR(), g.NumEdges())
+	}
+	var sb2 strings.Builder
+	if err := run([]string{"-dataset", "synthetic", "-wdist", "pareto", "-out", path}, &sb2); err == nil {
+		t.Fatal("unknown weight distribution accepted")
+	}
+}

@@ -1,0 +1,115 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// writeFigure1 saves the paper's running example for CLI tests.
+func writeFigure1(t *testing.T) string {
+	t.Helper()
+	b := mpmb.NewBuilder(2, 3)
+	b.MustAddEdge(0, 0, 2, 0.5)
+	b.MustAddEdge(0, 1, 2, 0.6)
+	b.MustAddEdge(0, 2, 1, 0.8)
+	b.MustAddEdge(1, 0, 3, 0.3)
+	b.MustAddEdge(1, 1, 3, 0.4)
+	b.MustAddEdge(1, 2, 1, 0.7)
+	path := filepath.Join(t.TempDir(), "fig1.graph")
+	if err := mpmb.SaveGraph(path, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunAllMethods(t *testing.T) {
+	path := writeFigure1(t)
+	for _, method := range []string{"exact", "mc-vp", "os", "ols-kl", "ols"} {
+		var sb strings.Builder
+		err := run([]string{"-graph", path, "-method", method, "-trials", "5000", "-topk", "2"}, &sb)
+		if err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+		out := sb.String()
+		if !strings.Contains(out, "loaded") || !strings.Contains(out, "top-2") {
+			t.Fatalf("%s: unexpected output:\n%s", method, out)
+		}
+		// The MPMB of Figure 1 is B(0,1|1,2) for every correct method.
+		if !strings.Contains(out, "#1  B(0,1|1,2)") {
+			t.Fatalf("%s: wrong MPMB:\n%s", method, out)
+		}
+	}
+}
+
+func TestRunStatsDisjointAndWorkers(t *testing.T) {
+	path := writeFigure1(t)
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "3000",
+		"-stats", "-disjoint", "-workers", "3"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "backbone butterflies: 3") {
+		t.Fatalf("missing stats:\n%s", out)
+	}
+	if !strings.Contains(out, "vertex-disjoint") {
+		t.Fatalf("missing disjoint marker:\n%s", out)
+	}
+	// All Figure 1 butterflies share u1,u2: disjoint top-k has one entry.
+	if strings.Contains(out, "#2") {
+		t.Fatalf("disjoint selection returned overlapping butterflies:\n%s", out)
+	}
+}
+
+func TestRunSearchErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run(nil, &sb); err == nil {
+		t.Fatal("missing -graph accepted")
+	}
+	if err := run([]string{"-graph", "nope.graph"}, &sb); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	path := writeFigure1(t)
+	if err := run([]string{"-graph", path, "-method", "bogus"}, &sb); err == nil {
+		t.Fatal("unknown method accepted")
+	}
+	if err := run([]string{"-graph", path, "-trials", "0"}, &sb); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeFigure1(t)
+	jsonPath := filepath.Join(t.TempDir(), "res.json")
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "exact", "-topk", "3", "-json", jsonPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Method string `json:"method"`
+		Top    []struct {
+			U1, U2, V1, V2 uint32
+			Weight, P      float64
+		} `json:"top"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if doc.Method != "exact" || len(doc.Top) != 3 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	if doc.Top[0].Weight != 7 {
+		t.Fatalf("top butterfly weight %v, want 7", doc.Top[0].Weight)
+	}
+}

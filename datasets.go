@@ -1,0 +1,67 @@
+package mpmb
+
+import (
+	"github.com/uncertain-graphs/mpmb/internal/dataset"
+)
+
+// DatasetConfig controls synthetic dataset generation.
+type DatasetConfig = dataset.Config
+
+// Dataset is a generated uncertain bipartite network with provenance.
+type Dataset = dataset.Dataset
+
+// DatasetNames lists the four synthetic analogues of the paper's Table
+// III datasets, in paper order: "abide", "movielens", "jester",
+// "protein".
+var DatasetNames = dataset.Names
+
+// GenerateDataset builds the named synthetic dataset. The four names
+// mirror the paper's evaluation datasets; see the package documentation
+// of internal/dataset (summarized in DESIGN.md §4) for what each one
+// preserves of the original:
+//
+//   - "abide": dense 58×58 brain-connectivity analogue; weights are ROI
+//     distances, probabilities are correlations.
+//   - "movielens": 610×9,724 rating graph, Zipf item popularity,
+//     half-point ratings, reliability probabilities.
+//   - "jester": 100 jokes × many users, dense per-user activity,
+//     quantized ratings with heavy weight ties.
+//   - "protein": power-law interaction network bipartitioned like the
+//     paper's STRING preprocessing, probabilities ~ Normal(0.5, 0.2).
+func GenerateDataset(name string, cfg DatasetConfig) (*Dataset, error) {
+	return dataset.ByName(name, cfg)
+}
+
+// GenerateAllDatasets builds all four synthetic datasets in paper order.
+func GenerateAllDatasets(cfg DatasetConfig) []*Dataset {
+	return dataset.All(cfg)
+}
+
+// SyntheticConfig parameterizes GenerateSynthetic: partition sizes, edge
+// count, Zipf degree skew, and weight/probability distributions.
+type SyntheticConfig = dataset.SyntheticConfig
+
+// Weight and probability distribution selectors for SyntheticConfig.
+const (
+	WeightUniform  = dataset.WeightUniform
+	WeightHalfStep = dataset.WeightHalfStep
+	WeightNormal   = dataset.WeightNormal
+	ProbUniform    = dataset.ProbUniform
+	ProbNormal     = dataset.ProbNormal
+	ProbFixed      = dataset.ProbFixed
+)
+
+// GenerateSynthetic builds a fully parameterized uncertain bipartite
+// network for custom experiments; the four named datasets are curated
+// presets of the same ingredients.
+func GenerateSynthetic(cfg SyntheticConfig) (*Dataset, error) {
+	return dataset.Synthetic(cfg)
+}
+
+// WeightDistName converts a distribution name ("uniform", "halfstep",
+// "normal") for SyntheticConfig.Weights; GenerateSynthetic validates it.
+func WeightDistName(name string) dataset.WeightDist { return dataset.WeightDist(name) }
+
+// ProbDistName converts a distribution name ("uniform", "normal",
+// "fixed") for SyntheticConfig.Probs; GenerateSynthetic validates it.
+func ProbDistName(name string) dataset.ProbDist { return dataset.ProbDist(name) }

@@ -1,0 +1,3 @@
+module github.com/uncertain-graphs/mpmb
+
+go 1.22

@@ -1,0 +1,111 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+// AblationCell is one measured variant of an algorithmic design choice
+// (DESIGN.md §6).
+type AblationCell struct {
+	Dataset string
+	Choice  string // which design choice is being ablated
+	Variant string // "on"/"off"-style variant label
+	Time    time.Duration
+}
+
+// RunAblations measures the cost of disabling each of the paper's
+// optimizations, isolating their individual contribution:
+//
+//   - edge-ordering prune (Section V-B) on vs off, in OS;
+//   - top-2 angle classes (Section V-C, Table II) vs keeping all angles;
+//   - Algorithm 5's lazy per-trial edge sampling vs eager; and its early
+//     weight break vs scanning all candidates.
+//
+// Results are identical across variants by construction (tested in
+// internal/core); only time differs.
+func RunAblations(opt Options) ([]AblationCell, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []AblationCell
+	timeIt := func(fn func() error) (time.Duration, error) {
+		t0 := time.Now()
+		err := fn()
+		return time.Since(t0), err
+	}
+	for _, d := range ds {
+		g := d.G
+		osVariants := []struct {
+			choice, variant string
+			o               core.OSOptions
+		}{
+			{"edge-prune", "on", core.OSOptions{}},
+			{"edge-prune", "off", core.OSOptions{DisableEdgePrune: true}},
+			{"angle-ordering", "top-2 classes", core.OSOptions{}},
+			{"angle-ordering", "all angles", core.OSOptions{KeepAllAngles: true}},
+		}
+		for _, v := range osVariants {
+			o := v.o
+			o.Trials = opt.SampleTrials
+			o.Seed = opt.Seed
+			t, err := timeIt(func() error {
+				_, err := core.OS(g, o)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s/%s on %s: %w", v.choice, v.variant, d.Name, err)
+			}
+			out = append(out, AblationCell{Dataset: d.Name, Choice: v.choice, Variant: v.variant, Time: t})
+		}
+
+		cands, err := core.PrepareCandidates(g, opt.PrepTrials, opt.Seed, core.OSOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if cands.Len() == 0 {
+			continue
+		}
+		optVariants := []struct {
+			choice, variant string
+			o               core.OptimizedOptions
+		}{
+			{"lazy-sampling", "lazy", core.OptimizedOptions{}},
+			{"lazy-sampling", "eager", core.OptimizedOptions{EagerSampling: true}},
+			{"early-break", "on", core.OptimizedOptions{}},
+			{"early-break", "off", core.OptimizedOptions{DisableEarlyBreak: true}},
+		}
+		for _, v := range optVariants {
+			o := v.o
+			o.Trials = opt.SampleTrials
+			o.Seed = opt.Seed
+			t, err := timeIt(func() error {
+				_, err := core.EstimateOptimized(cands, o)
+				return err
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bench: ablation %s/%s on %s: %w", v.choice, v.variant, d.Name, err)
+			}
+			out = append(out, AblationCell{Dataset: d.Name, Choice: v.choice, Variant: v.variant, Time: t})
+		}
+	}
+	return out, nil
+}
+
+// PrintAblations renders the ablation table.
+func PrintAblations(w io.Writer, opt Options) error {
+	cells, err := RunAblations(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Ablations: cost of disabling each optimization (N=%d; results identical, time differs)\n", opt.SampleTrials)
+	fmt.Fprintf(w, "%-10s %-16s %-14s %12s\n", "dataset", "design choice", "variant", "time")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-10s %-16s %-14s %12s\n", c.Dataset, c.Choice, c.Variant, fmtDur(c.Time, false))
+	}
+	return nil
+}

@@ -1,0 +1,319 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// tinyOptions keeps harness tests fast while exercising every code path.
+func tinyOptions() Options {
+	opt := DefaultOptions()
+	opt.Scale = 0.05
+	opt.SampleTrials = 60
+	opt.PrepTrials = 20
+	opt.TimeBudget = 10 * time.Second
+	opt.Datasets = []string{"abide", "movielens"}
+	return opt
+}
+
+func TestRunOverallStructure(t *testing.T) {
+	opt := tinyOptions()
+	res, err := RunOverall(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(opt.Datasets)*len(AllMethods) {
+		t.Fatalf("got %d cells, want %d", len(res.Cells), len(opt.Datasets)*len(AllMethods))
+	}
+	for _, c := range res.Cells {
+		if c.Total() <= 0 {
+			t.Fatalf("cell %s/%s has non-positive total %v", c.Dataset, c.Method, c.Total())
+		}
+		if (c.Method == OLS || c.Method == OLSKL) && c.Prep <= 0 {
+			t.Fatalf("OLS cell %s/%s missing prep time", c.Dataset, c.Method)
+		}
+	}
+	rows := res.Speedups()
+	if len(rows) != len(opt.Datasets) {
+		t.Fatalf("got %d speedup rows, want %d", len(rows), len(opt.Datasets))
+	}
+	for _, r := range rows {
+		if r.OSvsMCVP <= 0 {
+			t.Fatalf("row %+v has non-positive OS-vs-MCVP speedup", r)
+		}
+	}
+}
+
+func TestRunOverallBudgetExtrapolates(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"movielens"}
+	opt.Scale = 0.3
+	opt.SampleTrials = 5000
+	opt.TimeBudget = time.Millisecond // force extrapolation everywhere timed
+	res, err := RunOverall(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawExtrapolated := false
+	for _, c := range res.Cells {
+		if c.Method == MCVP && !c.Extrapolated {
+			t.Fatalf("MC-VP cell not extrapolated under a 1ms budget: %+v", c)
+		}
+		if c.Extrapolated {
+			sawExtrapolated = true
+			if c.Trials >= opt.SampleTrials {
+				t.Fatalf("extrapolated cell claims full trials: %+v", c)
+			}
+		}
+	}
+	if !sawExtrapolated {
+		t.Fatal("budget never triggered extrapolation")
+	}
+}
+
+func TestRunPhaseSweepStructure(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	pts, err := RunPhaseSweep(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per dataset: OS has 4 points, OLS-KL and OLS have 5 (incl. 0%).
+	if len(pts) != 4+5+5 {
+		t.Fatalf("got %d points, want 14", len(pts))
+	}
+	for _, p := range pts {
+		if p.Frac == 0 {
+			if p.Method == OS {
+				t.Fatal("OS must not have a 0% point")
+			}
+			if p.Timing.Prep <= 0 {
+				t.Fatalf("0%% point without prep time: %+v", p)
+			}
+			if p.Timing.Sampling != 0 {
+				t.Fatalf("0%% point has sampling time: %+v", p)
+			}
+		}
+	}
+}
+
+func TestRunScalabilityStructure(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	pts, err := RunScalability(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4*3 {
+		t.Fatalf("got %d points, want 12", len(pts))
+	}
+	// Edge counts must be non-decreasing in the vertex fraction per
+	// method (same shared subsample per fraction).
+	edges := map[float64]int{}
+	for _, p := range pts {
+		if prev, ok := edges[p.VertexFr]; ok && prev != p.Edges {
+			t.Fatalf("methods saw different subgraphs at frac %v: %d vs %d", p.VertexFr, prev, p.Edges)
+		}
+		edges[p.VertexFr] = p.Edges
+	}
+	if edges[0.25] > edges[1.0] {
+		t.Fatalf("25%% sample has more edges than 100%%: %v", edges)
+	}
+}
+
+func TestRunRatioMatrix(t *testing.T) {
+	m := RunRatioMatrix()
+	if len(m.Values) != len(m.Mus) {
+		t.Fatalf("matrix rows %d != %d", len(m.Values), len(m.Mus))
+	}
+	for i, row := range m.Values {
+		if len(row) != len(m.PrExists) {
+			t.Fatalf("row %d has %d cols, want %d", i, len(row), len(m.PrExists))
+		}
+		// The ratio grows along Pr[E] (for fixed μ ≤ Pr[E]).
+		for j := 1; j < len(row); j++ {
+			if m.PrExists[j-1] >= m.Mus[i] && row[j] < row[j-1] {
+				t.Fatalf("ratio not monotone in Pr[E] at row %d col %d", i, j)
+			}
+		}
+	}
+}
+
+func TestRunTrialRatios(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	rs, err := RunTrialRatios(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.Candidates == 0 || len(r.Ratios) != r.Candidates {
+		t.Fatalf("ratio count %d != candidates %d", len(r.Ratios), r.Candidates)
+	}
+	if r.Balance <= 0 || r.Balance > 1 {
+		t.Fatalf("balance %v out of range", r.Balance)
+	}
+	qs := r.Quantiles(0, 0.5, 1)
+	if qs[0] > qs[1] || qs[1] > qs[2] {
+		t.Fatalf("quantiles not monotone: %v", qs)
+	}
+}
+
+func TestRunSamplingConvergence(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 400
+	rs, err := RunSamplingConvergence(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if r.RefP <= 0 {
+		t.Fatalf("reference probability %v not positive", r.RefP)
+	}
+	if r.Band[0] >= r.Band[1] {
+		t.Fatalf("band %v inverted", r.Band)
+	}
+	for _, m := range []Method{OS, OLS, OLSKL} {
+		series := r.Series[m]
+		if len(series) == 0 {
+			t.Fatalf("method %s has no series", m)
+		}
+		for _, pt := range series {
+			if pt.P < 0 || pt.P > 1 {
+				t.Fatalf("method %s traced P=%v", m, pt.P)
+			}
+		}
+	}
+	// OS and OLS run 2× the budget: their last point sits near frac 2.
+	last := r.Series[OS][len(r.Series[OS])-1]
+	if last.Frac < 1.9 || last.Frac > 2.05 {
+		t.Fatalf("OS series ends at frac %v, want ≈ 2", last.Frac)
+	}
+}
+
+func TestRunPreparingTrend(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 200
+	rs, err := RunPreparingTrend(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 {
+		t.Fatalf("got %d results, want 1", len(rs))
+	}
+	r := rs[0]
+	if len(r.Points) != 20 {
+		t.Fatalf("got %d points, want 20 (10%%..200%%)", len(r.Points))
+	}
+	for i := 1; i < len(r.Points); i++ {
+		if r.Points[i].PrepTrials <= r.Points[i-1].PrepTrials {
+			t.Fatalf("prep trial counts not increasing at %d", i)
+		}
+	}
+}
+
+func TestRunMemoryStructure(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	cells, err := RunMemory(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != len(AllMethods) {
+		t.Fatalf("got %d cells, want %d", len(cells), len(AllMethods))
+	}
+	for _, c := range cells {
+		if c.GraphBytes == 0 {
+			t.Fatalf("cell %s/%s has zero graph bytes", c.Dataset, c.Method)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	opt := tinyOptions()
+	rows3, err := Table3(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows3) != 2 {
+		t.Fatalf("Table3 rows = %d, want 2", len(rows3))
+	}
+	rows4 := Table4(opt)
+	if len(rows4) != 4 {
+		t.Fatalf("Table4 rows = %d, want 4", len(rows4))
+	}
+	if rows4[2].Sampling == rows4[3].Sampling {
+		t.Fatal("OLS-KL sampling column must be dynamic, OLS fixed")
+	}
+	n, err := TheoreticalTrials(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 20000 || n > 25000 {
+		t.Fatalf("theoretical trials = %d, want ≈ 2×10⁴ for paper defaults", n)
+	}
+}
+
+func TestLoadDatasetsUnknown(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"bogus"}
+	if _, err := RunOverall(opt); err == nil {
+		t.Fatal("RunOverall accepted an unknown dataset")
+	}
+}
+
+func TestRunAblations(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	cells, err := RunAblations(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 OS variants + 4 estimator variants on one dataset.
+	if len(cells) != 8 {
+		t.Fatalf("got %d ablation cells, want 8", len(cells))
+	}
+	choices := map[string]int{}
+	for _, c := range cells {
+		if c.Time <= 0 {
+			t.Fatalf("cell %+v has non-positive time", c)
+		}
+		choices[c.Choice]++
+	}
+	for _, want := range []string{"edge-prune", "angle-ordering", "lazy-sampling", "early-break"} {
+		if choices[want] != 2 {
+			t.Fatalf("choice %q has %d variants, want 2", want, choices[want])
+		}
+	}
+}
+
+func TestRunTopKAgreement(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 300
+	rows, err := RunTopKAgreement(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("got %d rows, want 1", len(rows))
+	}
+	r := rows[0]
+	if r.K != 10 {
+		t.Fatalf("K = %d", r.K)
+	}
+	if r.MeanAbsGapOLS < 0 || r.MeanAbsGapOLS > 1 {
+		t.Fatalf("OLS gap %v out of range", r.MeanAbsGapOLS)
+	}
+	if r.MissingOLS < 0 || r.MissingOLS > 10 {
+		t.Fatalf("missing count %d out of range", r.MissingOLS)
+	}
+}

@@ -1,0 +1,317 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+// ConvergencePoint is one traced estimate: the running P̂(B) after Frac of
+// the method's trial budget.
+type ConvergencePoint struct {
+	Frac float64
+	P    float64
+}
+
+// ConvergenceResult is Fig. 11 for one dataset: the convergence trend of
+// P̂(B) for a butterfly with P ≈ Mu, traced over twice the configured
+// sampling trials for OS, OLS-KL and OLS.
+type ConvergenceResult struct {
+	Dataset string
+	Target  butterfly.Butterfly
+	// RefP is the reference probability (the OS estimate at 2N trials,
+	// the method with the unconditional guarantee, as the paper argues).
+	RefP float64
+	// Band is the ±ε strip around RefP whose width the paper draws
+	// (2ε·RefP absolute).
+	Band [2]float64
+	// Series holds the traced trend per method.
+	Series map[Method][]ConvergencePoint
+	// KLTargetTrials is the dynamic Karp-Luby trial count allocated to
+	// the target butterfly by Equation 8.
+	KLTargetTrials int
+}
+
+// tracePoints is how many points each convergence series keeps.
+const tracePoints = 40
+
+// RunSamplingConvergence reproduces Fig. 11: on each dataset it selects a
+// candidate butterfly whose estimated probability is closest to
+// Options.Mu (the paper traces one with P ≈ 0.05), then traces the
+// running estimate over 2× SampleTrials for OS, OLS-KL and OLS.
+func RunSamplingConvergence(opt Options) ([]ConvergenceResult, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []ConvergenceResult
+	for _, d := range ds {
+		cands, err := core.PrepareCandidates(d.G, opt.PrepTrials, opt.Seed, core.OSOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if cands.Len() == 0 {
+			continue
+		}
+		targetIdx, err := pickTarget(d.G, cands, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", d.Name, err)
+		}
+		target := cands.List[targetIdx].B
+		trials2N := 2 * opt.SampleTrials
+		res := ConvergenceResult{
+			Dataset: d.Name,
+			Target:  target,
+			Series:  make(map[Method][]ConvergencePoint),
+		}
+
+		// OS trace: count how many trials report the target as maximum.
+		hits := 0
+		var osSeries []ConvergencePoint
+		every := trials2N / tracePoints
+		if every < 1 {
+			every = 1
+		}
+		_, err = core.OS(d.G, core.OSOptions{
+			Trials: trials2N,
+			Seed:   opt.Seed + 101,
+			OnTrial: func(trial int, sMB *butterfly.MaxSet) {
+				for _, b := range sMB.Set {
+					if b == target {
+						hits++
+						break
+					}
+				}
+				if trial%every == 0 {
+					osSeries = append(osSeries, ConvergencePoint{
+						Frac: float64(trial) / float64(opt.SampleTrials),
+						P:    float64(hits) / float64(trial),
+					})
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Series[OS] = osSeries
+		res.RefP = osSeries[len(osSeries)-1].P
+		res.Band = [2]float64{res.RefP * (1 - opt.Eps), res.RefP * (1 + opt.Eps)}
+
+		// OLS (optimized estimator) trace.
+		hits = 0
+		var olsSeries []ConvergencePoint
+		_, err = core.EstimateOptimized(cands, core.OptimizedOptions{
+			Trials: trials2N,
+			Seed:   opt.Seed + 202,
+			OnTrial: func(trial int, hit []int) {
+				for _, idx := range hit {
+					if idx == targetIdx {
+						hits++
+						break
+					}
+				}
+				if trial%every == 0 {
+					olsSeries = append(olsSeries, ConvergencePoint{
+						Frac: float64(trial) / float64(opt.SampleTrials),
+						P:    float64(hits) / float64(trial),
+					})
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Series[OLS] = olsSeries
+
+		// OLS-KL trace: the target candidate's running estimate over the
+		// same 2N trial axis as the other methods (the figure plots all
+		// three on one axis; the Eq. 8 dynamic count is reported
+		// separately in KLTargetTrials).
+		var klSeries []ConvergencePoint
+		var trialsUsed []int
+		_, err = core.EstimateKarpLuby(cands, core.KLOptions{
+			BaseTrials:    trials2N,
+			Seed:          opt.Seed + 303,
+			TrialsUsed:    &trialsUsed,
+			OnlyCandidate: &targetIdx,
+			OnCandidateTrial: func(cand, trial int, runningP float64) {
+				if cand != targetIdx {
+					return
+				}
+				if trial == 0 {
+					// Resolved without sampling (no heavier competitor):
+					// the estimate is flat across the whole axis.
+					klSeries = append(klSeries,
+						ConvergencePoint{Frac: 0, P: runningP},
+						ConvergencePoint{Frac: 2, P: runningP})
+					return
+				}
+				if trial%every == 0 {
+					klSeries = append(klSeries, ConvergencePoint{
+						Frac: float64(trial) / float64(opt.SampleTrials),
+						P:    runningP,
+					})
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Series[OLSKL] = klSeries
+		// Report the Eq. 8 dynamic allocation for context.
+		dynTrials, err := core.KLTrials(cands.List[targetIdx].ExistProb,
+			cands.SI(targetIdx), math.Max(res.RefP, 1e-9), opt.Eps, opt.Delta)
+		if err == nil {
+			res.KLTargetTrials = dynTrials
+		}
+
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// pickTarget selects the candidate whose probability is closest to
+// Options.Mu (the paper traces a butterfly with P ≈ 0.05), estimating
+// with OS — the method carrying the unconditional Theorem IV.1 guarantee
+// — rather than with an OLS estimator, whose candidate-set truncation can
+// inflate mid-rank probabilities (Lemma VI.5) and would bias the choice.
+// Candidates far below both Mu and the dataset's best probability are
+// excluded: a too-rare target is frequently missing from independently
+// prepared candidate sets, which would make the Fig. 11/12 traces
+// vacuous.
+func pickTarget(g *bigraph.Graph, cands *core.Candidates, opt Options) (int, error) {
+	index := make(map[butterfly.Butterfly]int, cands.Len())
+	for i, c := range cands.List {
+		index[c.B] = i
+	}
+	hits := make([]int, cands.Len())
+	_, err := core.OS(g, core.OSOptions{
+		Trials: opt.SampleTrials,
+		Seed:   opt.Seed + 7,
+		OnTrial: func(_ int, sMB *butterfly.MaxSet) {
+			for _, b := range sMB.Set {
+				if i, ok := index[b]; ok {
+					hits[i]++
+				}
+			}
+		},
+	})
+	if err != nil {
+		return 0, err
+	}
+	probs := make([]float64, len(hits))
+	maxP := 0.0
+	for i, h := range hits {
+		probs[i] = float64(h) / float64(opt.SampleTrials)
+		if probs[i] > maxP {
+			maxP = probs[i]
+		}
+	}
+	if maxP == 0 {
+		return 0, fmt.Errorf("no candidate with nonzero probability")
+	}
+	floor := math.Min(opt.Mu/2, maxP/2)
+	best, bestDiff := -1, math.Inf(1)
+	for i, p := range probs {
+		if p < floor {
+			continue
+		}
+		if d := math.Abs(p - opt.Mu); d < bestDiff {
+			best, bestDiff = i, d
+		}
+	}
+	return best, nil
+}
+
+// PreparingPoint is one independent run of Fig. 12: OLS executed with a
+// given preparing-phase trial count.
+type PreparingPoint struct {
+	PrepTrials   int
+	P            float64
+	InCandidates bool
+}
+
+// PreparingResult is Fig. 12 for one dataset.
+type PreparingResult struct {
+	Dataset string
+	Target  butterfly.Butterfly
+	RefP    float64
+	Band    [2]float64
+	Points  []PreparingPoint
+}
+
+// RunPreparingTrend reproduces Fig. 12: for preparing trial counts from
+// 10% to 200% of the configured PrepTrials, run OLS end-to-end
+// independently and record the target butterfly's estimate. Early points
+// are expected to be 0 (target missed) or inflated (candidate set too
+// small); they should stabilize into the ε-band well before 100%.
+func RunPreparingTrend(opt Options) ([]PreparingResult, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	var out []PreparingResult
+	for _, d := range ds {
+		cands, err := core.PrepareCandidates(d.G, opt.PrepTrials, opt.Seed, core.OSOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if cands.Len() == 0 {
+			continue
+		}
+		targetIdx, err := pickTarget(d.G, cands, opt)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", d.Name, err)
+		}
+		target := cands.List[targetIdx].B
+		res := PreparingResult{Dataset: d.Name, Target: target}
+
+		// Reference estimate from OS over a doubled budget — immune to
+		// candidate-set truncation, unlike an OLS reference run that can
+		// miss the target altogether.
+		refHits := 0
+		_, err = core.OS(d.G, core.OSOptions{
+			Trials: 2 * opt.SampleTrials,
+			Seed:   opt.Seed + 11,
+			OnTrial: func(_ int, sMB *butterfly.MaxSet) {
+				for _, b := range sMB.Set {
+					if b == target {
+						refHits++
+						break
+					}
+				}
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.RefP = float64(refHits) / float64(2*opt.SampleTrials)
+		res.Band = [2]float64{res.RefP * (1 - opt.Eps), res.RefP * (1 + opt.Eps)}
+
+		for pct := 10; pct <= 200; pct += 10 {
+			n := opt.PrepTrials * pct / 100
+			if n < 1 {
+				n = 1
+			}
+			run, err := core.OLS(d.G, core.OLSOptions{
+				PrepTrials: n,
+				Trials:     opt.SampleTrials,
+				Seed:       opt.Seed + uint64(1000+pct), // independent runs
+			})
+			if err != nil {
+				return nil, err
+			}
+			pt := PreparingPoint{PrepTrials: n}
+			if e, ok := run.Lookup(target); ok {
+				pt.P = e.P
+				pt.InCandidates = true
+			}
+			res.Points = append(res.Points, pt)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

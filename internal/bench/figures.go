@@ -1,0 +1,206 @@
+package bench
+
+import (
+	"fmt"
+
+	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/dataset"
+)
+
+// OverallResult is Fig. 7: total executing time of every method on every
+// dataset.
+type OverallResult struct {
+	Cells []Timing
+}
+
+// RunOverall reproduces Fig. 7. MC-VP cells on large datasets will come
+// back Extrapolated, mirroring the paper's 4-hour DNF.
+func RunOverall(opt Options) (*OverallResult, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &OverallResult{}
+	for _, d := range ds {
+		for _, m := range AllMethods {
+			cell, err := runMethodTimed(d.G, d.Name, m, opt)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", m, d.Name, err)
+			}
+			res.Cells = append(res.Cells, cell)
+		}
+	}
+	return res, nil
+}
+
+// Speedups summarizes the headline factors of Section VIII-F from an
+// overall run: OS vs MC-VP, OLS vs OS, and OLS vs OLS-KL per dataset.
+func (r *OverallResult) Speedups() []SpeedupRow {
+	byKey := make(map[string]Timing)
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range r.Cells {
+		byKey[c.Dataset+"/"+string(c.Method)] = c
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			names = append(names, c.Dataset)
+		}
+	}
+	var rows []SpeedupRow
+	for _, n := range names {
+		mc, os := byKey[n+"/mc-vp"], byKey[n+"/os"]
+		kl, ols := byKey[n+"/ols-kl"], byKey[n+"/ols"]
+		row := SpeedupRow{Dataset: n}
+		if os.Total() > 0 {
+			row.OSvsMCVP = float64(mc.Total()) / float64(os.Total())
+		}
+		if ols.Total() > 0 {
+			row.OLSvsOS = float64(os.Total()) / float64(ols.Total())
+		}
+		if ols.Total() > 0 {
+			row.OLSvsKL = float64(kl.Total()) / float64(ols.Total())
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// SpeedupRow holds the per-dataset speedup factors of Section VIII-F.
+type SpeedupRow struct {
+	Dataset  string
+	OSvsMCVP float64 // paper: ≥ 10³
+	OLSvsOS  float64 // paper: up to 180
+	OLSvsKL  float64 // paper: ≈ 3–8 on the small datasets
+}
+
+// PhasePoint is one point of Fig. 8: a method's cumulative time with the
+// sampling phase truncated to Frac of the full trial count (Frac = 0
+// means preparing phase only).
+type PhasePoint struct {
+	Dataset string
+	Method  Method
+	Frac    float64
+	Timing  Timing
+}
+
+// RunPhaseSweep reproduces Fig. 8: preparing time at N=0% (OLS variants)
+// and sampling time at 25/50/75/100% of SampleTrials for OS, OLS-KL and
+// OLS. MC-VP is excluded as in the paper's figure, where it already
+// dominated Fig. 7.
+func RunPhaseSweep(opt Options) ([]PhasePoint, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.25, 0.5, 0.75, 1}
+	var out []PhasePoint
+	for _, d := range ds {
+		for _, m := range []Method{OS, OLSKL, OLS} {
+			if m != OS {
+				// The N=0% point: preparing phase only.
+				zero := opt
+				zero.SampleTrials = 1 // cheapest measurable sampling phase
+				cell, err := runMethodTimed(d.G, d.Name, m, zero)
+				if err != nil {
+					return nil, err
+				}
+				cell.Sampling = 0
+				cell.Trials = 0
+				out = append(out, PhasePoint{Dataset: d.Name, Method: m, Frac: 0, Timing: cell})
+			}
+			for _, f := range fracs {
+				sub := opt
+				sub.SampleTrials = int(float64(opt.SampleTrials)*f + 0.5)
+				if sub.SampleTrials < 1 {
+					sub.SampleTrials = 1
+				}
+				cell, err := runMethodTimed(d.G, d.Name, m, sub)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, PhasePoint{Dataset: d.Name, Method: m, Frac: f, Timing: cell})
+			}
+		}
+	}
+	return out, nil
+}
+
+// ScalePoint is one point of Fig. 9: a method's total time on the
+// subgraph induced by a fraction of the vertices.
+type ScalePoint struct {
+	Dataset  string
+	Method   Method
+	VertexFr float64
+	Edges    int
+	Timing   Timing
+}
+
+// RunScalability reproduces Fig. 9: each method on 25/50/75/100% vertex
+// samples of each dataset. The same vertex sample (per dataset and
+// fraction) is shared by all methods so the comparison is fair.
+func RunScalability(opt Options) ([]ScalePoint, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	fracs := []float64{0.25, 0.5, 0.75, 1}
+	var out []ScalePoint
+	for _, d := range ds {
+		for _, f := range fracs {
+			sub := d.G
+			if f < 1 {
+				rng := subsampleRNG(opt.Seed, d.Name, f)
+				var err error
+				sub, err = d.G.VertexSample(f, rng)
+				if err != nil {
+					return nil, err
+				}
+			}
+			for _, m := range []Method{OS, OLSKL, OLS} {
+				cell, err := runMethodTimed(sub, d.Name, m, opt)
+				if err != nil {
+					return nil, err
+				}
+				out = append(out, ScalePoint{
+					Dataset: d.Name, Method: m, VertexFr: f,
+					Edges: sub.NumEdges(), Timing: cell,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Table4Row reports the Table IV trial configuration for one method.
+type Table4Row struct {
+	Method   Method
+	Prep     string
+	Sampling string
+}
+
+// Table4 reproduces Table IV for the configured trial numbers.
+func Table4(opt Options) []Table4Row {
+	n := fmt.Sprintf("%d", opt.SampleTrials)
+	p := fmt.Sprintf("%d", opt.PrepTrials)
+	return []Table4Row{
+		{Method: MCVP, Prep: "-", Sampling: n},
+		{Method: OS, Prep: "-", Sampling: n},
+		{Method: OLSKL, Prep: p, Sampling: "dynamic (Eq. 8)"},
+		{Method: OLS, Prep: p, Sampling: n},
+	}
+}
+
+// Table3 reproduces Table III for the generated datasets.
+func Table3(opt Options) ([]dataset.TableRow, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	return dataset.Table3(ds), nil
+}
+
+// TheoreticalTrials reports the Theorem IV.1 bound for the configured
+// (Mu, Eps, Delta), for Table IV context.
+func TheoreticalTrials(opt Options) (int, error) {
+	return core.MonteCarloTrials(opt.Mu, opt.Eps, opt.Delta)
+}

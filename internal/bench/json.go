@@ -1,0 +1,131 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// ExportJSON runs the selected experiments and writes one indented JSON
+// document containing their structured results, for plotting pipelines
+// that want the figures' data rather than the text tables. Durations are
+// serialized in nanoseconds (Go's time.Duration encoding).
+//
+// Experiment names follow mpmb-bench: table3, table4, fig6..fig13,
+// ablation. An empty selection means all of them.
+func ExportJSON(w io.Writer, opt Options, experiments []string) error {
+	want := make(map[string]bool, len(experiments))
+	for _, e := range experiments {
+		want[e] = true
+	}
+	all := len(want) == 0
+	include := func(name string) bool { return all || want[name] }
+	known := map[string]bool{
+		"table3": true, "table4": true, "fig6": true, "fig7": true,
+		"fig8": true, "fig9": true, "fig10": true, "fig11": true,
+		"fig12": true, "fig13": true, "ablation": true,
+	}
+	for e := range want {
+		if !known[e] {
+			return fmt.Errorf("bench: unknown experiment %q", e)
+		}
+	}
+
+	report := struct {
+		GeneratedAt  time.Time      `json:"generated_at"`
+		SampleTrials int            `json:"sample_trials"`
+		PrepTrials   int            `json:"prep_trials"`
+		Seed         uint64         `json:"seed"`
+		Scale        float64        `json:"scale"`
+		Mu           float64        `json:"mu"`
+		Datasets     []string       `json:"datasets"`
+		Results      map[string]any `json:"results"`
+	}{
+		GeneratedAt:  time.Now().UTC(),
+		SampleTrials: opt.SampleTrials,
+		PrepTrials:   opt.PrepTrials,
+		Seed:         opt.Seed,
+		Scale:        opt.Scale,
+		Mu:           opt.Mu,
+		Datasets:     opt.Datasets,
+		Results:      make(map[string]any),
+	}
+
+	if include("table3") {
+		rows, err := Table3(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["table3"] = rows
+	}
+	if include("table4") {
+		report.Results["table4"] = Table4(opt)
+	}
+	if include("fig6") {
+		report.Results["fig6"] = RunRatioMatrix()
+	}
+	if include("fig7") {
+		res, err := RunOverall(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig7"] = map[string]any{
+			"cells":    res.Cells,
+			"speedups": res.Speedups(),
+		}
+	}
+	if include("fig8") {
+		pts, err := RunPhaseSweep(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig8"] = pts
+	}
+	if include("fig9") {
+		pts, err := RunScalability(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig9"] = pts
+	}
+	if include("fig10") {
+		rs, err := RunTrialRatios(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig10"] = rs
+	}
+	if include("fig11") {
+		rs, err := RunSamplingConvergence(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig11"] = rs
+	}
+	if include("fig12") {
+		rs, err := RunPreparingTrend(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig12"] = rs
+	}
+	if include("fig13") {
+		cells, err := RunMemory(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["fig13"] = cells
+	}
+	if include("ablation") {
+		cells, err := RunAblations(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["ablation"] = cells
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

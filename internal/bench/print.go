@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// This file renders every experiment result as aligned text, in the
+// layout of the corresponding paper table or figure. The mpmb-bench
+// command calls these; they are deliberately plain (no ANSI, no
+// dependencies) so output can be diffed and committed to EXPERIMENTS.md.
+
+func fmtDur(d time.Duration, extrapolated bool) string {
+	s := d.Round(time.Microsecond).String()
+	if d >= time.Second {
+		s = d.Round(10 * time.Millisecond).String()
+	}
+	if extrapolated {
+		return s + "*"
+	}
+	return s
+}
+
+// PrintTable3 renders the dataset summary (Table III).
+func PrintTable3(w io.Writer, opt Options) error {
+	rows, err := Table3(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table III: dataset details (synthetic analogues, scale=%.3g)\n", opt.Scale)
+	fmt.Fprintf(w, "%-10s %10s %8s %8s  %-18s %s\n", "dataset", "|E|", "|L|", "|R|", "weight", "probability")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %10d %8d %8d  %-18s %s\n", r.Name, r.Edges, r.L, r.R, r.Weight, r.Probability)
+	}
+	return nil
+}
+
+// PrintTable4 renders the trial-number configuration (Table IV).
+func PrintTable4(w io.Writer, opt Options) error {
+	n, err := TheoreticalTrials(Options{Mu: 0.05, Eps: 0.1, Delta: 0.1})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Table IV: trial numbers (paper bound for μ=0.05, ε=δ=0.1: %d ≈ 2×10⁴; this run uses N=%d)\n", n, opt.SampleTrials)
+	fmt.Fprintf(w, "%-10s %-16s %s\n", "method", "preparing", "sampling")
+	for _, r := range Table4(opt) {
+		fmt.Fprintf(w, "%-10s %-16s %s\n", r.Method, r.Prep, r.Sampling)
+	}
+	return nil
+}
+
+// PrintRatioMatrix renders Fig. 6.
+func PrintRatioMatrix(w io.Writer) {
+	m := RunRatioMatrix()
+	fmt.Fprintln(w, "Figure 6: trial ratio N_kl/N_op by Eq. 8 with S_i = 1 (rows: μ=P(B); cols: Pr[E(B)])")
+	fmt.Fprintf(w, "%8s", "μ \\ PrE")
+	for _, pe := range m.PrExists {
+		fmt.Fprintf(w, " %8.2f", pe)
+	}
+	fmt.Fprintln(w)
+	for i, mu := range m.Mus {
+		fmt.Fprintf(w, "%8.2f", mu)
+		for _, v := range m.Values[i] {
+			fmt.Fprintf(w, " %8.2f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintOverall renders Fig. 7 plus the Section VIII-F speedup summary.
+func PrintOverall(w io.Writer, opt Options) error {
+	res, err := RunOverall(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 7: overall executing time (N=%d; * = extrapolated beyond the %v budget)\n",
+		opt.SampleTrials, opt.TimeBudget)
+	fmt.Fprintf(w, "%-10s %12s %12s %12s %12s\n", "dataset", "mc-vp", "os", "ols-kl", "ols")
+	byKey := make(map[string]Timing)
+	var names []string
+	seen := make(map[string]bool)
+	for _, c := range res.Cells {
+		byKey[c.Dataset+"/"+string(c.Method)] = c
+		if !seen[c.Dataset] {
+			seen[c.Dataset] = true
+			names = append(names, c.Dataset)
+		}
+	}
+	for _, n := range names {
+		fmt.Fprintf(w, "%-10s", n)
+		for _, m := range AllMethods {
+			c := byKey[n+"/"+string(m)]
+			fmt.Fprintf(w, " %12s", fmtDur(c.Total(), c.Extrapolated))
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w, "\nSection VIII-F speedups (paper: OS ≥ 10³× MC-VP; OLS ≤ 180× OS; OLS ≈ 3–8× OLS-KL on small sets):")
+	fmt.Fprintf(w, "%-10s %14s %12s %12s\n", "dataset", "os/mc-vp", "ols/os", "ols/ols-kl")
+	for _, r := range res.Speedups() {
+		fmt.Fprintf(w, "%-10s %13.1fx %11.1fx %11.2fx\n", r.Dataset, r.OSvsMCVP, r.OLSvsOS, r.OLSvsKL)
+	}
+	return nil
+}
+
+// PrintPhaseSweep renders Fig. 8.
+func PrintPhaseSweep(w io.Writer, opt Options) error {
+	pts, err := RunPhaseSweep(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 8: executing time vs sampling-phase trials (N=%d; 0%% = preparing phase only)\n", opt.SampleTrials)
+	fmt.Fprintf(w, "%-10s %-8s %10s %10s %10s %10s %10s\n", "dataset", "method", "0%", "25%", "50%", "75%", "100%")
+	type key struct {
+		d string
+		m Method
+	}
+	series := make(map[key]map[float64]Timing)
+	var order []key
+	for _, p := range pts {
+		k := key{p.Dataset, p.Method}
+		if series[k] == nil {
+			series[k] = make(map[float64]Timing)
+			order = append(order, k)
+		}
+		series[k][p.Frac] = p.Timing
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "%-10s %-8s", k.d, k.m)
+		for _, f := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			if t, ok := series[k][f]; ok {
+				fmt.Fprintf(w, " %10s", fmtDur(t.Total(), t.Extrapolated))
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// PrintScalability renders Fig. 9.
+func PrintScalability(w io.Writer, opt Options) error {
+	pts, err := RunScalability(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 9: executing time vs dataset scale (fraction of vertices kept)")
+	fmt.Fprintf(w, "%-10s %-8s %12s %12s %12s %12s\n", "dataset", "method", "25%", "50%", "75%", "100%")
+	type key struct {
+		d string
+		m Method
+	}
+	series := make(map[key]map[float64]Timing)
+	var order []key
+	for _, p := range pts {
+		k := key{p.Dataset, p.Method}
+		if series[k] == nil {
+			series[k] = make(map[float64]Timing)
+			order = append(order, k)
+		}
+		series[k][p.VertexFr] = p.Timing
+	}
+	for _, k := range order {
+		fmt.Fprintf(w, "%-10s %-8s", k.d, k.m)
+		for _, f := range []float64{0.25, 0.5, 0.75, 1} {
+			t := series[k][f]
+			fmt.Fprintf(w, " %12s", fmtDur(t.Total(), t.Extrapolated))
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// PrintTrialRatios renders Fig. 10 (summarized; full series are too long
+// to print for tens of thousands of candidates).
+func PrintTrialRatios(w io.Writer, opt Options) error {
+	rs, err := RunTrialRatios(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 10: per-candidate trial ratio N_kl/N_op (Eq. 8, μ=0.1) vs the balance line 1/|C_MB|")
+	fmt.Fprintf(w, "%-10s %8s %12s %12s %12s %12s %12s %14s\n",
+		"dataset", "|C_MB|", "1/|C_MB|", "min", "median", "max", "mean", "above line")
+	for _, r := range rs {
+		if r.Candidates == 0 {
+			fmt.Fprintf(w, "%-10s %8d (no candidates)\n", r.Dataset, 0)
+			continue
+		}
+		q := r.Quantiles(0, 0.5, 1)
+		fmt.Fprintf(w, "%-10s %8d %12.2g %12.3g %12.3g %12.3g %12.3g %7d (%4.1f%%)\n",
+			r.Dataset, r.Candidates, r.Balance, q[0], q[1], q[2], r.MeanRatio,
+			r.AboveBalance, 100*float64(r.AboveBalance)/float64(r.Candidates))
+	}
+	return nil
+}
+
+// PrintSamplingConvergence renders Fig. 11.
+func PrintSamplingConvergence(w io.Writer, opt Options) error {
+	rs, err := RunSamplingConvergence(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 11: P̂(B) convergence over 2× the sampling budget (N=%d), target P ≈ %.2g\n",
+		opt.SampleTrials, opt.Mu)
+	for _, r := range rs {
+		fmt.Fprintf(w, "\n%s: target %v, reference P=%.4f, ε-band [%.4f, %.4f], KL target trials %d\n",
+			r.Dataset, r.Target, r.RefP, r.Band[0], r.Band[1], r.KLTargetTrials)
+		for _, m := range []Method{OS, OLSKL, OLS} {
+			fmt.Fprintf(w, "  %-7s", m)
+			series := r.Series[m]
+			// Print up to 10 evenly spaced points.
+			step := len(series) / 10
+			if step < 1 {
+				step = 1
+			}
+			for i := step - 1; i < len(series); i += step {
+				fmt.Fprintf(w, " %4.0f%%:%.4f", series[i].Frac*100, series[i].P)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}
+
+// PrintPreparingTrend renders Fig. 12.
+func PrintPreparingTrend(w io.Writer, opt Options) error {
+	rs, err := RunPreparingTrend(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Figure 12: P̂(B) vs preparing-phase trials (independent runs; default N_os=%d)\n", opt.PrepTrials)
+	for _, r := range rs {
+		fmt.Fprintf(w, "\n%s: target %v, reference P=%.4f, ε-band [%.4f, %.4f]\n",
+			r.Dataset, r.Target, r.RefP, r.Band[0], r.Band[1])
+		for _, p := range r.Points {
+			mark := " "
+			if !p.InCandidates {
+				mark = "∅" // target missed by the candidate set
+			}
+			fmt.Fprintf(w, "  prep=%4d  P̂=%.4f %s\n", p.PrepTrials, p.P, mark)
+		}
+	}
+	return nil
+}
+
+// PrintMemory renders Fig. 13.
+func PrintMemory(w io.Writer, opt Options) error {
+	cells, err := RunMemory(opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 13: memory consumption (graph size + method peak working set)")
+	fmt.Fprintf(w, "%-10s %-8s %14s %16s\n", "dataset", "method", "graph", "method peak")
+	for _, c := range cells {
+		fmt.Fprintf(w, "%-10s %-8s %14s %16s\n", c.Dataset, c.Method,
+			fmtBytes(c.GraphBytes), fmtBytes(c.PeakExtraBytes))
+	}
+	return nil
+}
+
+func fmtBytes(b uint64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.2f GiB", float64(b)/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.2f MiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.2f KiB", float64(b)/(1<<10))
+	}
+	return fmt.Sprintf("%d B", b)
+}

@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestPrintTable3And4(t *testing.T) {
+	opt := tinyOptions()
+	var sb strings.Builder
+	if err := PrintTable3(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Table III", "abide", "movielens", "weight", "probability"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table III output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := PrintTable4(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	out = sb.String()
+	for _, want := range []string{"Table IV", "mc-vp", "dynamic (Eq. 8)", "23966"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table IV output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestPrintRatioMatrix(t *testing.T) {
+	var sb strings.Builder
+	PrintRatioMatrix(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "Figure 6") || !strings.Contains(out, "99.00") {
+		t.Fatalf("Figure 6 output wrong:\n%s", out)
+	}
+}
+
+func TestPrintTimingExperiments(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	var sb strings.Builder
+	if err := PrintOverall(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 7", "speedups", "abide"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 7 output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := PrintPhaseSweep(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 8") {
+		t.Fatalf("Figure 8 output wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := PrintScalability(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 9") {
+		t.Fatalf("Figure 9 output wrong:\n%s", sb.String())
+	}
+	sb.Reset()
+	if err := PrintTrialRatios(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 10") || !strings.Contains(sb.String(), "1/|C_MB|") {
+		t.Fatalf("Figure 10 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestPrintConvergenceExperiments(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 300
+	var sb strings.Builder
+	if err := PrintSamplingConvergence(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 11", "reference P=", "ε-band"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Figure 11 output missing %q:\n%s", want, out)
+		}
+	}
+	sb.Reset()
+	if err := PrintPreparingTrend(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "Figure 12") || !strings.Contains(sb.String(), "prep=") {
+		t.Fatalf("Figure 12 output wrong:\n%s", sb.String())
+	}
+}
+
+func TestPrintMemory(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	var sb strings.Builder
+	if err := PrintMemory(&sb, opt); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Figure 13") || !strings.Contains(out, "graph") {
+		t.Fatalf("Figure 13 output wrong:\n%s", out)
+	}
+}
+
+func TestFmtHelpers(t *testing.T) {
+	if got := fmtDur(1500*time.Microsecond, false); got != "1.5ms" {
+		t.Fatalf("fmtDur = %q", got)
+	}
+	if got := fmtDur(2*time.Second, true); !strings.HasSuffix(got, "*") {
+		t.Fatalf("extrapolated marker missing: %q", got)
+	}
+	cases := map[uint64]string{
+		512:     "512 B",
+		2048:    "2.00 KiB",
+		3 << 20: "3.00 MiB",
+		5 << 30: "5.00 GiB",
+	}
+	for in, want := range cases {
+		if got := fmtBytes(in); got != want {
+			t.Fatalf("fmtBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestExportJSONAllExperiments runs the JSON exporter across every
+// experiment at tiny scale and validates the document structure.
+func TestExportJSONAllExperiments(t *testing.T) {
+	opt := tinyOptions()
+	opt.Datasets = []string{"abide"}
+	opt.SampleTrials = 50
+	var sb strings.Builder
+	if err := ExportJSON(&sb, opt, nil); err != nil {
+		t.Fatal(err)
+	}
+	var report struct {
+		SampleTrials int                        `json:"sample_trials"`
+		Results      map[string]json.RawMessage `json:"results"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	if report.SampleTrials != 50 {
+		t.Fatalf("sample_trials = %d", report.SampleTrials)
+	}
+	for _, want := range []string{"table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"} {
+		if _, ok := report.Results[want]; !ok {
+			t.Fatalf("JSON report missing %q", want)
+		}
+	}
+
+	// Selected subset only (reset the map: Unmarshal merges into
+	// non-nil maps, which would keep the previous entries).
+	sb.Reset()
+	if err := ExportJSON(&sb, opt, []string{"fig6"}); err != nil {
+		t.Fatal(err)
+	}
+	report.Results = nil
+	if err := json.Unmarshal([]byte(sb.String()), &report); err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Results) != 1 {
+		t.Fatalf("selected export has %d results, want 1", len(report.Results))
+	}
+
+	// Unknown experiment rejected.
+	if err := ExportJSON(&sb, opt, []string{"fig99"}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}

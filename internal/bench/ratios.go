@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+// RatioMatrix is Fig. 6: the grid of trial-number ratios N_kl/N_op
+// computed by Equation 8 at S_i = 1, over combinations of the MPMB
+// probability μ = P(B_i) (rows) and the existence probability Pr[E(B_i)]
+// (columns).
+type RatioMatrix struct {
+	Mus      []float64
+	PrExists []float64
+	// Values[i][j] = KLOpRatio(PrExists[j], 1, Mus[i]).
+	Values [][]float64
+}
+
+// RunRatioMatrix reproduces Fig. 6 with the paper's S_i = 1 convention.
+func RunRatioMatrix() *RatioMatrix {
+	m := &RatioMatrix{
+		Mus:      []float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5},
+		PrExists: []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0},
+	}
+	m.Values = make([][]float64, len(m.Mus))
+	for i, mu := range m.Mus {
+		row := make([]float64, len(m.PrExists))
+		for j, pe := range m.PrExists {
+			row[j] = core.KLOpRatio(pe, 1, mu)
+		}
+		m.Values[i] = row
+	}
+	return m
+}
+
+// TrialRatioResult is Fig. 10 for one dataset: the per-candidate trial
+// ratio N_kl/N_op (Equation 8 at μ = 0.1, the paper's setting for this
+// figure) against the balance line 1/|C_MB| (Equation 9).
+type TrialRatioResult struct {
+	Dataset    string
+	Candidates int
+	// Ratios holds one Equation 8 value per candidate, in candidate
+	// (weight-descending) order.
+	Ratios []float64
+	// Balance is the red line 1/|C_MB|.
+	Balance float64
+	// AboveBalance counts candidates whose ratio exceeds Balance — the
+	// cases where the optimized estimator wins.
+	AboveBalance int
+	// MeanRatio is the average of Ratios.
+	MeanRatio float64
+}
+
+// RunTrialRatios reproduces Fig. 10 on every selected dataset.
+func RunTrialRatios(opt Options) ([]TrialRatioResult, error) {
+	ds, err := loadDatasets(opt)
+	if err != nil {
+		return nil, err
+	}
+	const mu = 0.1 // the figure's stated setting
+	var out []TrialRatioResult
+	for _, d := range ds {
+		cands, err := core.PrepareCandidates(d.G, opt.PrepTrials, opt.Seed, core.OSOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: preparing %s: %w", d.Name, err)
+		}
+		r := TrialRatioResult{Dataset: d.Name, Candidates: cands.Len()}
+		if cands.Len() == 0 {
+			out = append(out, r)
+			continue
+		}
+		r.Balance = 1 / float64(cands.Len())
+		sum := 0.0
+		for i := 0; i < cands.Len(); i++ {
+			ratio := core.KLOpRatio(cands.List[i].ExistProb, cands.SI(i), mu)
+			r.Ratios = append(r.Ratios, ratio)
+			sum += ratio
+			if ratio > r.Balance {
+				r.AboveBalance++
+			}
+		}
+		r.MeanRatio = sum / float64(cands.Len())
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// Quantiles returns the q-quantiles of the ratio series (for compact
+// reporting of large candidate sets).
+func (r *TrialRatioResult) Quantiles(qs ...float64) []float64 {
+	if len(r.Ratios) == 0 {
+		return make([]float64, len(qs))
+	}
+	sorted := append([]float64(nil), r.Ratios...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(qs))
+	for i, q := range qs {
+		idx := int(q * float64(len(sorted)-1))
+		out[i] = sorted[idx]
+	}
+	return out
+}

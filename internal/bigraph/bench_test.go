@@ -1,0 +1,127 @@
+package bigraph
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// benchGraph builds a reproducible mid-sized graph for the IO and CSR
+// micro-benchmarks.
+func benchGraph(numL, numR, numEdges int) *Graph {
+	r := rand.New(rand.NewSource(1))
+	b := NewBuilder(numL, numR)
+	for b.NumEdges() < numEdges {
+		_ = b.AddEdge(VertexID(r.Intn(numL)), VertexID(r.Intn(numR)), r.Float64()*10, r.Float64())
+	}
+	return b.Build()
+}
+
+func BenchmarkBuildCSR(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	edges := make([]Edge, 0, 50000)
+	seen := make(map[uint64]bool)
+	for len(edges) < 50000 {
+		u, v := uint32(r.Intn(2000)), uint32(r.Intn(2000))
+		k := uint64(u)<<32 | uint64(v)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		edges = append(edges, Edge{U: u, V: v, W: r.Float64() * 10, P: r.Float64()})
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		g, err := FromEdges(2000, 2000, edges)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g.NumEdges() != 50000 {
+			b.Fatal("lost edges")
+		}
+	}
+}
+
+func BenchmarkFindEdge(b *testing.B) {
+	g := benchGraph(2000, 2000, 50000)
+	r := rand.New(rand.NewSource(2))
+	queries := make([][2]VertexID, 1024)
+	for i := range queries {
+		e := g.Edge(EdgeID(r.Intn(g.NumEdges())))
+		queries[i] = [2]VertexID{e.U, e.V}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := queries[i%len(queries)]
+		if _, ok := g.FindEdge(q[0], q[1]); !ok {
+			b.Fatal("edge lost")
+		}
+	}
+}
+
+func BenchmarkPriorityOrder(b *testing.B) {
+	g := benchGraph(2000, 2000, 50000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(g.PriorityOrder()) != 4000 {
+			b.Fatal("bad order")
+		}
+	}
+}
+
+func BenchmarkWriteText(b *testing.B) {
+	g := benchGraph(2000, 2000, 50000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := Write(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadText(b *testing.B) {
+	g := benchGraph(2000, 2000, 50000)
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWriteBinary(b *testing.B) {
+	g := benchGraph(2000, 2000, 50000)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkReadBinary(b *testing.B) {
+	g := benchGraph(2000, 2000, 50000)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadBinary(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

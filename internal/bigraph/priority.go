@@ -1,0 +1,68 @@
+package bigraph
+
+import "sort"
+
+// Side distinguishes the two vertex partitions when a single ordering must
+// range over all of V = L ∪ R.
+type Side uint8
+
+const (
+	// SideL marks a vertex of the left partition.
+	SideL Side = iota
+	// SideR marks a vertex of the right partition.
+	SideR
+)
+
+// GlobalID maps a (side, vertex) pair to a dense index over V = L ∪ R:
+// left vertices occupy [0, |L|) and right vertices [|L|, |L|+|R|).
+func (g *Graph) GlobalID(side Side, v VertexID) int {
+	if side == SideL {
+		return int(v)
+	}
+	return g.numL + int(v)
+}
+
+// SplitGlobalID is the inverse of GlobalID.
+func (g *Graph) SplitGlobalID(gid int) (Side, VertexID) {
+	if gid < g.numL {
+		return SideL, VertexID(gid)
+	}
+	return SideR, VertexID(gid - g.numL)
+}
+
+// NumVertices returns |L| + |R|.
+func (g *Graph) NumVertices() int { return g.numL + g.numR }
+
+// PriorityOrder computes the vertex-priority order o(·) used by the MC-VP
+// baseline (Section IV): a vertex with larger degree receives a larger
+// priority rank; ties break by global id so the order is total and
+// deterministic, matching the convention of BFC-VP.
+//
+// The returned slice is indexed by GlobalID and holds each vertex's rank
+// in [0, |V|): order[gid_a] > order[gid_b] means a has higher priority.
+func (g *Graph) PriorityOrder() []int {
+	n := g.NumVertices()
+	gids := make([]int, n)
+	for i := range gids {
+		gids[i] = i
+	}
+	deg := func(gid int) int {
+		side, v := g.SplitGlobalID(gid)
+		if side == SideL {
+			return g.DegreeL(v)
+		}
+		return g.DegreeR(v)
+	}
+	sort.Slice(gids, func(a, b int) bool {
+		da, db := deg(gids[a]), deg(gids[b])
+		if da != db {
+			return da < db
+		}
+		return gids[a] < gids[b]
+	})
+	order := make([]int, n)
+	for rank, gid := range gids {
+		order[gid] = rank
+	}
+	return order
+}

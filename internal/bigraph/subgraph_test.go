@@ -1,0 +1,147 @@
+package bigraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+func TestInducedSubgraphBasics(t *testing.T) {
+	g := buildFigure1(t)
+	sub, err := g.InducedSubgraph([]VertexID{0, 1}, []VertexID{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.NumL() != 2 || sub.NumR() != 2 {
+		t.Fatalf("subgraph is %dx%d, want 2x2", sub.NumL(), sub.NumR())
+	}
+	// Edges touching v1 (id 0 on the right) must be gone: 4 remain.
+	if sub.NumEdges() != 4 {
+		t.Fatalf("subgraph has %d edges, want 4", sub.NumEdges())
+	}
+	// Renumbering: old v2 (id 1) is new id 0; (u1,v2) had w=2, p=0.6.
+	id, ok := sub.FindEdge(0, 0)
+	if !ok {
+		t.Fatal("edge (u1, v2) missing from subgraph")
+	}
+	if e := sub.Edge(id); e.W != 2 || e.P != 0.6 {
+		t.Fatalf("renumbered edge = %+v, want w=2 p=0.6", e)
+	}
+}
+
+func TestInducedSubgraphValidation(t *testing.T) {
+	g := buildFigure1(t)
+	if _, err := g.InducedSubgraph([]VertexID{0, 0}, nil); err == nil {
+		t.Fatal("duplicate left vertex accepted")
+	}
+	if _, err := g.InducedSubgraph(nil, []VertexID{1, 1}); err == nil {
+		t.Fatal("duplicate right vertex accepted")
+	}
+	if _, err := g.InducedSubgraph([]VertexID{9}, nil); err == nil {
+		t.Fatal("out-of-range left vertex accepted")
+	}
+	if _, err := g.InducedSubgraph(nil, []VertexID{9}); err == nil {
+		t.Fatal("out-of-range right vertex accepted")
+	}
+}
+
+func TestVertexSampleFractions(t *testing.T) {
+	g := buildFigure1(t)
+	rng := randx.New(5)
+	full, err := g.VertexSample(1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.NumL() != g.NumL() || full.NumR() != g.NumR() || full.NumEdges() != g.NumEdges() {
+		t.Fatal("VertexSample(1) must keep everything")
+	}
+	none, err := g.VertexSample(0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none.NumL() != 0 || none.NumR() != 0 || none.NumEdges() != 0 {
+		t.Fatal("VertexSample(0) must keep nothing")
+	}
+	half, err := g.VertexSample(0.5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half.NumL() != 1 || half.NumR() != 1 {
+		t.Fatalf("VertexSample(0.5) kept %dx%d, want 1x1", half.NumL(), half.NumR())
+	}
+	if _, err := g.VertexSample(1.5, rng); err == nil {
+		t.Fatal("fraction out of range accepted")
+	}
+	if _, err := g.VertexSample(-0.1, rng); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+}
+
+// TestVertexSampleProperty checks, under testing/quick, that every edge
+// of the sample maps back to an edge of the original with identical
+// weight and probability.
+func TestVertexSampleProperty(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		numL, numR := 2+r.Intn(10), 2+r.Intn(10)
+		b := NewBuilder(numL, numR)
+		for i := 0; i < 3*numL; i++ {
+			_ = b.AddEdge(VertexID(r.Intn(numL)), VertexID(r.Intn(numR)), math.Floor(r.Float64()*10)/2, r.Float64())
+		}
+		g := b.Build()
+		rng := randx.New(uint64(seed)*31 + 7)
+		frac := []float64{0.25, 0.5, 0.75}[r.Intn(3)]
+		sub, err := g.VertexSample(frac, rng)
+		if err != nil {
+			return false
+		}
+		// The sample's (w, p) multiset must be a subset of the original's.
+		type wp struct{ w, p float64 }
+		avail := make(map[wp]int)
+		for _, e := range g.Edges() {
+			avail[wp{e.W, e.P}]++
+		}
+		for _, e := range sub.Edges() {
+			k := wp{e.W, e.P}
+			if avail[k] == 0 {
+				return false
+			}
+			avail[k]--
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	g := buildFigure1(t)
+	s := g.ComputeStats()
+	if s.NumL != 2 || s.NumR != 3 || s.NumEdges != 6 {
+		t.Fatalf("counts = %+v", s)
+	}
+	if s.MinWeight != 1 || s.MaxWeight != 3 {
+		t.Fatalf("weights = [%v, %v], want [1, 3]", s.MinWeight, s.MaxWeight)
+	}
+	if s.MinProb != 0.3 || s.MaxProb != 0.8 {
+		t.Fatalf("probs = [%v, %v], want [0.3, 0.8]", s.MinProb, s.MaxProb)
+	}
+	if math.Abs(s.MeanWeight-2) > 1e-12 {
+		t.Fatalf("mean weight = %v, want 2", s.MeanWeight)
+	}
+	if math.Abs(s.ExpectedEdges-3.3) > 1e-12 {
+		t.Fatalf("expected edges = %v, want 3.3", s.ExpectedEdges)
+	}
+	if s.MaxDegreeL != 3 || s.MaxDegreeR != 2 {
+		t.Fatalf("max degrees = %d,%d, want 3,2", s.MaxDegreeL, s.MaxDegreeR)
+	}
+	empty := NewBuilder(0, 0).Build()
+	es := empty.ComputeStats()
+	if es.NumEdges != 0 || es.MaxWeight != 0 {
+		t.Fatalf("empty stats = %+v", es)
+	}
+}

@@ -1,0 +1,79 @@
+package butterfly
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// benchSetup builds a reproducible graph and a sampled world sized so one
+// enumeration pass is a meaningful unit of work.
+func benchSetup() (*bigraph.Graph, *possible.World, []int) {
+	r := rand.New(rand.NewSource(1))
+	b := bigraph.NewBuilder(200, 200)
+	for b.NumEdges() < 6000 {
+		_ = b.AddEdge(bigraph.VertexID(r.Intn(200)), bigraph.VertexID(r.Intn(200)), r.Float64()*10, 0.2+0.6*r.Float64())
+	}
+	g := b.Build()
+	w := possible.Sample(g, randx.New(2))
+	return g, w, g.PriorityOrder()
+}
+
+func BenchmarkEnumerateReference(b *testing.B) {
+	g, w, _ := benchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n := 0
+		ForEachInWorld(g, w, func(Butterfly, float64) bool {
+			n++
+			return true
+		})
+		if n == 0 {
+			b.Fatal("no butterflies")
+		}
+	}
+}
+
+func BenchmarkEnumerateVP(b *testing.B) {
+	g, w, order := benchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if CountInWorldVP(g, w, order) == 0 {
+			b.Fatal("no butterflies")
+		}
+	}
+}
+
+func BenchmarkMaxWeightSet(b *testing.B) {
+	g, w, _ := benchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := MaxWeightSet(g, w)
+		if m.Empty() {
+			b.Fatal("no maximum")
+		}
+	}
+}
+
+func BenchmarkExpectedCount(b *testing.B) {
+	g, _, _ := benchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ExpectedCount(g) <= 0 {
+			b.Fatal("no expectation")
+		}
+	}
+}
+
+func BenchmarkEnumerateThreshold(b *testing.B) {
+	g, _, _ := benchSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EnumerateThreshold(g, 0.2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package butterfly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+)
+
+// TestCountBackboneMatchesEnumeration: the closed-form count must equal
+// the number of butterflies the reference enumerator lists.
+func TestCountBackboneMatchesEnumeration(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randGraph(r, 7, 7, 0.5)
+		want := uint64(len(AllBackbone(g)))
+		return CountBackbone(g) == want
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountBackboneCompleteBipartite: K_{m,n} has C(m,2)·C(n,2)
+// butterflies.
+func TestCountBackboneCompleteBipartite(t *testing.T) {
+	for _, dims := range [][2]int{{2, 2}, {3, 4}, {5, 5}} {
+		m, n := dims[0], dims[1]
+		b := bigraph.NewBuilder(m, n)
+		for u := 0; u < m; u++ {
+			for v := 0; v < n; v++ {
+				b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), 1, 0.5)
+			}
+		}
+		want := uint64(m*(m-1)/2) * uint64(n*(n-1)/2)
+		if got := CountBackbone(b.Build()); got != want {
+			t.Fatalf("K(%d,%d): count = %d, want %d", m, n, got, want)
+		}
+	}
+}
+
+// TestExpectedCountMatchesDefinition: E[#butterflies] = Σ_B Pr[E(B)],
+// cross-checked against explicit per-butterfly products.
+func TestExpectedCountMatchesDefinition(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randGraph(r, 6, 6, 0.6)
+		want := 0.0
+		for _, bw := range AllBackbone(g) {
+			pr, ok := bw.B.ExistProb(g)
+			if !ok {
+				return false
+			}
+			want += pr
+		}
+		got := ExpectedCount(g)
+		return math.Abs(got-want) < 1e-9*(1+want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestExpectedCountDeterministicEqualsBackboneCount: with all
+// probabilities 1 the expectation is the plain count.
+func TestExpectedCountDeterministicEqualsBackboneCount(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	g := randGraph(r, 6, 6, 1.0) // density 1 but random probs; rebuild certain
+	b := bigraph.NewBuilder(g.NumL(), g.NumR())
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e.U, e.V, e.W, 1)
+	}
+	cg := b.Build()
+	if got, want := ExpectedCount(cg), float64(CountBackbone(cg)); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("ExpectedCount = %v, CountBackbone = %v", got, want)
+	}
+}
+
+// TestEstimateExpectedCountConverges: the Monte-Carlo estimate approaches
+// the closed form.
+func TestEstimateExpectedCountConverges(t *testing.T) {
+	g := figure1(t)
+	want := ExpectedCount(g)
+	got := EstimateExpectedCount(g, 60000, 9)
+	if math.Abs(got-want) > 0.02*(1+want) {
+		t.Fatalf("estimate %v, exact %v", got, want)
+	}
+	if EstimateExpectedCount(g, 0, 1) != 0 {
+		t.Fatal("zero trials should estimate 0")
+	}
+}

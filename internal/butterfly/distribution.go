@@ -1,0 +1,171 @@
+package butterfly
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// This file implements the distribution-based analyses of the paper's
+// related work (Section II): instead of a single threshold or a single
+// most-probable instance, characterize the butterfly count as a random
+// variable over possible worlds — its mean (ExpectedCount in count.go),
+// its variance, and its probability mass function.
+
+// CountVarianceExact returns Var[#butterflies] over possible worlds,
+// computed exactly from pairwise joint existence probabilities:
+//
+//	Var = Σ_i Σ_j ( Pr[E(B_i) ∧ E(B_j)] − Pr[E(B_i)]·Pr[E(B_j)] )
+//
+// where the joint probability is the product of edge probabilities over
+// the union of the two butterflies' edges (butterflies sharing edges are
+// positively correlated). The computation is quadratic in the number of
+// backbone butterflies and refuses graphs with more than maxVarButterflies
+// of them.
+func CountVarianceExact(g *bigraph.Graph) (float64, error) {
+	const maxVarButterflies = 3000
+	all := AllBackbone(g)
+	if len(all) > maxVarButterflies {
+		return 0, fmt.Errorf("butterfly: %d backbone butterflies exceed the exact-variance limit %d", len(all), maxVarButterflies)
+	}
+	n := len(all)
+	ids := make([][4]bigraph.EdgeID, n)
+	exist := make([]float64, n)
+	for i, bw := range all {
+		e, ok := bw.B.EdgeIDs(g)
+		if !ok {
+			return 0, fmt.Errorf("butterfly: backbone butterfly %v lost its edges", bw.B)
+		}
+		ids[i] = e
+		pr, _ := bw.B.ExistProb(g)
+		exist[i] = pr
+	}
+	variance := 0.0
+	for i := 0; i < n; i++ {
+		// Diagonal: Var of a Bernoulli.
+		variance += exist[i] * (1 - exist[i])
+		for j := i + 1; j < n; j++ {
+			joint := jointExistProb(g, ids[i], ids[j])
+			variance += 2 * (joint - exist[i]*exist[j])
+		}
+	}
+	return variance, nil
+}
+
+// jointExistProb multiplies edge probabilities over the union of two
+// 4-edge sets.
+func jointExistProb(g *bigraph.Graph, a, b [4]bigraph.EdgeID) float64 {
+	p := 1.0
+	for _, id := range a {
+		p *= g.Edge(id).P
+	}
+	for _, id := range b {
+		shared := false
+		for _, ia := range a {
+			if id == ia {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			p *= g.Edge(id).P
+		}
+	}
+	return p
+}
+
+// CountPMF is an empirical probability mass function of the per-world
+// butterfly count.
+type CountPMF struct {
+	// Counts holds the distinct observed counts in increasing order.
+	Counts []int
+	// Mass[i] is the estimated probability of Counts[i].
+	Mass []float64
+	// Trials is the number of sampled worlds behind the estimate.
+	Trials int
+}
+
+// Mean returns the PMF's mean.
+func (p *CountPMF) Mean() float64 {
+	m := 0.0
+	for i, c := range p.Counts {
+		m += float64(c) * p.Mass[i]
+	}
+	return m
+}
+
+// Variance returns the PMF's variance.
+func (p *CountPMF) Variance() float64 {
+	mean := p.Mean()
+	v := 0.0
+	for i, c := range p.Counts {
+		d := float64(c) - mean
+		v += d * d * p.Mass[i]
+	}
+	return v
+}
+
+// Prob returns the estimated probability of observing exactly count
+// butterflies in a world.
+func (p *CountPMF) Prob(count int) float64 {
+	i := sort.SearchInts(p.Counts, count)
+	if i < len(p.Counts) && p.Counts[i] == count {
+		return p.Mass[i]
+	}
+	return 0
+}
+
+// EstimateCountPMF samples trials possible worlds and tallies the
+// butterfly count of each into an empirical PMF — the sampling estimator
+// of the LINC-style distribution analyses the related work describes.
+func EstimateCountPMF(g *bigraph.Graph, trials int, seed uint64) (*CountPMF, error) {
+	if trials <= 0 {
+		return nil, fmt.Errorf("butterfly: EstimateCountPMF requires trials > 0, got %d", trials)
+	}
+	order := g.PriorityOrder()
+	root := randx.New(seed)
+	world := possible.NewWorld(g.NumEdges())
+	tally := make(map[int]int)
+	for t := 1; t <= trials; t++ {
+		possible.SampleInto(world, g, root.Derive(uint64(t)))
+		tally[CountInWorldVP(g, world, order)]++
+	}
+	counts := make([]int, 0, len(tally))
+	for c := range tally {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	pmf := &CountPMF{Counts: counts, Mass: make([]float64, len(counts)), Trials: trials}
+	for i, c := range counts {
+		pmf.Mass[i] = float64(tally[c]) / float64(trials)
+	}
+	return pmf, nil
+}
+
+// ExactCountPMF enumerates all possible worlds (subject to the
+// possible.MaxEnumerableEdges limit) and returns the exact distribution
+// of the butterfly count.
+func ExactCountPMF(g *bigraph.Graph) (*CountPMF, error) {
+	order := g.PriorityOrder()
+	tally := make(map[int]float64)
+	err := possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+		tally[CountInWorldVP(g, w, order)] += pr
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	counts := make([]int, 0, len(tally))
+	for c := range tally {
+		counts = append(counts, c)
+	}
+	sort.Ints(counts)
+	pmf := &CountPMF{Counts: counts, Mass: make([]float64, len(counts))}
+	for i, c := range counts {
+		pmf.Mass[i] = tally[c]
+	}
+	return pmf, nil
+}

@@ -1,0 +1,110 @@
+package butterfly
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestExactCountPMFIsDistribution: mass sums to 1 and mean equals the
+// closed-form expected count, over random graphs.
+func TestExactCountPMFIsDistribution(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		g := randGraph(r, 4, 4, 0.7)
+		if g.NumEdges() > 16 {
+			return true // keep enumeration cheap
+		}
+		pmf, err := ExactCountPMF(g)
+		if err != nil {
+			return false
+		}
+		total := 0.0
+		for _, m := range pmf.Mass {
+			if m < 0 {
+				return false
+			}
+			total += m
+		}
+		if math.Abs(total-1) > 1e-9 {
+			return false
+		}
+		return math.Abs(pmf.Mean()-ExpectedCount(g)) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCountVarianceExactMatchesPMF: the pairwise-covariance variance
+// equals the variance of the exact PMF.
+func TestCountVarianceExactMatchesPMF(t *testing.T) {
+	r := rand.New(rand.NewSource(13))
+	verified := 0
+	for trial := 0; trial < 60 && verified < 20; trial++ {
+		g := randGraph(r, 4, 4, 0.7)
+		if g.NumEdges() > 16 {
+			continue
+		}
+		pmf, err := ExactCountPMF(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := CountVarianceExact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(v-pmf.Variance()) > 1e-9*(1+v) {
+			t.Fatalf("trial %d: pairwise variance %v, PMF variance %v", trial, v, pmf.Variance())
+		}
+		verified++
+	}
+	if verified < 10 {
+		t.Fatalf("only %d graphs verified", verified)
+	}
+}
+
+// TestEstimateCountPMFConverges: the sampled PMF approaches the exact one
+// on the Figure 1 graph.
+func TestEstimateCountPMFConverges(t *testing.T) {
+	g := figure1(t)
+	exact, err := ExactCountPMF(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := EstimateCountPMF(g, 60000, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Trials != 60000 {
+		t.Fatalf("Trials = %d", est.Trials)
+	}
+	for i, c := range exact.Counts {
+		if math.Abs(est.Prob(c)-exact.Mass[i]) > 0.01 {
+			t.Fatalf("P(#B=%d): estimated %v, exact %v", c, est.Prob(c), exact.Mass[i])
+		}
+	}
+	if math.Abs(est.Mean()-exact.Mean()) > 0.01 {
+		t.Fatalf("mean: estimated %v, exact %v", est.Mean(), exact.Mean())
+	}
+	if est.Prob(999) != 0 {
+		t.Fatal("unobserved count has nonzero probability")
+	}
+}
+
+func TestEstimateCountPMFValidation(t *testing.T) {
+	g := figure1(t)
+	if _, err := EstimateCountPMF(g, 0, 1); err == nil {
+		t.Fatal("zero trials accepted")
+	}
+}
+
+// TestCountVarianceExactLimit guards the quadratic blow-up.
+func TestCountVarianceExactLimit(t *testing.T) {
+	// K(12,12) has C(12,2)² = 4356 butterflies > 3000.
+	g := completeBipartite(12, 12, 0.5)
+	if _, err := CountVarianceExact(g); err == nil {
+		t.Fatal("expected the butterfly-count limit error")
+	}
+}

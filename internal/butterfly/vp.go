@@ -1,0 +1,130 @@
+package butterfly
+
+import (
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+)
+
+// Angle is a materialized wedge ∠(A, Mid, B): endpoints A and B on one
+// side, middle Mid on the other (Definition 3). W is the summed weight of
+// its two edges.
+type Angle struct {
+	A, B bigraph.VertexID // endpoints, same side
+	Mid  bigraph.VertexID // middle vertex, opposite side
+	Side bigraph.Side     // side of the endpoints
+	W    float64
+}
+
+// ForEachInWorldVP enumerates every butterfly present in world w exactly
+// once using vertex-priority wedge generation, the strategy of BFC-VP that
+// Algorithm 1 (MC-VP) adopts.
+//
+// order must be a priority ranking indexed by Graph.GlobalID, normally
+// Graph.PriorityOrder(). For each start vertex u_i, wedges are generated
+// through live middles u_j with o(u_i) > o(u_j) to live endpoints u_k with
+// o(u_i) > o(u_k); two wedges sharing the endpoint pair (u_i, u_k) but
+// with different middles combine into a butterfly. Because each butterfly
+// is produced from its unique highest-priority vertex, no duplicates
+// arise. Butterfly weights are recomputed in canonical edge order so they
+// are bit-identical to the reference enumerator's. fn returning false
+// stops enumeration early.
+func ForEachInWorldVP(g *bigraph.Graph, w *possible.World, order []int, fn func(b Butterfly, weight float64) bool) {
+	type wedge struct {
+		mid bigraph.VertexID
+	}
+	// Angle lists keyed by endpoint vertex id; reset per start vertex via
+	// the touched list, avoiding a map clear per vertex.
+	maxSide := g.NumL()
+	if g.NumR() > maxSide {
+		maxSide = g.NumR()
+	}
+	angles := make([][]wedge, maxSide)
+	var touched []bigraph.VertexID
+
+	neighborsOf := func(side bigraph.Side, v bigraph.VertexID) []bigraph.Half {
+		if side == bigraph.SideL {
+			return g.NeighborsL(v)
+		}
+		return g.NeighborsR(v)
+	}
+	opposite := func(side bigraph.Side) bigraph.Side {
+		if side == bigraph.SideL {
+			return bigraph.SideR
+		}
+		return bigraph.SideL
+	}
+
+	n := g.NumVertices()
+	for gid := 0; gid < n; gid++ {
+		side, start := g.SplitGlobalID(gid)
+		oStart := order[gid]
+		midSide := opposite(side)
+		for _, h1 := range neighborsOf(side, start) {
+			if !w.Has(h1.E) {
+				continue
+			}
+			mid := h1.To
+			if order[g.GlobalID(midSide, mid)] >= oStart {
+				continue
+			}
+			for _, h2 := range neighborsOf(midSide, mid) {
+				if !w.Has(h2.E) {
+					continue
+				}
+				end := h2.To
+				if end == start {
+					continue
+				}
+				if order[g.GlobalID(side, end)] >= oStart {
+					continue
+				}
+				if len(angles[end]) == 0 {
+					touched = append(touched, end)
+				}
+				angles[end] = append(angles[end], wedge{mid: mid})
+			}
+		}
+		// Combine wedge pairs per endpoint into butterflies.
+		stop := false
+		for _, end := range touched {
+			list := angles[end]
+			if !stop && len(list) >= 2 {
+				for i := 0; i < len(list) && !stop; i++ {
+					for j := i + 1; j < len(list) && !stop; j++ {
+						var b Butterfly
+						if side == bigraph.SideL {
+							b = New(start, end, list[i].mid, list[j].mid)
+						} else {
+							b = New(list[i].mid, list[j].mid, start, end)
+						}
+						wt, ok := b.Weight(g)
+						if !ok {
+							// Impossible by construction: all four edges
+							// were just observed live in the world.
+							panic("butterfly: VP wedge produced non-backbone butterfly")
+						}
+						if !fn(b, wt) {
+							stop = true
+						}
+					}
+				}
+			}
+			angles[end] = angles[end][:0]
+		}
+		touched = touched[:0]
+		if stop {
+			return
+		}
+	}
+}
+
+// CountInWorldVP returns the number of butterflies in world w, counted by
+// the vertex-priority enumerator. Exposed mainly for tests and tooling.
+func CountInWorldVP(g *bigraph.Graph, w *possible.World, order []int) int {
+	c := 0
+	ForEachInWorldVP(g, w, order, func(Butterfly, float64) bool {
+		c++
+		return true
+	})
+	return c
+}

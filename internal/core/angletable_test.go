@@ -1,0 +1,88 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+// TestAngleTableUpdateCases reproduces Table II of the paper: the five
+// updating cases of the A1/A2 angle classes when a new angle of weight
+// w(∠_new) arrives.
+func TestAngleTableUpdateCases(t *testing.T) {
+	mk := func() *angleEntry {
+		e := &angleEntry{u1: 0, u2: 1, w1: math.Inf(-1), w2: math.Inf(-1)}
+		e.update(5, 10) // A1 = {∠(mid=10)} at weight 5
+		e.update(3, 11) // A2 = {∠(mid=11)} at weight 3
+		return e
+	}
+
+	t.Run("w>w(A1) promotes A1 to A2", func(t *testing.T) {
+		e := mk()
+		e.update(7, 12)
+		if e.w1 != 7 || len(e.mids1) != 1 || e.mids1[0] != 12 {
+			t.Fatalf("A1 = (%v, %v), want (7, [12])", e.w1, e.mids1)
+		}
+		if e.w2 != 5 || len(e.mids2) != 1 || e.mids2[0] != 10 {
+			t.Fatalf("A2 = (%v, %v), want (5, [10])", e.w2, e.mids2)
+		}
+	})
+
+	t.Run("w=w(A1) joins A1", func(t *testing.T) {
+		e := mk()
+		e.update(5, 12)
+		if e.w1 != 5 || len(e.mids1) != 2 {
+			t.Fatalf("A1 = (%v, %v), want weight 5 with 2 angles", e.w1, e.mids1)
+		}
+		if e.w2 != 3 || len(e.mids2) != 1 {
+			t.Fatalf("A2 = (%v, %v), want unchanged (3, [11])", e.w2, e.mids2)
+		}
+	})
+
+	t.Run("w(A2)<w<w(A1) replaces A2", func(t *testing.T) {
+		e := mk()
+		e.update(4, 12)
+		if e.w1 != 5 || len(e.mids1) != 1 {
+			t.Fatalf("A1 = (%v, %v), want unchanged", e.w1, e.mids1)
+		}
+		if e.w2 != 4 || len(e.mids2) != 1 || e.mids2[0] != 12 {
+			t.Fatalf("A2 = (%v, %v), want (4, [12])", e.w2, e.mids2)
+		}
+	})
+
+	t.Run("w=w(A2) joins A2", func(t *testing.T) {
+		e := mk()
+		e.update(3, 12)
+		if e.w2 != 3 || len(e.mids2) != 2 {
+			t.Fatalf("A2 = (%v, %v), want weight 3 with 2 angles", e.w2, e.mids2)
+		}
+	})
+
+	t.Run("w<w(A2) is ignored", func(t *testing.T) {
+		e := mk()
+		e.update(2, 12)
+		if e.w1 != 5 || len(e.mids1) != 1 || e.w2 != 3 || len(e.mids2) != 1 {
+			t.Fatalf("entry changed on sub-A2 weight: A1=(%v,%v) A2=(%v,%v)", e.w1, e.mids1, e.w2, e.mids2)
+		}
+	})
+}
+
+// TestAngleEntryBestWeight covers the fast-butterfly-creation weight
+// calculus of Section V-D.
+func TestAngleEntryBestWeight(t *testing.T) {
+	e := &angleEntry{w1: math.Inf(-1), w2: math.Inf(-1)}
+	if !math.IsInf(e.bestWeight(), -1) {
+		t.Fatal("empty entry should produce -Inf")
+	}
+	e.update(5, 10)
+	if !math.IsInf(e.bestWeight(), -1) {
+		t.Fatal("single angle cannot form a butterfly")
+	}
+	e.update(3, 11)
+	if got := e.bestWeight(); got != 8 {
+		t.Fatalf("|A1|=1,|A2|=1: bestWeight = %v, want w1+w2 = 8", got)
+	}
+	e.update(5, 12)
+	if got := e.bestWeight(); got != 10 {
+		t.Fatalf("|A1|=2: bestWeight = %v, want 2·w1 = 10", got)
+	}
+}

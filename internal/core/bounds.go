@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// MonteCarloTrials returns the trial-number lower bound of Theorem IV.1
+// (Karp, Luby & Madras): to achieve (ε, δ)-approximation of a target
+// probability μ — Pr(|μ̂ − μ| > εμ) ≤ δ — a Monte-Carlo estimator needs
+//
+//	N ≥ (1/μ) · (4 ln(2/δ) / ε²)
+//
+// trials. The same bound governs MC-VP (Theorem IV.1), OS (Lemma V.2) and
+// the optimized OLS estimator (Lemma VI.4, N_op). The result is rounded up
+// to the next integer.
+func MonteCarloTrials(mu, eps, delta float64) (int, error) {
+	if !(mu > 0 && mu <= 1) {
+		return 0, fmt.Errorf("core: target probability mu=%v must be in (0,1]", mu)
+	}
+	if !(eps > 0) || !(delta > 0 && delta < 1) {
+		return 0, fmt.Errorf("core: need eps>0 and 0<delta<1, got eps=%v delta=%v", eps, delta)
+	}
+	n := (1 / mu) * (4 * math.Log(2/delta) / (eps * eps))
+	if n > math.MaxInt32 {
+		return 0, fmt.Errorf("core: required trial count %.3g overflows", n)
+	}
+	return int(math.Ceil(n)), nil
+}
+
+// KLOpRatio evaluates Equation 8, the ratio of trial numbers the Karp-Luby
+// estimator and the paper's optimized estimator need for the same ε-δ
+// guarantee on a butterfly B_i:
+//
+//	N_kl / N_op = Pr[E(B_i)] · S_i · (Pr[E(B_i)]/μ − 1)
+//
+// where prExist = Pr[E(B_i)] is the butterfly's existence probability,
+// sI = S_i = Σ_{j≤L(i)} Pr[E(B_j\B_i)], and mu = μ = P(B_i) is the target
+// probability being estimated. Fig. 6 plots this ratio over a grid of
+// (μ, Pr[E(B_i)]) with S_i = 1; Fig. 10 plots it per candidate with
+// μ = 0.1. Values can legitimately be < 1 (KL cheaper) or ≫ 1 (optimized
+// cheaper once compared against 1/|C_MB| per Equation 9).
+func KLOpRatio(prExist, sI, mu float64) float64 {
+	if mu <= 0 || prExist <= 0 {
+		return math.Inf(1)
+	}
+	r := prExist * sI * (prExist/mu - 1)
+	if r < 0 {
+		// μ > Pr[E(B_i)] cannot happen for a true P(B_i) (being maximum
+		// implies existing) but can for a requested target; clamp to 0.
+		return 0
+	}
+	return r
+}
+
+// KLTrials returns the Karp-Luby trial-number lower bound of Lemma VI.4
+// for butterfly B_i:
+//
+//	N_kl ≥ Pr[E(B_i)] · S_i · (Pr[E(B_i)]/μ − 1) · (1/μ) · (4 ln(2/δ)/ε²)
+//
+// i.e. KLOpRatio × MonteCarloTrials. The result is rounded up, with a
+// floor of 1 trial.
+func KLTrials(prExist, sI, mu, eps, delta float64) (int, error) {
+	base, err := MonteCarloTrials(mu, eps, delta)
+	if err != nil {
+		return 0, err
+	}
+	r := KLOpRatio(prExist, sI, mu)
+	if math.IsInf(r, 1) {
+		return 0, fmt.Errorf("core: KL trial bound diverges for prExist=%v mu=%v", prExist, mu)
+	}
+	n := math.Ceil(r * float64(base))
+	if n < 1 {
+		n = 1
+	}
+	if n > math.MaxInt32 {
+		return 0, fmt.Errorf("core: required KL trial count %.3g overflows", n)
+	}
+	return int(n), nil
+}
+
+// CandidateMissProb returns the probability that a butterfly with true
+// probability p is absent from the candidate set after nPrep preparing
+// trials: (1 − p)^nPrep (Lemma VI.1). The paper's example: p = 0.1,
+// nPrep = 20 gives ≈ 0.12, i.e. the butterfly is found with ≈ 88%
+// probability; with the default nPrep = 100 and p = 0.05 the miss
+// probability is below 0.6%.
+func CandidateMissProb(p float64, nPrep int) float64 {
+	if p <= 0 {
+		return 1
+	}
+	if p >= 1 {
+		return 0
+	}
+	return math.Pow(1-p, float64(nPrep))
+}

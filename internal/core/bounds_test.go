@@ -1,0 +1,167 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestMonteCarloTrialsPaperExample reproduces the worked example under
+// Theorem IV.1: P(B)=0.01, ε=0.1, δ=0.01 needs around 2·10⁵ trials.
+func TestMonteCarloTrialsPaperExample(t *testing.T) {
+	n, err := MonteCarloTrials(0.01, 0.1, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n < 190000 || n > 220000 {
+		t.Fatalf("N = %d, want ≈ 2·10⁵", n)
+	}
+}
+
+// TestMonteCarloTrialsExperimentDefault reproduces the Section VIII-B
+// default: μ=0.05, ε=δ=0.1 gives the paper's N = 2×10⁴ setting.
+func TestMonteCarloTrialsExperimentDefault(t *testing.T) {
+	n, err := MonteCarloTrials(0.05, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (1/0.05)·(4·ln20/0.01) ≈ 23966; the paper rounds to 2×10⁴.
+	if n < 20000 || n > 25000 {
+		t.Fatalf("N = %d, want within [2×10⁴, 2.5×10⁴]", n)
+	}
+}
+
+// TestMonteCarloTrialsValidation covers parameter validation.
+func TestMonteCarloTrialsValidation(t *testing.T) {
+	for _, tc := range []struct{ mu, eps, delta float64 }{
+		{0, 0.1, 0.1},
+		{-0.1, 0.1, 0.1},
+		{1.5, 0.1, 0.1},
+		{0.1, 0, 0.1},
+		{0.1, 0.1, 0},
+		{0.1, 0.1, 1},
+	} {
+		if _, err := MonteCarloTrials(tc.mu, tc.eps, tc.delta); err == nil {
+			t.Errorf("MonteCarloTrials(%v,%v,%v) accepted invalid input", tc.mu, tc.eps, tc.delta)
+		}
+	}
+}
+
+// TestMonteCarloTrialsMonotone: more precision or rarer targets always
+// demand at least as many trials.
+func TestMonteCarloTrialsMonotone(t *testing.T) {
+	check := func(a, b uint8) bool {
+		mu1 := 0.01 + float64(a%100)/200 // (0, 0.51]
+		mu2 := mu1 / 2
+		n1, err1 := MonteCarloTrials(mu1, 0.1, 0.1)
+		n2, err2 := MonteCarloTrials(mu2, 0.1, 0.1)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return n2 >= n1
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestKLOpRatioEquation8 checks Equation 8 at hand-computed points.
+func TestKLOpRatioEquation8(t *testing.T) {
+	// Pr[E]=0.5, S=1, μ=0.1 → 0.5·1·(0.5/0.1 − 1) = 0.5·4 = 2.
+	if r := KLOpRatio(0.5, 1, 0.1); math.Abs(r-2) > 1e-12 {
+		t.Fatalf("KLOpRatio(0.5,1,0.1) = %v, want 2", r)
+	}
+	// Pr[E]=μ → ratio 0 (the butterfly is maximum whenever it exists).
+	if r := KLOpRatio(0.3, 5, 0.3); r != 0 {
+		t.Fatalf("KLOpRatio(0.3,5,0.3) = %v, want 0", r)
+	}
+	// μ > Pr[E] clamps to 0 rather than going negative.
+	if r := KLOpRatio(0.2, 1, 0.5); r != 0 {
+		t.Fatalf("KLOpRatio(0.2,1,0.5) = %v, want 0", r)
+	}
+	// Degenerate targets diverge.
+	if r := KLOpRatio(0.5, 1, 0); !math.IsInf(r, 1) {
+		t.Fatalf("KLOpRatio with mu=0 = %v, want +Inf", r)
+	}
+	// Ratio scales linearly in S_i.
+	if r1, r2 := KLOpRatio(0.5, 1, 0.1), KLOpRatio(0.5, 3, 0.1); math.Abs(r2-3*r1) > 1e-12 {
+		t.Fatalf("ratio not linear in S_i: %v vs 3·%v", r2, r1)
+	}
+}
+
+// TestKLTrials checks the combined Lemma VI.4 bound.
+func TestKLTrials(t *testing.T) {
+	base, err := MonteCarloTrials(0.1, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := KLTrials(0.5, 1, 0.1, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int(math.Ceil(2 * float64(base)))
+	if n != want {
+		t.Fatalf("KLTrials = %d, want %d", n, want)
+	}
+	// Floor of one trial even when the ratio is 0.
+	n, err = KLTrials(0.1, 1, 0.1, 0.1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("KLTrials with zero ratio = %d, want 1", n)
+	}
+	if _, err := KLTrials(0.5, 1, 0, 0.1, 0.1); err == nil {
+		t.Fatal("KLTrials accepted mu=0")
+	}
+}
+
+// TestCandidateMissProb checks Lemma VI.1's worked numbers.
+func TestCandidateMissProb(t *testing.T) {
+	// Paper: P(B)=0.1 with 20 trials → found with ≈ 88% probability.
+	miss := CandidateMissProb(0.1, 20)
+	if math.Abs(miss-math.Pow(0.9, 20)) > 1e-12 {
+		t.Fatalf("miss = %v, want 0.9^20", miss)
+	}
+	if found := 1 - miss; found < 0.85 || found > 0.92 {
+		t.Fatalf("found probability %v, want ≈ 0.88", found)
+	}
+	// Defaults: P(B)=0.05, 100 trials → miss < 0.6%.
+	if miss := CandidateMissProb(0.05, 100); miss > 0.006 {
+		t.Fatalf("default miss probability %v, want < 0.006", miss)
+	}
+	if CandidateMissProb(0, 10) != 1 {
+		t.Fatal("P=0 should always miss")
+	}
+	if CandidateMissProb(1, 10) != 0 {
+		t.Fatal("P=1 should never miss")
+	}
+}
+
+// TestTopKOrderingAndBounds exercises the Section VII top-k extension on
+// the exact result of the running example.
+func TestTopKOrderingAndBounds(t *testing.T) {
+	g := figure1Graph()
+	res, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := res.TopK(10)
+	if len(all) != 3 {
+		t.Fatalf("TopK(10) returned %d, want all 3", len(all))
+	}
+	for i := 1; i < len(all); i++ {
+		if all[i].P > all[i-1].P {
+			t.Fatalf("TopK not sorted by P at %d", i)
+		}
+	}
+	if got := res.TopK(2); len(got) != 2 || got[0] != all[0] || got[1] != all[1] {
+		t.Fatalf("TopK(2) = %+v, want first two of %+v", got, all)
+	}
+	if got := res.TopK(0); len(got) != 0 {
+		t.Fatalf("TopK(0) = %+v, want empty", got)
+	}
+	if got := res.TopK(-1); len(got) != 0 {
+		t.Fatalf("TopK(-1) = %+v, want empty", got)
+	}
+}

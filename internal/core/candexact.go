@@ -1,0 +1,94 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+)
+
+// maxRelevantEdges caps the exact per-candidate enumeration: the union of
+// competitor diff edges is enumerated exhaustively.
+const maxRelevantEdges = 24
+
+// ExactCandidateProbs computes, for every candidate B_i, the exact value
+// of
+//
+//	Pr[E(B_i)] · Pr[ no j < L(i) with E(B_j \ B_i) ]
+//
+// — the probability that B_i exists and no strictly heavier *candidate*
+// exists. When the candidate list contains every backbone butterfly this
+// equals the true P(B_i) (it is the closed form behind Lemma VI.5's
+// derivation); for a truncated C_MB it is exactly the quantity both OLS
+// sampling-phase estimators (Algorithms 4 and 5) converge to, which makes
+// it a noise-free oracle for estimator tests and for quantifying the
+// Lemma VI.5 truncation bias.
+//
+// Each candidate's computation enumerates the union of its competitors'
+// diff edges; candidates whose union exceeds 24 edges return an error
+// (use the sampling estimators there — that blow-up is the point of the
+// paper).
+func ExactCandidateProbs(c *Candidates) ([]float64, error) {
+	g := c.G
+	probs := make([]float64, c.Len())
+	for i := range c.List {
+		li := c.LargerCount(i)
+		if li == 0 {
+			probs[i] = c.List[i].ExistProb
+			continue
+		}
+		// Gather diff sets and the union of relevant edges.
+		diffs := make([][]bigraph.EdgeID, li)
+		union := make([]bigraph.EdgeID, 0, 4*li)
+		pos := make(map[bigraph.EdgeID]int)
+		for j := 0; j < li; j++ {
+			diffs[j] = c.DiffEdges(j, i)
+			for _, id := range diffs[j] {
+				if _, ok := pos[id]; !ok {
+					pos[id] = len(union)
+					union = append(union, id)
+				}
+			}
+		}
+		if len(union) > maxRelevantEdges {
+			return nil, fmt.Errorf("core: candidate %d has %d relevant edges (limit %d)", i, len(union), maxRelevantEdges)
+		}
+		// Masks of each diff set over the union bit positions.
+		masks := make([]uint64, li)
+		for j := 0; j < li; j++ {
+			for _, id := range diffs[j] {
+				masks[j] |= 1 << pos[id]
+			}
+		}
+		// Enumerate assignments of the union edges; accumulate the
+		// probability that no competitor's diff set is fully present.
+		pEdge := make([]float64, len(union))
+		for k, id := range union {
+			pEdge[k] = g.Edge(id).P
+		}
+		noneProb := 0.0
+		total := uint64(1) << len(union)
+		for assign := uint64(0); assign < total; assign++ {
+			hit := false
+			for j := 0; j < li; j++ {
+				if assign&masks[j] == masks[j] {
+					hit = true
+					break
+				}
+			}
+			if hit {
+				continue
+			}
+			pr := 1.0
+			for k := range union {
+				if assign&(1<<k) != 0 {
+					pr *= pEdge[k]
+				} else {
+					pr *= 1 - pEdge[k]
+				}
+			}
+			noneProb += pr
+		}
+		probs[i] = c.List[i].ExistProb * noneProb
+	}
+	return probs, nil
+}

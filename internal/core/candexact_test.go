@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// TestExactCandidateProbsMatchesWorldEnumeration: with the complete
+// backbone candidate set, the candidate-restricted closed form equals the
+// world-enumeration exact solver — except on exact weight ties, where the
+// closed form treats tied candidates as non-competitors (matching the OLS
+// estimators' semantics) while world enumeration splits mass among tie
+// co-members. Tie-free random graphs are used to compare apples to
+// apples.
+func TestExactCandidateProbsMatchesWorldEnumeration(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	compared := 0
+	for trial := 0; trial < 40 && compared < 15; trial++ {
+		g := randUniqueWeightGraph(r)
+		exact, err := Exact(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cands, err := AllBackboneCandidates(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() == 0 {
+			continue
+		}
+		probs, err := ExactCandidateProbs(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compared++
+		for i, c := range cands.List {
+			want := 0.0
+			if e, ok := exact.Lookup(c.B); ok {
+				want = e.P
+			}
+			if math.Abs(probs[i]-want) > 1e-9 {
+				t.Fatalf("trial %d: candidate %v exact-candidate %v, world-exact %v",
+					trial, c.B, probs[i], want)
+			}
+		}
+	}
+	if compared < 10 {
+		t.Fatalf("only %d graphs compared; generator too sparse", compared)
+	}
+}
+
+// TestEstimatorsConvergeToCandidateExact: on a TRUNCATED candidate set,
+// both sampling-phase estimators must converge to the candidate-exact
+// value (not to the true P) — this isolates the estimators from the Lemma
+// VI.5 truncation bias and pins down exactly what they estimate.
+func TestEstimatorsConvergeToCandidateExact(t *testing.T) {
+	r := rand.New(rand.NewSource(87))
+	for trial := 0; trial < 5; trial++ {
+		g := randUniqueWeightGraph(r)
+		all, err := AllBackboneCandidates(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if all.Len() < 3 {
+			continue
+		}
+		// Truncate: keep every second candidate.
+		hits := make(map[butterfly.Butterfly]int)
+		for i := 0; i < all.Len(); i += 2 {
+			hits[all.List[i].B] = 1
+		}
+		cands, err := NewCandidates(g, hits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ExactCandidateProbs(cands)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotOpt, err := EstimateOptimized(cands, OptimizedOptions{Trials: 60000, Seed: uint64(trial) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotKL, err := EstimateKarpLuby(cands, KLOptions{BaseTrials: 60000, Seed: uint64(trial) + 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(gotOpt[i]-want[i]) > 0.02 {
+				t.Errorf("trial %d cand %d: optimized %v, candidate-exact %v", trial, i, gotOpt[i], want[i])
+			}
+			if math.Abs(gotKL[i]-want[i]) > 0.02 {
+				t.Errorf("trial %d cand %d: karp-luby %v, candidate-exact %v", trial, i, gotKL[i], want[i])
+			}
+		}
+	}
+}
+
+// TestExactCandidateProbsRefusesWideUnions guards the enumeration cap.
+func TestExactCandidateProbsRefusesWideUnions(t *testing.T) {
+	// A 2×15 near-complete graph: the lightest candidate has ~28
+	// competitor diff edges.
+	b := bigraph.NewBuilder(2, 16)
+	w := 16.0
+	for v := 0; v < 16; v++ {
+		b.MustAddEdge(0, bigraph.VertexID(v), w, 0.5)
+		b.MustAddEdge(1, bigraph.VertexID(v), w, 0.5)
+		w-- // unique weights so every butterfly has many strict competitors
+	}
+	g := b.Build()
+	cands, err := AllBackboneCandidates(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ExactCandidateProbs(cands); err == nil {
+		t.Fatal("expected a relevant-edge-limit error")
+	}
+}
+
+// randUniqueWeightGraph builds a small random graph whose edge weights
+// are all distinct powers-of-two multiples, so no two butterflies can tie.
+func randUniqueWeightGraph(r *rand.Rand) *bigraph.Graph {
+	for {
+		numL := 2 + r.Intn(2)
+		numR := 2 + r.Intn(2)
+		b := bigraph.NewBuilder(numL, numR)
+		w := 1.0
+		edges := 0
+		for u := 0; u < numL && edges < 12; u++ {
+			for v := 0; v < numR && edges < 12; v++ {
+				if r.Float64() < 0.8 {
+					b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), w, 0.2+0.7*r.Float64())
+					w *= 2 // distinct subset sums: no butterfly weight ties
+					edges++
+				}
+			}
+		}
+		if b.NumEdges() >= 4 {
+			return b.Build()
+		}
+	}
+}

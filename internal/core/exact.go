@@ -1,0 +1,65 @@
+package core
+
+import (
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+)
+
+// Exact computes P(B) for every butterfly by exhaustively enumerating all
+// 2^|E| possible worlds (Equation 4) and brute-force listing each world's
+// maximum weighted butterfly set. It is the ground truth against which
+// every sampler in this package is validated, and is limited to graphs
+// with at most possible.MaxEnumerableEdges edges — the very intractability
+// that motivates the paper's sampling algorithms.
+func Exact(g *bigraph.Graph) (*Result, error) {
+	probs := make(map[butterfly.Butterfly]float64)
+	weights := make(map[butterfly.Butterfly]float64)
+	err := possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+		if pr == 0 {
+			return true
+		}
+		m := butterfly.MaxWeightSet(g, w)
+		for _, b := range m.Set {
+			probs[b] += pr
+			weights[b] = m.W
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	es := make([]Estimate, 0, len(probs))
+	for b, p := range probs {
+		es = append(es, Estimate{B: b, Weight: weights[b], P: p})
+	}
+	sortEstimates(es)
+	return &Result{Method: "exact", Estimates: es}, nil
+}
+
+// ExactProb computes P(B) for a single butterfly by world enumeration,
+// subject to the same edge-count limit as Exact. A butterfly that is not
+// part of the backbone has probability 0.
+func ExactProb(g *bigraph.Graph, b butterfly.Butterfly) (float64, error) {
+	if _, ok := b.EdgeIDs(g); !ok {
+		return 0, nil
+	}
+	total := 0.0
+	err := possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+		if pr == 0 {
+			return true
+		}
+		m := butterfly.MaxWeightSet(g, w)
+		for _, mb := range m.Set {
+			if mb == b {
+				total += pr
+				break
+			}
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	return total, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+)
+
+// TestFigure1WorldProbability reproduces the possible world of Figure
+// 1(b): edge (u1,v1) absent, all others present, probability 0.02016.
+func TestFigure1WorldProbability(t *testing.T) {
+	g := figure1Graph()
+	w := possible.NewWorld(g.NumEdges())
+	for i := 1; i < 6; i++ { // edge 0 is (u1,v1); leave it absent
+		w.Set(bigraph.EdgeID(i))
+	}
+	got := possible.Prob(g, w)
+	want := (1 - 0.5) * 0.6 * 0.8 * 0.3 * 0.4 * 0.7
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("world probability = %v, want %v", got, want)
+	}
+	if math.Abs(want-0.02016) > 1e-12 {
+		t.Fatalf("paper constant drifted: %v != 0.02016", want)
+	}
+}
+
+// TestFigure1ButterflyWeight checks the weight-7 butterfly
+// B(u1,u2 | v2,v3) highlighted in Figure 1(b).
+func TestFigure1ButterflyWeight(t *testing.T) {
+	g := figure1Graph()
+	b := butterfly.New(0, 1, 1, 2)
+	w, ok := b.Weight(g)
+	if !ok {
+		t.Fatal("B(u1,u2|v2,v3) should be a backbone butterfly")
+	}
+	if w != 7 {
+		t.Fatalf("w(B) = %v, want 7", w)
+	}
+}
+
+// TestFigure1Exact checks the exact solver on the running example:
+//   - the backbone has exactly three butterflies;
+//   - the heaviest (weight 10) is maximum exactly when it exists, so
+//     P = 0.5·0.6·0.3·0.4 = 0.036;
+//   - probabilities are within [0,1] and sum to Pr[some butterfly exists].
+func TestFigure1Exact(t *testing.T) {
+	g := figure1Graph()
+	res, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 3 {
+		t.Fatalf("got %d butterflies with P>0, want 3: %+v", len(res.Estimates), res.Estimates)
+	}
+	b10 := butterfly.New(0, 1, 0, 1)
+	e, ok := res.Lookup(b10)
+	if !ok {
+		t.Fatalf("weight-10 butterfly missing from exact result")
+	}
+	if e.Weight != 10 {
+		t.Fatalf("weight of %v = %v, want 10", b10, e.Weight)
+	}
+	want := 0.5 * 0.6 * 0.3 * 0.4
+	if math.Abs(e.P-want) > 1e-12 {
+		t.Fatalf("P(weight-10) = %v, want %v", e.P, want)
+	}
+
+	// The sum over butterflies of P(B) ≥ Pr[at least one butterfly
+	// exists] (ties can credit several butterflies per world); verify the
+	// sum against a direct world enumeration of that quantity computed
+	// with per-world tie counts.
+	sum := 0.0
+	for _, est := range res.Estimates {
+		sum += est.P
+	}
+	direct := 0.0
+	err = possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+		m := butterfly.MaxWeightSet(g, w)
+		direct += pr * float64(len(m.Set))
+		return true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sum-direct) > 1e-12 {
+		t.Fatalf("Σ P(B) = %v, want %v", sum, direct)
+	}
+}
+
+// TestExactProbMatchesExact cross-checks the single-butterfly path
+// against the full enumeration on the running example.
+func TestExactProbMatchesExact(t *testing.T) {
+	g := figure1Graph()
+	res, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, est := range res.Estimates {
+		p, err := ExactProb(g, est.B)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(p-est.P) > 1e-12 {
+			t.Fatalf("ExactProb(%v) = %v, Exact gave %v", est.B, p, est.P)
+		}
+	}
+	// A non-backbone butterfly has probability zero.
+	if p, err := ExactProb(g, butterfly.Butterfly{U1: 0, U2: 1, V1: 0, V2: 4}); err != nil || p != 0 {
+		t.Fatalf("ExactProb(non-backbone) = %v, %v; want 0, nil", p, err)
+	}
+}
+
+// TestExactRefusesLargeGraphs ensures the exponential enumeration is
+// guarded.
+func TestExactRefusesLargeGraphs(t *testing.T) {
+	b := bigraph.NewBuilder(6, 6)
+	for u := 0; u < 6; u++ {
+		for v := 0; v < 6; v++ {
+			b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), 1, 0.5)
+		}
+	}
+	if _, err := Exact(b.Build()); err == nil {
+		t.Fatal("Exact accepted a 36-edge graph; want enumeration-limit error")
+	}
+}
+
+// TestExactNoButterflies covers a graph that cannot contain a butterfly.
+func TestExactNoButterflies(t *testing.T) {
+	b := bigraph.NewBuilder(3, 3)
+	b.MustAddEdge(0, 0, 1, 0.9)
+	b.MustAddEdge(1, 1, 2, 0.9)
+	b.MustAddEdge(2, 2, 3, 0.9)
+	res, err := Exact(b.Build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 0 {
+		t.Fatalf("expected no butterflies, got %+v", res.Estimates)
+	}
+	if _, ok := res.Best(); ok {
+		t.Fatal("Best() should report no result")
+	}
+}

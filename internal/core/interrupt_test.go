@@ -1,0 +1,41 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestInterruptHooks verifies the cancellation path of every
+// interrupt-capable runner: immediate interrupts abort with
+// ErrInterrupted, and a nil hook leaves behaviour unchanged.
+func TestInterruptHooks(t *testing.T) {
+	g := figure1Graph()
+	always := func() bool { return true }
+
+	if _, err := OS(g, OSOptions{Trials: 100, Seed: 1, Interrupt: always}); err != ErrInterrupted {
+		t.Fatalf("OS interrupt: err = %v", err)
+	}
+
+	cands, err := AllBackboneCandidates(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateOptimized(cands, OptimizedOptions{Trials: 100, Seed: 1, Interrupt: always}); err != ErrInterrupted {
+		t.Fatalf("optimized interrupt: err = %v", err)
+	}
+	if _, err := EstimateKarpLuby(cands, KLOptions{BaseTrials: 100, Seed: 1, Interrupt: always}); err != ErrInterrupted {
+		t.Fatalf("karp-luby interrupt: err = %v", err)
+	}
+
+	// A counting interrupt lets some work through and then stops.
+	calls := 0
+	_, err = OS(g, OSOptions{Trials: 100, Seed: 1, Interrupt: func() bool {
+		calls++
+		return calls > 5
+	}})
+	if err != ErrInterrupted {
+		t.Fatalf("OS counting interrupt: err = %v", err)
+	}
+	if calls != 6 {
+		t.Fatalf("OS polled interrupt %d times before aborting, want 6", calls)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// MCVPOptions configures the Monte-Carlo with Vertex Priority baseline.
+type MCVPOptions struct {
+	// Trials is N_mc, the number of sampled possible worlds. Must be > 0.
+	Trials int
+	// Seed makes the run reproducible; per-trial streams are derived from
+	// it, so results are independent of scheduling.
+	Seed uint64
+	// OnTrial, if non-nil, is invoked after every trial with the 1-based
+	// trial index and that trial's maximum butterfly set (which may be
+	// empty). The convergence experiments (Figs. 11–12) hook here. The
+	// MaxSet is reused between trials; copy what must be retained.
+	OnTrial func(trial int, sMB *butterfly.MaxSet)
+	// Interrupt, if non-nil, is polled between trials and every few
+	// thousand enumerated butterflies. When it returns true MCVP abandons
+	// the run and returns ErrInterrupted. A single MC-VP trial enumerates
+	// every butterfly of a sampled world — hundreds of millions on dense
+	// graphs — so benchmark harnesses need a way out mid-trial (the
+	// paper's MC-VP runs hit a 4-hour wall on the two large datasets).
+	Interrupt func() bool
+	// CompletedTrials, if non-nil, receives the number of fully completed
+	// trials (useful to extrapolate a per-trial lower bound after an
+	// interrupt).
+	CompletedTrials *int
+}
+
+// ErrInterrupted is returned by MCVP when Options.Interrupt fired.
+var ErrInterrupted = errors.New("core: run interrupted")
+
+// MCVP is the baseline of Section IV (Algorithm 1): in each trial it
+// samples a full possible world, enumerates every butterfly of that world
+// with vertex-priority wedge generation (BFC-VP), accumulates the maximum
+// weighted butterfly set S_MB, and credits each member with 1/N_mc
+// probability mass.
+func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: MCVP requires Trials > 0, got %d", opt.Trials)
+	}
+	order := g.PriorityOrder() // line 2 of Algorithm 1
+	acc := newProbAccumulator()
+	root := randx.New(opt.Seed)
+	world := possible.NewWorld(g.NumEdges())
+	var sMB butterfly.MaxSet
+	setCompleted := func(n int) {
+		if opt.CompletedTrials != nil {
+			*opt.CompletedTrials = n
+		}
+	}
+	setCompleted(0)
+	for trial := 1; trial <= opt.Trials; trial++ {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return nil, ErrInterrupted
+		}
+		rng := root.Derive(uint64(trial))
+		possible.SampleInto(world, g, rng) // line 4
+		sMB.Reset()
+		interrupted := false
+		enumerated := 0
+		butterfly.ForEachInWorldVP(g, world, order, func(b butterfly.Butterfly, w float64) bool {
+			sMB.Add(b, w) // lines 13–17
+			enumerated++
+			if enumerated%8192 == 0 && opt.Interrupt != nil && opt.Interrupt() {
+				interrupted = true
+				return false
+			}
+			return true
+		})
+		if interrupted {
+			return nil, ErrInterrupted
+		}
+		if !sMB.Empty() {
+			acc.addMaxSet(&sMB) // lines 18–19
+		}
+		setCompleted(trial)
+		if opt.OnTrial != nil {
+			opt.OnTrial(trial, &sMB)
+		}
+	}
+	return acc.result("mc-vp", opt.Trials), nil
+}

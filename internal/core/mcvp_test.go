@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// TestMCVPInterrupt verifies the interrupt hook: an immediate interrupt
+// aborts with ErrInterrupted and zero completed trials; a counting
+// interrupt lets a bounded number of trials through.
+func TestMCVPInterrupt(t *testing.T) {
+	g := figure1Graph()
+
+	completed := -1
+	_, err := MCVP(g, MCVPOptions{
+		Trials:          100,
+		Seed:            1,
+		Interrupt:       func() bool { return true },
+		CompletedTrials: &completed,
+	})
+	if err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if completed != 0 {
+		t.Fatalf("completed = %d, want 0", completed)
+	}
+
+	calls := 0
+	completed = -1
+	_, err = MCVP(g, MCVPOptions{
+		Trials: 100,
+		Seed:   1,
+		Interrupt: func() bool {
+			calls++
+			return calls > 10
+		},
+		CompletedTrials: &completed,
+	})
+	if err != ErrInterrupted {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if completed < 1 || completed >= 100 {
+		t.Fatalf("completed = %d, want a partial count", completed)
+	}
+
+	// No interrupt: full run, CompletedTrials reaches Trials.
+	completed = -1
+	res, err := MCVP(g, MCVPOptions{Trials: 50, Seed: 1, CompletedTrials: &completed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if completed != 50 || res.Trials != 50 {
+		t.Fatalf("completed = %d, res.Trials = %d, want 50", completed, res.Trials)
+	}
+}
+
+// TestMCVPTrialHookSeesEmptyTrials ensures OnTrial fires even for worlds
+// with no butterfly.
+func TestMCVPTrialHookSeesEmptyTrials(t *testing.T) {
+	// Single uncertain edge: no world has a butterfly.
+	b := bigraphBuilder1()
+	fired := 0
+	_, err := MCVP(b, MCVPOptions{Trials: 20, Seed: 2, OnTrial: func(trial int, sMB *butterfly.MaxSet) {
+		fired++
+		if !sMB.Empty() {
+			t.Fatal("butterfly reported on a butterfly-free graph")
+		}
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fired != 20 {
+		t.Fatalf("OnTrial fired %d times, want 20", fired)
+	}
+}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+)
+
+// OLSOptions configures Ordering-Listing Sampling (Algorithm 3).
+type OLSOptions struct {
+	// PrepTrials is N_os for the preparing phase (paper default: 100).
+	PrepTrials int
+	// Trials is the sampling-phase trial number: N_op for the optimized
+	// estimator, or the BaseTrials reference for Karp-Luby.
+	Trials int
+	// Seed makes the run reproducible; the preparing and sampling phases
+	// derive independent streams from it.
+	Seed uint64
+	// UseKarpLuby selects Algorithm 4 for the sampling phase instead of
+	// the paper's optimized Algorithm 5, i.e. the OLS-KL configuration.
+	UseKarpLuby bool
+	// KL carries Karp-Luby-specific knobs. BaseTrials and Seed are
+	// overwritten from Trials and Seed.
+	KL KLOptions
+	// Optimized carries optimized-estimator knobs. Trials and Seed are
+	// overwritten from Trials and Seed.
+	Optimized OptimizedOptions
+	// OS configures the preparing phase's Ordering Sampling pruning
+	// behaviour (its Trials, Seed and OnTrial fields are ignored).
+	OS OSOptions
+}
+
+// DefaultOLSOptions mirrors the paper's experimental defaults (Section
+// VIII-B, Table IV): 100 preparing trials and 2×10⁴ sampling trials,
+// matching μ=0.05, ε=δ=0.1 under Theorem IV.1.
+func DefaultOLSOptions() OLSOptions {
+	return OLSOptions{PrepTrials: 100, Trials: 20000}
+}
+
+// OLS is Ordering-Listing Sampling (Section VI, Algorithm 3). The
+// preparing phase (lines 2–4) runs Ordering Sampling for PrepTrials
+// rounds, unioning each round's maximum butterfly set into the candidate
+// set C_MB; the sampling phase (line 5) then estimates P(B) for the
+// candidates only — with the optimized shared-trial estimator (Algorithm
+// 5) or, when UseKarpLuby is set, the Karp-Luby estimator (Algorithm 4).
+//
+// The returned Result contains an estimate for every candidate (zeros
+// included) and reports both phases' trial counts. A graph that produced
+// no candidate at all (no butterfly observed in any preparing trial)
+// yields an empty Result rather than an error.
+func OLS(g *bigraph.Graph, opt OLSOptions) (*Result, error) {
+	cands, err := PrepareCandidates(g, opt.PrepTrials, opt.Seed, opt.OS)
+	if err != nil {
+		return nil, err
+	}
+	return OLSSamplingPhase(cands, opt)
+}
+
+// OLSSamplingPhase runs only the sampling phase of Algorithm 3 over an
+// already-prepared candidate set. The benchmark harness uses this to time
+// the two phases separately (Fig. 8) and to sweep trial counts without
+// re-listing candidates.
+func OLSSamplingPhase(cands *Candidates, opt OLSOptions) (*Result, error) {
+	method := "ols"
+	if opt.UseKarpLuby {
+		method = "ols-kl"
+	}
+	if cands.Len() == 0 {
+		return &Result{Method: method, Trials: opt.Trials, PrepTrials: opt.PrepTrials}, nil
+	}
+	// The sampling phase must not share a random stream with the
+	// preparing phase; offset the seed deterministically.
+	sampleSeed := opt.Seed ^ 0xa5a5a5a5deadbeef
+	var probs []float64
+	var err error
+	if opt.UseKarpLuby {
+		kl := opt.KL
+		kl.BaseTrials = opt.Trials
+		kl.Seed = sampleSeed
+		probs, err = EstimateKarpLuby(cands, kl)
+	} else {
+		op := opt.Optimized
+		op.Trials = opt.Trials
+		op.Seed = sampleSeed
+		probs, err = EstimateOptimized(cands, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return cands.result(method, probs, opt.Trials, opt.PrepTrials), nil
+}

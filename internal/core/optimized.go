@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// OptimizedOptions configures the paper's optimized probability estimator
+// (Algorithm 5), the sampling phase of OLS.
+type OptimizedOptions struct {
+	// Trials is N_op, the number of shared sampling trials. Must be > 0.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// EagerSampling samples every candidate-relevant edge at the start of
+	// each trial instead of lazily on first touch. Ablation only; the
+	// estimate distribution is identical.
+	EagerSampling bool
+	// DisableEarlyBreak keeps scanning candidates after the running
+	// maximum weight exceeds the remaining candidates' weights (the
+	// results are unchanged because such candidates can never join S_MB;
+	// they are simply tested and discarded). Ablation only.
+	DisableEarlyBreak bool
+	// OnTrial, if non-nil, receives after each trial the 1-based trial
+	// index and the candidate indices credited in that trial (the trial's
+	// S_MB restricted to C_MB). The slice is reused; copy to retain.
+	OnTrial func(trial int, hits []int)
+	// Interrupt, if non-nil, is polled between trials; when it returns
+	// true the run aborts with ErrInterrupted.
+	Interrupt func() bool
+}
+
+// EstimateOptimized runs Algorithm 5 over a weight-sorted candidate set
+// and returns P̂(B_i) for every candidate, indexed like c.List.
+//
+// All candidates share each trial: candidates are visited in descending
+// weight order, each candidate's four edges are sampled lazily (an edge is
+// Bernoulli-sampled at most once per trial no matter how many candidates
+// contain it), the first existing candidate fixes w_max, candidates tied
+// at w_max keep being collected, and the scan stops at the first candidate
+// lighter than w_max. Each trial therefore costs O(|C_MB|) in the worst
+// case and typically far less (Lemma VI.3).
+func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: optimized estimator requires Trials > 0, got %d", opt.Trials)
+	}
+	g := c.G
+	n := len(c.List)
+	counts := make([]int, n)
+	// Per-trial lazy sampling state over backbone edge ids.
+	numE := g.NumEdges()
+	stamp := make([]int32, numE)
+	val := make([]bool, numE)
+	var cur int32
+
+	// Union of candidate edges, for the eager ablation.
+	var relevant []int
+	if opt.EagerSampling {
+		seen := make(map[int]struct{})
+		for _, cand := range c.List {
+			for _, id := range cand.Edges {
+				if _, ok := seen[int(id)]; !ok {
+					seen[int(id)] = struct{}{}
+					relevant = append(relevant, int(id))
+				}
+			}
+		}
+	}
+
+	root := randx.New(opt.Seed)
+	var hits []int
+	for trial := 1; trial <= opt.Trials; trial++ {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return nil, ErrInterrupted
+		}
+		rng := root.Derive(uint64(trial))
+		cur++
+		if opt.EagerSampling {
+			for _, id := range relevant {
+				stamp[id] = cur
+				val[id] = rng.Bernoulli(g.Edge(uint32(id)).P)
+			}
+		}
+		wMax := math.Inf(-1)
+		hits = hits[:0]
+		for k := 0; k < n; k++ { // line 4: B_k in weight order
+			cand := &c.List[k]
+			if cand.Weight < wMax { // line 5
+				if opt.DisableEarlyBreak {
+					continue
+				}
+				break // line 6
+			}
+			exists := true
+			for _, id := range cand.Edges { // line 7: lazy sampling
+				if stamp[id] != cur {
+					stamp[id] = cur
+					val[id] = rng.Bernoulli(g.Edge(id).P)
+				}
+				if !val[id] {
+					exists = false
+					break
+				}
+			}
+			if exists { // lines 8–10
+				counts[k]++
+				hits = append(hits, k)
+				wMax = cand.Weight
+			}
+		}
+		if opt.OnTrial != nil {
+			opt.OnTrial(trial, hits)
+		}
+	}
+
+	probs := make([]float64, n)
+	for i, cnt := range counts { // lines 11–12
+		probs[i] = float64(cnt) / float64(opt.Trials)
+	}
+	return probs, nil
+}

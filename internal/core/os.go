@@ -1,0 +1,294 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// OSOptions configures Ordering Sampling (Algorithm 2).
+type OSOptions struct {
+	// Trials is N_os, the number of sampled possible worlds. Must be > 0.
+	Trials int
+	// Seed makes the run reproducible.
+	Seed uint64
+	// DisableEdgePrune turns off the Edge Ordering prune of Section V-B
+	// (break once w(e)+w̄ < w_max). Ablation only.
+	DisableEdgePrune bool
+	// KeepAllAngles stores every angle per endpoint pair instead of only
+	// the top-2 weight classes of Section V-C (Table II). Ablation only;
+	// results are identical, time and space are not.
+	KeepAllAngles bool
+	// OnTrial, if non-nil, is invoked after every trial with the 1-based
+	// trial index and that trial's maximum butterfly set. The MaxSet is
+	// reused between trials; copy what must be retained.
+	OnTrial func(trial int, sMB *butterfly.MaxSet)
+	// Interrupt, if non-nil, is polled between trials; when it returns
+	// true the run aborts with ErrInterrupted. OS trials are short, so
+	// between-trial granularity suffices (unlike MC-VP's mid-trial hook).
+	Interrupt func() bool
+}
+
+// OS is Ordering Sampling (Section V, Algorithm 2). Like MC-VP it samples
+// N_os possible worlds, but each trial searches for the maximum weighted
+// butterflies directly:
+//
+//   - Edge Ordering (V-B): edges are processed in descending weight order
+//     and the trial stops as soon as w(e) + w̄ < w_max, where w̄ is the sum
+//     of the three globally largest edge weights — no later edge can
+//     complete a butterfly beating w_max.
+//   - Angle Ordering (V-C): per endpoint pair (u_i, u_k) only the largest
+//     (A1) and second-largest (A2) angle weight classes are retained,
+//     following the update cases of Table II.
+//   - Fast Butterfly Creating (V-D): w_max is maintained online from
+//     A1/A2, and only butterflies of weight exactly w_max are ever
+//     materialized.
+//
+// Edges are Bernoulli-sampled lazily in weight order, which draws from
+// exactly the same distribution as sampling the whole world up front
+// (edges are independent) while never touching edges behind the prune.
+func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: OS requires Trials > 0, got %d", opt.Trials)
+	}
+	idx := newOSIndex(g, opt)
+	acc := newProbAccumulator()
+	root := randx.New(opt.Seed)
+	var sMB butterfly.MaxSet
+	for trial := 1; trial <= opt.Trials; trial++ {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			return nil, ErrInterrupted
+		}
+		rng := root.Derive(uint64(trial))
+		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
+			return rng.Bernoulli(g.Edge(id).P)
+		})
+		if !sMB.Empty() {
+			acc.addMaxSet(&sMB)
+		}
+		if opt.OnTrial != nil {
+			opt.OnTrial(trial, &sMB)
+		}
+	}
+	return acc.result("os", opt.Trials), nil
+}
+
+// OSOnWorld runs one deterministic Ordering Sampling pass over a concrete
+// possible world and returns its maximum weighted butterfly set. This is
+// the per-world search inside OS, exposed so tests can verify it against
+// brute-force enumeration on the same world, which makes the OS pruning
+// logic checkable without any statistics.
+func OSOnWorld(g *bigraph.Graph, w *possible.World, opt OSOptions) butterfly.MaxSet {
+	idx := newOSIndex(g, opt)
+	var sMB butterfly.MaxSet
+	idx.runTrial(&sMB, w.Has)
+	return sMB
+}
+
+// osIndex holds the per-graph precomputation (sorted edges, w̄) and the
+// per-trial scratch buffers of Ordering Sampling, so repeated trials do
+// not reallocate.
+type osIndex struct {
+	g      *bigraph.Graph
+	opt    OSOptions
+	sorted []bigraph.EdgeID // edge ids by descending weight (line 1)
+	wBar   float64          // w(e1)+w(e2)+w(e3) (line 2)
+
+	// nE[v] is N̂_E(v): live, already-processed edges incident to right
+	// vertex v, as (left endpoint, edge id) pairs.
+	nE        [][]bigraph.Half
+	nETouched []bigraph.VertexID
+
+	// Angle tables A1/A2 keyed by the canonical left endpoint pair.
+	entries map[uint64]int32
+	pool    []angleEntry
+	poolN   int
+
+	// anglesGenerated counts the angles produced by the last runTrial —
+	// instrumentation for verifying the Lemma V.1 per-trial complexity
+	// (O(min(Σ_L d̄², Σ_R d̄²)) angle work) in tests.
+	anglesGenerated int
+}
+
+// angleEntry is one endpoint pair's angle bookkeeping: the largest (w1,
+// mids1) and second-largest (w2, mids2) angle weight classes, per Table
+// II. With KeepAllAngles it additionally records every angle.
+type angleEntry struct {
+	u1, u2 bigraph.VertexID // endpoint pair, u1 < u2
+	w1     float64
+	mids1  []bigraph.VertexID
+	w2     float64
+	mids2  []bigraph.VertexID
+	all    []midW // only with KeepAllAngles
+}
+
+type midW struct {
+	mid bigraph.VertexID
+	w   float64
+}
+
+func newOSIndex(g *bigraph.Graph, opt OSOptions) *osIndex {
+	return &osIndex{
+		g:       g,
+		opt:     opt,
+		sorted:  g.EdgesByWeightDesc(),
+		wBar:    g.TopWeightSum(3),
+		nE:      make([][]bigraph.Half, g.NumR()),
+		entries: make(map[uint64]int32),
+	}
+}
+
+func (x *osIndex) resetTrial() {
+	for _, v := range x.nETouched {
+		x.nE[v] = x.nE[v][:0]
+	}
+	x.nETouched = x.nETouched[:0]
+	clear(x.entries)
+	x.poolN = 0
+	x.anglesGenerated = 0
+}
+
+// entryFor returns the (possibly new) angle entry for endpoint pair
+// {a, b}, reusing pooled storage across trials.
+func (x *osIndex) entryFor(a, b bigraph.VertexID) *angleEntry {
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if i, ok := x.entries[key]; ok {
+		return &x.pool[i]
+	}
+	var e *angleEntry
+	if x.poolN < len(x.pool) {
+		e = &x.pool[x.poolN]
+		e.mids1 = e.mids1[:0]
+		e.mids2 = e.mids2[:0]
+		e.all = e.all[:0]
+	} else {
+		x.pool = append(x.pool, angleEntry{})
+		e = &x.pool[len(x.pool)-1]
+	}
+	x.entries[key] = int32(x.poolN)
+	x.poolN++
+	e.u1, e.u2 = a, b
+	e.w1, e.w2 = math.Inf(-1), math.Inf(-1)
+	return e
+}
+
+// update applies the Table II cases for a new angle of weight w with
+// middle mid.
+func (e *angleEntry) update(w float64, mid bigraph.VertexID) {
+	switch {
+	case w > e.w1:
+		// Promote: old A1 becomes A2.
+		e.w2 = e.w1
+		e.mids2 = append(e.mids2[:0], e.mids1...)
+		e.w1 = w
+		e.mids1 = append(e.mids1[:0], mid)
+	case w == e.w1:
+		e.mids1 = append(e.mids1, mid)
+	case w > e.w2:
+		e.w2 = w
+		e.mids2 = append(e.mids2[:0], mid)
+	case w == e.w2:
+		e.mids2 = append(e.mids2, mid)
+	default:
+		// w < w2: ignored, it can never be part of a maximum butterfly
+		// for this endpoint pair (Section V-C correctness argument).
+	}
+}
+
+// bestWeight returns the largest butterfly weight this endpoint pair can
+// currently produce, or -Inf if it cannot produce one (fewer than two
+// angles retained).
+func (e *angleEntry) bestWeight() float64 {
+	if len(e.mids1) >= 2 {
+		return 2 * e.w1
+	}
+	if len(e.mids1) == 1 && len(e.mids2) >= 1 {
+		return e.w1 + e.w2
+	}
+	return math.Inf(-1)
+}
+
+// runTrial executes lines 4–20 of Algorithm 2 against the edge presence
+// oracle (a lazy Bernoulli sampler for OS proper, or World.Has for the
+// deterministic per-world variant), leaving the trial's maximum weighted
+// butterfly set in sMB.
+func (x *osIndex) runTrial(sMB *butterfly.MaxSet, present func(bigraph.EdgeID) bool) {
+	x.resetTrial()
+	sMB.Reset()
+	g := x.g
+	wMax := math.Inf(-1)
+
+	for _, eid := range x.sorted {
+		e := g.Edge(eid)
+		if !x.opt.DisableEdgePrune && e.W+x.wBar < wMax { // line 9
+			break
+		}
+		if !present(eid) {
+			continue
+		}
+		ui, vj := e.U, e.V
+		for _, hb := range x.nE[vj] { // line 10: e_b = (v_j, u_k)
+			uk := hb.To
+			if uk == ui {
+				continue // cannot happen for simple graphs, but be safe
+			}
+			angleW := e.W + g.Edge(hb.E).W // line 11: ∠_new = e_a ⊕ e_b
+			x.anglesGenerated++
+			ent := x.entryFor(ui, uk)
+			if x.opt.KeepAllAngles {
+				ent.all = append(ent.all, midW{mid: vj, w: angleW})
+			}
+			ent.update(angleW, vj) // line 12, Table II
+			if bw := ent.bestWeight(); bw > wMax {
+				wMax = bw // line 13
+			}
+		}
+		if len(x.nE[vj]) == 0 {
+			x.nETouched = append(x.nETouched, vj)
+		}
+		x.nE[vj] = append(x.nE[vj], bigraph.Half{To: ui, E: eid}) // line 14
+	}
+
+	if math.IsInf(wMax, -1) {
+		return // no butterfly in this world
+	}
+
+	// Lines 15–20: materialize exactly the butterflies of weight w_max.
+	for i := 0; i < x.poolN; i++ {
+		ent := &x.pool[i]
+		if x.opt.KeepAllAngles {
+			// Ablation path: derive the maxima from the full angle list,
+			// which must agree with the A1/A2 path.
+			for a := 0; a < len(ent.all); a++ {
+				for b := a + 1; b < len(ent.all); b++ {
+					if ent.all[a].mid == ent.all[b].mid {
+						continue
+					}
+					if w := ent.all[a].w + ent.all[b].w; w == wMax {
+						sMB.Add(butterfly.New(ent.u1, ent.u2, ent.all[a].mid, ent.all[b].mid), wMax)
+					}
+				}
+			}
+			continue
+		}
+		switch {
+		case len(ent.mids1) >= 2 && 2*ent.w1 == wMax: // line 16
+			for a := 0; a < len(ent.mids1); a++ {
+				for b := a + 1; b < len(ent.mids1); b++ {
+					sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[a], ent.mids1[b]), wMax)
+				}
+			}
+		case len(ent.mids1) == 1 && len(ent.mids2) >= 1 && ent.w1+ent.w2 == wMax: // line 18
+			for _, m2 := range ent.mids2 {
+				sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[0], m2), wMax)
+			}
+		}
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// OSParallel runs Ordering Sampling with trials distributed over workers
+// goroutines (0 means GOMAXPROCS). Trials are independent and each trial's
+// random stream is derived from (Seed, trial index), so the estimates are
+// bit-identical to the sequential OS with the same options — parallelism
+// changes wall-clock time, never results. The OnTrial hook is not
+// supported here (trial completion order would be nondeterministic); use
+// OS when tracing.
+func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: OSParallel requires Trials > 0, got %d", opt.Trials)
+	}
+	if opt.OnTrial != nil {
+		return nil, fmt.Errorf("core: OSParallel does not support OnTrial; use OS")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Trials {
+		workers = opt.Trials
+	}
+	if workers == 1 {
+		return OS(g, opt)
+	}
+
+	root := randx.New(opt.Seed)
+	// Worker-local accumulators, merged at the end; no shared mutable
+	// state during the run.
+	accs := make([]*probAccumulator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		accs[w] = newProbAccumulator()
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			idx := newOSIndex(g, opt)
+			var sMB butterfly.MaxSet
+			for trial := w + 1; trial <= opt.Trials; trial += workers {
+				rng := root.Derive(uint64(trial))
+				idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
+					return rng.Bernoulli(g.Edge(id).P)
+				})
+				if !sMB.Empty() {
+					accs[w].addMaxSet(&sMB)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	merged := newProbAccumulator()
+	for _, a := range accs {
+		for b, c := range a.counts {
+			merged.counts[b] += c
+			merged.weights[b] = a.weights[b]
+		}
+	}
+	return merged.result("os", opt.Trials), nil
+}
+
+// EstimateOptimizedParallel runs the Algorithm 5 estimator with trials
+// distributed over workers goroutines (0 means GOMAXPROCS). Each worker
+// owns private lazy-sampling scratch and a private count vector; per-trial
+// streams are derived from (Seed, trial index), so the estimates are
+// bit-identical to EstimateOptimized with the same options. The OnTrial
+// hook is unsupported (trial completion order would be nondeterministic).
+// The EagerSampling and DisableEarlyBreak ablations are likewise
+// sequential-only knobs.
+func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int) ([]float64, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: optimized estimator requires Trials > 0, got %d", opt.Trials)
+	}
+	if opt.OnTrial != nil {
+		return nil, fmt.Errorf("core: EstimateOptimizedParallel does not support OnTrial; use EstimateOptimized")
+	}
+	if opt.EagerSampling || opt.DisableEarlyBreak {
+		return nil, fmt.Errorf("core: ablation options are sequential-only; use EstimateOptimized")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > opt.Trials {
+		workers = opt.Trials
+	}
+	if workers == 1 {
+		return EstimateOptimized(c, opt)
+	}
+
+	g := c.G
+	n := len(c.List)
+	numE := g.NumEdges()
+	root := randx.New(opt.Seed)
+	countsPer := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		countsPer[w] = make([]int, n)
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			stamp := make([]int32, numE)
+			val := make([]bool, numE)
+			var cur int32
+			counts := countsPer[w]
+			for trial := w + 1; trial <= opt.Trials; trial += workers {
+				rng := root.Derive(uint64(trial))
+				cur++
+				wMax := math.Inf(-1)
+				for k := 0; k < n; k++ {
+					cand := &c.List[k]
+					if cand.Weight < wMax {
+						break
+					}
+					exists := true
+					for _, id := range cand.Edges {
+						if stamp[id] != cur {
+							stamp[id] = cur
+							val[id] = rng.Bernoulli(g.Edge(id).P)
+						}
+						if !val[id] {
+							exists = false
+							break
+						}
+					}
+					if exists {
+						counts[k]++
+						wMax = cand.Weight
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	probs := make([]float64, n)
+	for _, counts := range countsPer {
+		for i, cnt := range counts {
+			probs[i] += float64(cnt)
+		}
+	}
+	for i := range probs {
+		probs[i] /= float64(opt.Trials)
+	}
+	return probs, nil
+}
+
+// EstimateKarpLubyParallel runs the Algorithm 4 estimator with candidates
+// distributed over workers goroutines (0 means GOMAXPROCS). Unlike the
+// trial-parallel runners, the natural axis here is the candidate: every
+// candidate's estimation is independent (its random stream derives from
+// (Seed, candidate index)), so per-candidate results are bit-identical to
+// the sequential EstimateKarpLuby. The tracing and restriction hooks
+// (OnCandidateTrial, OnlyCandidate, TrialsUsed pointer aside) are
+// sequential-only; TrialsUsed is supported.
+func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]float64, error) {
+	if opt.BaseTrials <= 0 {
+		return nil, fmt.Errorf("core: Karp-Luby estimator requires BaseTrials > 0, got %d", opt.BaseTrials)
+	}
+	if opt.OnCandidateTrial != nil || opt.OnlyCandidate != nil || opt.Interrupt != nil {
+		return nil, fmt.Errorf("core: EstimateKarpLubyParallel does not support hooks; use EstimateKarpLuby")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(c.List)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return EstimateKarpLuby(c, opt)
+	}
+
+	probs := make([]float64, n)
+	trialsUsed := make([]int, n)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				// Price candidate i alone; the per-candidate stream
+				// derivation makes this identical to the sequential path.
+				idx := i
+				sub := opt
+				sub.OnlyCandidate = &idx
+				var used []int
+				sub.TrialsUsed = &used
+				res, err := EstimateKarpLuby(c, sub)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				probs[i] = res[i]
+				trialsUsed[i] = used[i]
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	if opt.TrialsUsed != nil {
+		*opt.TrialsUsed = trialsUsed
+	}
+	return probs, nil
+}

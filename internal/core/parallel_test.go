@@ -1,0 +1,152 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// TestOSParallelMatchesSequential: with per-trial derived streams, the
+// parallel runner must produce bit-identical estimates to sequential OS
+// for any worker count.
+func TestOSParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 5; trial++ {
+		g := randDenseSmallGraph(r, 14)
+		opt := OSOptions{Trials: 500, Seed: uint64(trial) + 9}
+		seq, err := OS(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 3, 7} {
+			par, err := OSParallel(g, opt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(par.Estimates) != len(seq.Estimates) {
+				t.Fatalf("workers=%d: %d estimates vs %d sequential",
+					workers, len(par.Estimates), len(seq.Estimates))
+			}
+			for i := range par.Estimates {
+				if par.Estimates[i] != seq.Estimates[i] {
+					t.Fatalf("workers=%d: estimate %d differs: %+v vs %+v",
+						workers, i, par.Estimates[i], seq.Estimates[i])
+				}
+			}
+		}
+	}
+}
+
+func TestOSParallelValidation(t *testing.T) {
+	g := figure1Graph()
+	if _, err := OSParallel(g, OSOptions{Trials: 0}, 2); err == nil {
+		t.Fatal("OSParallel accepted Trials=0")
+	}
+	opt := OSOptions{Trials: 10, Seed: 1, OnTrial: func(int, *butterfly.MaxSet) {}}
+	if _, err := OSParallel(g, opt, 2); err == nil {
+		t.Fatal("OSParallel accepted an OnTrial hook")
+	}
+}
+
+// TestEstimateOptimizedParallelMatchesSequential mirrors the OS check for
+// the Algorithm 5 estimator.
+func TestEstimateOptimizedParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 5; trial++ {
+		g := randDenseSmallGraph(r, 14)
+		cands, err := AllBackboneCandidates(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() == 0 {
+			continue
+		}
+		opt := OptimizedOptions{Trials: 1000, Seed: uint64(trial) + 17}
+		seq, err := EstimateOptimized(cands, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 5} {
+			par, err := EstimateOptimizedParallel(cands, opt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range seq {
+				if par[i] != seq[i] {
+					t.Fatalf("workers=%d cand %d: %v vs %v", workers, i, par[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateOptimizedParallelValidation(t *testing.T) {
+	g := figure1Graph()
+	cands, err := AllBackboneCandidates(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateOptimizedParallel(cands, OptimizedOptions{Trials: 0}, 2); err == nil {
+		t.Fatal("accepted Trials=0")
+	}
+	if _, err := EstimateOptimizedParallel(cands, OptimizedOptions{Trials: 10, EagerSampling: true}, 2); err == nil {
+		t.Fatal("accepted an ablation option")
+	}
+	if _, err := EstimateOptimizedParallel(cands, OptimizedOptions{Trials: 10, OnTrial: func(int, []int) {}}, 2); err == nil {
+		t.Fatal("accepted an OnTrial hook")
+	}
+}
+
+// TestEstimateKarpLubyParallelMatchesSequential mirrors the other
+// parallel-equivalence checks for the candidate-parallel Karp-Luby.
+func TestEstimateKarpLubyParallelMatchesSequential(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 4; trial++ {
+		g := randDenseSmallGraph(r, 14)
+		cands, err := AllBackboneCandidates(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() < 2 {
+			continue
+		}
+		var seqUsed, parUsed []int
+		opt := KLOptions{BaseTrials: 800, Seed: uint64(trial) + 29, Mu: 0.1, TrialsUsed: &seqUsed}
+		seq, err := EstimateKarpLuby(cands, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 4} {
+			popt := opt
+			popt.TrialsUsed = &parUsed
+			par, err := EstimateKarpLubyParallel(cands, popt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range seq {
+				if par[i] != seq[i] {
+					t.Fatalf("workers=%d cand %d: %v vs %v", workers, i, par[i], seq[i])
+				}
+				if parUsed[i] != seqUsed[i] {
+					t.Fatalf("workers=%d cand %d: trials %d vs %d", workers, i, parUsed[i], seqUsed[i])
+				}
+			}
+		}
+	}
+}
+
+func TestEstimateKarpLubyParallelValidation(t *testing.T) {
+	g := figure1Graph()
+	cands, err := AllBackboneCandidates(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateKarpLubyParallel(cands, KLOptions{BaseTrials: 0}, 2); err == nil {
+		t.Fatal("accepted BaseTrials=0")
+	}
+	idx := 0
+	if _, err := EstimateKarpLubyParallel(cands, KLOptions{BaseTrials: 10, OnlyCandidate: &idx}, 2); err == nil {
+		t.Fatal("accepted OnlyCandidate")
+	}
+}

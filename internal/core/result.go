@@ -1,0 +1,204 @@
+// Package core implements the paper's MPMB algorithms: the exact solver
+// (possible-world enumeration), the MC-VP baseline (Algorithm 1), Ordering
+// Sampling (Algorithm 2), Ordering-Listing Sampling (Algorithm 3) with
+// both the Karp-Luby (Algorithm 4) and the optimized (Algorithm 5)
+// probability estimators, the top-k extension (Section VII), and the ε-δ
+// trial-number theory (Theorem IV.1, Lemmas V.2 and VI.4, Equation 8).
+package core
+
+import (
+	"math"
+	"sort"
+
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// Estimate is one butterfly's estimated probability of being the maximum
+// weighted butterfly, P(B) of Equation 4.
+type Estimate struct {
+	B      butterfly.Butterfly
+	Weight float64 // w(B) on the backbone graph
+	P      float64 // estimated (or exact) P(B)
+}
+
+// Result is the outcome of one MPMB computation.
+type Result struct {
+	// Method identifies the algorithm that produced the result:
+	// "exact", "mc-vp", "os", "ols-kl" or "ols".
+	Method string
+	// Trials is the number of sampling-phase trials performed. For OLS it
+	// excludes the preparing phase (reported separately as PrepTrials).
+	Trials int
+	// PrepTrials is the preparing-phase trial count (OLS only, else 0).
+	PrepTrials int
+	// Estimates holds every butterfly that received nonzero probability
+	// mass (plus, for OLS, every candidate even at zero), sorted by
+	// descending P, ties by descending weight, then canonical vertex
+	// order.
+	Estimates []Estimate
+}
+
+// sortEstimates establishes the canonical result order.
+func sortEstimates(es []Estimate) {
+	sort.Slice(es, func(i, j int) bool {
+		a, b := es[i], es[j]
+		if a.P != b.P {
+			return a.P > b.P
+		}
+		if a.Weight != b.Weight {
+			return a.Weight > b.Weight
+		}
+		return lessButterfly(a.B, b.B)
+	})
+}
+
+func lessButterfly(a, b butterfly.Butterfly) bool {
+	if a.U1 != b.U1 {
+		return a.U1 < b.U1
+	}
+	if a.U2 != b.U2 {
+		return a.U2 < b.U2
+	}
+	if a.V1 != b.V1 {
+		return a.V1 < b.V1
+	}
+	return a.V2 < b.V2
+}
+
+// Best returns the most probable maximum weighted butterfly, i.e. the
+// MPMB answer (Definition 5). ok is false when the graph admitted no
+// butterfly in any sampled world.
+func (r *Result) Best() (Estimate, bool) {
+	if len(r.Estimates) == 0 {
+		return Estimate{}, false
+	}
+	return r.Estimates[0], true
+}
+
+// TopK returns the k most probable maximum weighted butterflies (the
+// top-k MPMB extension of Section VII), or all of them if fewer exist.
+func (r *Result) TopK(k int) []Estimate {
+	if k < 0 {
+		k = 0
+	}
+	if k > len(r.Estimates) {
+		k = len(r.Estimates)
+	}
+	out := make([]Estimate, k)
+	copy(out, r.Estimates[:k])
+	return out
+}
+
+// TopKDisjoint returns up to k estimates chosen greedily by descending
+// probability such that no two share a vertex. The paper motivates MPMB
+// with "scattered visualization" — a dense region contains many
+// overlapping near-duplicate butterflies, and vertex-disjoint selection
+// returns one representative per region (used by the brain-network use
+// case to place its ten markers in distinct clusters).
+func (r *Result) TopKDisjoint(k int) []Estimate {
+	if k <= 0 {
+		return nil
+	}
+	var out []Estimate
+	usedL := make(map[uint32]bool)
+	usedR := make(map[uint32]bool)
+	for _, e := range r.Estimates {
+		if len(out) == k {
+			break
+		}
+		b := e.B
+		if usedL[b.U1] || usedL[b.U2] || usedR[b.V1] || usedR[b.V2] {
+			continue
+		}
+		usedL[b.U1], usedL[b.U2] = true, true
+		usedR[b.V1], usedR[b.V2] = true, true
+		out = append(out, e)
+	}
+	return out
+}
+
+// ConfidenceInterval returns a Wilson score interval for the estimated
+// P(B) at the given z value (1.96 ≈ 95%, 2.58 ≈ 99%). It applies to the
+// trial-counting methods (mc-vp, os, ols), whose estimates are binomial
+// proportions over Result.Trials; for the exact method the interval
+// degenerates to [P, P]. ok is false when the butterfly is absent from
+// the result or the method's estimates are not binomial proportions
+// (ols-kl transforms a different proportion through Equation line 10, so
+// a per-butterfly interval needs its trial allocation — use the Lemma
+// VI.4 machinery instead).
+func (r *Result) ConfidenceInterval(b butterfly.Butterfly, z float64) (lo, hi float64, ok bool) {
+	e, found := r.Lookup(b)
+	if !found || z <= 0 {
+		return 0, 0, false
+	}
+	switch r.Method {
+	case "exact":
+		return e.P, e.P, true
+	case "mc-vp", "os", "ols":
+		if r.Trials <= 0 {
+			return 0, 0, false
+		}
+		n := float64(r.Trials)
+		p := e.P
+		denom := 1 + z*z/n
+		center := (p + z*z/(2*n)) / denom
+		half := z / denom * math.Sqrt(p*(1-p)/n+z*z/(4*n*n))
+		lo, hi = center-half, center+half
+		if lo < 0 {
+			lo = 0
+		}
+		if hi > 1 {
+			hi = 1
+		}
+		return lo, hi, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// Lookup returns the estimate for a specific butterfly, if present.
+func (r *Result) Lookup(b butterfly.Butterfly) (Estimate, bool) {
+	for _, e := range r.Estimates {
+		if e.B == b {
+			return e, true
+		}
+	}
+	return Estimate{}, false
+}
+
+// probAccumulator tallies, per butterfly, how many trials reported it as a
+// maximum weighted butterfly. It is the shared bookkeeping behind MC-VP
+// and OS (lines 18–19 of Algorithm 1, 21–22 of Algorithm 2).
+type probAccumulator struct {
+	counts  map[butterfly.Butterfly]int
+	weights map[butterfly.Butterfly]float64
+}
+
+func newProbAccumulator() *probAccumulator {
+	return &probAccumulator{
+		counts:  make(map[butterfly.Butterfly]int),
+		weights: make(map[butterfly.Butterfly]float64),
+	}
+}
+
+// addMaxSet credits one trial's maximum set.
+func (a *probAccumulator) addMaxSet(m *butterfly.MaxSet) {
+	for _, b := range m.Set {
+		a.counts[b]++
+		a.weights[b] = m.W
+	}
+}
+
+// result converts counts into probabilities P̂(B) = count/trials.
+func (a *probAccumulator) result(method string, trials int) *Result {
+	es := make([]Estimate, 0, len(a.counts))
+	for b, c := range a.counts {
+		es = append(es, Estimate{
+			B:      b,
+			Weight: a.weights[b],
+			P:      float64(c) / float64(trials),
+		})
+	}
+	sortEstimates(es)
+	return &Result{Method: method, Trials: trials, Estimates: es}
+}

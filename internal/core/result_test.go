@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// TestTopKDisjoint exercises the vertex-disjoint top-k selection.
+func TestTopKDisjoint(t *testing.T) {
+	mk := func(u1, u2, v1, v2 uint32, p float64) Estimate {
+		return Estimate{B: butterfly.New(u1, u2, v1, v2), Weight: 1, P: p}
+	}
+	res := &Result{Estimates: []Estimate{
+		mk(0, 1, 0, 1, 0.9),
+		mk(0, 2, 2, 3, 0.8), // shares u0 with #1
+		mk(2, 3, 2, 3, 0.7), // disjoint from #1
+		mk(4, 5, 4, 5, 0.6), // disjoint from everything before
+		mk(6, 7, 4, 6, 0.5), // shares v4 with #4
+	}}
+	got := res.TopKDisjoint(10)
+	if len(got) != 3 {
+		t.Fatalf("selected %d butterflies, want 3: %+v", len(got), got)
+	}
+	want := []float64{0.9, 0.7, 0.6}
+	for i, e := range got {
+		if e.P != want[i] {
+			t.Fatalf("selection %d has P=%v, want %v", i, e.P, want[i])
+		}
+	}
+	if got := res.TopKDisjoint(2); len(got) != 2 {
+		t.Fatalf("TopKDisjoint(2) returned %d", len(got))
+	}
+	if got := res.TopKDisjoint(0); got != nil {
+		t.Fatalf("TopKDisjoint(0) = %v, want nil", got)
+	}
+}
+
+// TestTopKDisjointSeparatesPartitions ensures left ids and right ids do
+// not collide: a butterfly using left vertex 3 must not block one using
+// right vertex 3.
+func TestTopKDisjointSeparatesPartitions(t *testing.T) {
+	res := &Result{Estimates: []Estimate{
+		{B: butterfly.New(0, 1, 2, 3), P: 0.9},
+		{B: butterfly.New(2, 3, 0, 1), P: 0.8}, // left {2,3} vs right {2,3} above
+	}}
+	got := res.TopKDisjoint(2)
+	if len(got) != 2 {
+		t.Fatalf("partition collision: selected %d, want 2", len(got))
+	}
+}
+
+// TestResultLookupMissing covers the not-found path.
+func TestResultLookupMissing(t *testing.T) {
+	res := &Result{Estimates: []Estimate{{B: butterfly.New(0, 1, 0, 1), P: 0.5}}}
+	if _, ok := res.Lookup(butterfly.New(5, 6, 5, 6)); ok {
+		t.Fatal("Lookup found a missing butterfly")
+	}
+}
+
+// TestConfidenceInterval checks the Wilson interval's basic guarantees:
+// it contains the point estimate, tightens with more trials, and covers
+// the exact value on the running example.
+func TestConfidenceInterval(t *testing.T) {
+	g := figure1Graph()
+	exact, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, _ := exact.Best()
+
+	res, err := OS(g, OSOptions{Trials: 20000, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, hi, ok := res.ConfidenceInterval(best.B, 2.58)
+	if !ok {
+		t.Fatal("no interval for the MPMB")
+	}
+	est, _ := res.Lookup(best.B)
+	if lo > est.P || hi < est.P {
+		t.Fatalf("interval [%v, %v] excludes the estimate %v", lo, hi, est.P)
+	}
+	if lo > best.P || hi < best.P {
+		t.Fatalf("99%% interval [%v, %v] excludes the exact value %v", lo, hi, best.P)
+	}
+
+	small, err := OS(g, OSOptions{Trials: 500, Seed: 77})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slo, shi, ok := small.ConfidenceInterval(best.B, 2.58)
+	if !ok {
+		t.Fatal("no interval at 500 trials")
+	}
+	if shi-slo <= hi-lo {
+		t.Fatalf("more trials did not tighten the interval: %v vs %v", shi-slo, hi-lo)
+	}
+
+	// Exact results degenerate to a point.
+	elo, ehi, ok := exact.ConfidenceInterval(best.B, 1.96)
+	if !ok || elo != best.P || ehi != best.P {
+		t.Fatalf("exact interval = [%v, %v], want point %v", elo, ehi, best.P)
+	}
+
+	// Unknown butterfly, bad z, and KL method are rejected.
+	if _, _, ok := res.ConfidenceInterval(butterfly.New(7, 8, 7, 8), 1.96); ok {
+		t.Fatal("interval for an absent butterfly")
+	}
+	if _, _, ok := res.ConfidenceInterval(best.B, 0); ok {
+		t.Fatal("interval with z=0")
+	}
+	klRes := &Result{Method: "ols-kl", Trials: 100, Estimates: res.Estimates}
+	if _, _, ok := klRes.ConfidenceInterval(best.B, 1.96); ok {
+		t.Fatal("interval for a non-binomial method")
+	}
+}

@@ -1,0 +1,172 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+// tiny keeps generation fast in tests while exercising the same code.
+var tiny = Config{Seed: 1, Scale: 0.05}
+
+func TestByNameAndAll(t *testing.T) {
+	for _, name := range Names {
+		d, err := ByName(name, tiny)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if d.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, d.Name)
+		}
+		if d.G.NumEdges() == 0 {
+			t.Fatalf("%s: empty graph", name)
+		}
+	}
+	if _, err := ByName("nope", tiny); err == nil {
+		t.Fatal("ByName accepted an unknown dataset")
+	}
+	all := All(tiny)
+	if len(all) != 4 {
+		t.Fatalf("All returned %d datasets, want 4", len(all))
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	for _, name := range Names {
+		a, _ := ByName(name, tiny)
+		b, _ := ByName(name, tiny)
+		if a.G.NumEdges() != b.G.NumEdges() {
+			t.Fatalf("%s: same seed produced different edge counts", name)
+		}
+		for i := 0; i < a.G.NumEdges(); i++ {
+			if a.G.Edge(uint32(i)) != b.G.Edge(uint32(i)) {
+				t.Fatalf("%s: same seed produced different edge %d", name, i)
+			}
+		}
+		c, _ := ByName(name, Config{Seed: 2, Scale: tiny.Scale})
+		if c.G.NumEdges() == a.G.NumEdges() {
+			diff := false
+			for i := 0; i < a.G.NumEdges(); i++ {
+				if a.G.Edge(uint32(i)) != c.G.Edge(uint32(i)) {
+					diff = true
+					break
+				}
+			}
+			if !diff {
+				t.Fatalf("%s: different seeds produced identical graphs", name)
+			}
+		}
+	}
+}
+
+func TestValidProbabilitiesAndWeights(t *testing.T) {
+	for _, d := range All(tiny) {
+		for _, e := range d.G.Edges() {
+			if e.P < 0 || e.P > 1 || math.IsNaN(e.P) {
+				t.Fatalf("%s: probability %v out of range", d.Name, e.P)
+			}
+			if e.W <= 0 || math.IsNaN(e.W) || math.IsInf(e.W, 0) {
+				t.Fatalf("%s: weight %v not positive finite", d.Name, e.W)
+			}
+		}
+	}
+}
+
+func TestABIDEShape(t *testing.T) {
+	d := ABIDELike(Config{Seed: 3}) // full size
+	if d.G.NumL() != 58 || d.G.NumR() != 58 {
+		t.Fatalf("ABIDE is %dx%d, want 58x58", d.G.NumL(), d.G.NumR())
+	}
+	if d.G.NumEdges() != 58*58 {
+		t.Fatalf("ABIDE has %d edges, want %d (complete bipartite)", d.G.NumEdges(), 58*58)
+	}
+}
+
+func TestMovieLensShape(t *testing.T) {
+	d := MovieLensLike(Config{Seed: 3, Scale: 0.2})
+	if d.G.NumL() != 122 || d.G.NumR() != 1945 {
+		t.Fatalf("scaled MovieLens is %dx%d, want 122x1945", d.G.NumL(), d.G.NumR())
+	}
+	target := 100836 / 5
+	if d.G.NumEdges() < target/2 || d.G.NumEdges() > target*2 {
+		t.Fatalf("MovieLens has %d edges, want within 2x of %d", d.G.NumEdges(), target)
+	}
+	// Weights are half-point ratings in [0.5, 5].
+	for _, e := range d.G.Edges() {
+		if e.W < 0.5 || e.W > 5 || math.Mod(e.W*2, 1) != 0 {
+			t.Fatalf("MovieLens rating %v not a half-point in [0.5,5]", e.W)
+		}
+	}
+	// Popularity skew: the busiest movie far exceeds the mean.
+	st := d.G.ComputeStats()
+	meanDeg := float64(st.NumEdges) / float64(st.NumR)
+	if float64(st.MaxDegreeR) < 5*meanDeg {
+		t.Fatalf("MovieLens max movie degree %d not skewed vs mean %.1f", st.MaxDegreeR, meanDeg)
+	}
+}
+
+func TestJesterShape(t *testing.T) {
+	d := JesterLike(Config{Seed: 3, Scale: 0.1}) // 1/100 of paper users
+	if d.G.NumL() != 100 {
+		t.Fatalf("Jester has %d jokes, want 100", d.G.NumL())
+	}
+	users := d.G.NumR()
+	if users < 700 || users > 800 {
+		t.Fatalf("Jester has %d users, want ≈ 734", users)
+	}
+	// Density ≈ 45–56%% of the 100 jokes per user.
+	meanDeg := float64(d.G.NumEdges()) / float64(users)
+	if meanDeg < 25 || meanDeg > 70 {
+		t.Fatalf("Jester mean user degree %.1f outside dense regime", meanDeg)
+	}
+	// Weight ties: with quarter-point quantization over a bounded range
+	// there must be far fewer distinct weights than edges.
+	distinct := make(map[float64]bool)
+	for _, e := range d.G.Edges() {
+		distinct[e.W] = true
+	}
+	if len(distinct) > 100 {
+		t.Fatalf("Jester has %d distinct weights; expected heavy ties", len(distinct))
+	}
+}
+
+func TestProteinShape(t *testing.T) {
+	d := ProteinLike(Config{Seed: 3, Scale: 0.2}) // 1/200 of paper vertices
+	n := d.G.NumL()
+	if n != d.G.NumR() {
+		t.Fatalf("Protein partitions unequal: %d vs %d", n, d.G.NumR())
+	}
+	if n < 900 || n > 940 {
+		t.Fatalf("Protein has %d vertices per side, want ≈ 934", n)
+	}
+	// Probabilities center near 0.5 (Normal(0.5, 0.2) clamped).
+	s := d.G.ComputeStats()
+	if s.MeanProb < 0.4 || s.MeanProb > 0.6 {
+		t.Fatalf("Protein mean probability %v, want ≈ 0.5", s.MeanProb)
+	}
+	// Hub structure from the Zipf endpoints.
+	meanDeg := float64(s.NumEdges) / float64(n)
+	if float64(s.MaxDegreeL) < 3*meanDeg {
+		t.Fatalf("Protein max degree %d not hubby vs mean %.1f", s.MaxDegreeL, meanDeg)
+	}
+}
+
+func TestTable3RowsMatchGraphs(t *testing.T) {
+	ds := All(tiny)
+	rows := Table3(ds)
+	if len(rows) != 4 {
+		t.Fatalf("Table3 has %d rows, want 4", len(rows))
+	}
+	for i, r := range rows {
+		if r.Name != ds[i].Name || r.Edges != ds[i].G.NumEdges() ||
+			r.L != ds[i].G.NumL() || r.R != ds[i].G.NumR() {
+			t.Fatalf("row %d = %+v does not match dataset %q", i, r, ds[i].Name)
+		}
+	}
+}
+
+func TestScaleZeroDefaults(t *testing.T) {
+	d := ABIDELike(Config{Seed: 1, Scale: 0})
+	if d.G.NumL() != 58 {
+		t.Fatalf("Scale=0 should mean default size, got %d", d.G.NumL())
+	}
+}

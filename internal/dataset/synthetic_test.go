@@ -1,0 +1,137 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSyntheticDefaults(t *testing.T) {
+	d, err := Synthetic(SyntheticConfig{Seed: 1, NumL: 50, NumR: 80, NumEdges: 600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.NumL() != 50 || d.G.NumR() != 80 || d.G.NumEdges() != 600 {
+		t.Fatalf("got %dx%d with %d edges", d.G.NumL(), d.G.NumR(), d.G.NumEdges())
+	}
+	st := d.G.ComputeStats()
+	if st.MinWeight < 0.5 || st.MaxWeight > 5 {
+		t.Fatalf("weights [%v, %v] outside default [0.5, 5]", st.MinWeight, st.MaxWeight)
+	}
+	if st.MinProb < 0.05 || st.MaxProb > 0.95 {
+		t.Fatalf("probs [%v, %v] outside uniform default", st.MinProb, st.MaxProb)
+	}
+}
+
+func TestSyntheticExactEdgeCountEvenWhenDense(t *testing.T) {
+	// 95% density: rejection sampling alone would struggle; the
+	// deterministic fill must top it up to the exact target.
+	d, err := Synthetic(SyntheticConfig{Seed: 2, NumL: 20, NumR: 20, NumEdges: 380})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.G.NumEdges() != 380 {
+		t.Fatalf("got %d edges, want exactly 380", d.G.NumEdges())
+	}
+}
+
+func TestSyntheticWeightDistributions(t *testing.T) {
+	halves, err := Synthetic(SyntheticConfig{Seed: 3, NumL: 30, NumR: 30, NumEdges: 500, Weights: WeightHalfStep})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range halves.G.Edges() {
+		if math.Mod(e.W*2, 1) != 0 {
+			t.Fatalf("half-step weight %v not on the grid", e.W)
+		}
+	}
+	normal, err := Synthetic(SyntheticConfig{
+		Seed: 3, NumL: 30, NumR: 30, NumEdges: 500,
+		Weights: WeightNormal, WeightMin: 10, WeightMax: 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := normal.G.ComputeStats()
+	if st.MinWeight < 10 || st.MaxWeight > 20 {
+		t.Fatalf("normal weights [%v, %v] escape the clamp", st.MinWeight, st.MaxWeight)
+	}
+	if st.MeanWeight < 13 || st.MeanWeight > 17 {
+		t.Fatalf("normal weight mean %v far from midpoint 15", st.MeanWeight)
+	}
+}
+
+func TestSyntheticProbDistributions(t *testing.T) {
+	fixed, err := Synthetic(SyntheticConfig{
+		Seed: 4, NumL: 10, NumR: 10, NumEdges: 50,
+		Probs: ProbFixed, ProbMean: 0.42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range fixed.G.Edges() {
+		if e.P != 0.42 {
+			t.Fatalf("fixed probability %v != 0.42", e.P)
+		}
+	}
+	normal, err := Synthetic(SyntheticConfig{
+		Seed: 4, NumL: 40, NumR: 40, NumEdges: 800,
+		Probs: ProbNormal, ProbMean: 0.5, ProbStd: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := normal.G.ComputeStats()
+	if st.MeanProb < 0.45 || st.MeanProb > 0.55 {
+		t.Fatalf("normal prob mean %v, want ≈ 0.5", st.MeanProb)
+	}
+}
+
+func TestSyntheticDegreeSkew(t *testing.T) {
+	skewed, err := Synthetic(SyntheticConfig{Seed: 5, NumL: 200, NumR: 200, NumEdges: 2000, DegreeSkew: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform, err := Synthetic(SyntheticConfig{Seed: 5, NumL: 200, NumR: 200, NumEdges: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skewed.G.ComputeStats().MaxDegreeL <= uniform.G.ComputeStats().MaxDegreeL {
+		t.Fatalf("skewed max degree %d not above uniform %d",
+			skewed.G.ComputeStats().MaxDegreeL, uniform.G.ComputeStats().MaxDegreeL)
+	}
+}
+
+func TestSyntheticValidation(t *testing.T) {
+	cases := []SyntheticConfig{
+		{NumL: 0, NumR: 5, NumEdges: 1},
+		{NumL: 5, NumR: 0, NumEdges: 1},
+		{NumL: 2, NumR: 2, NumEdges: -1},
+		{NumL: 2, NumR: 2, NumEdges: 5},
+		{NumL: 2, NumR: 2, NumEdges: 1, WeightMin: 5, WeightMax: 1},
+		{NumL: 2, NumR: 2, NumEdges: 1, Weights: "pareto"},
+		{NumL: 2, NumR: 2, NumEdges: 1, Probs: "cauchy"},
+		{NumL: 2, NumR: 2, NumEdges: 1, Probs: ProbFixed, ProbMean: 1.5},
+	}
+	for _, cfg := range cases {
+		if _, err := Synthetic(cfg); err == nil {
+			t.Errorf("Synthetic(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	cfg := SyntheticConfig{Seed: 6, NumL: 20, NumR: 20, NumEdges: 100, DegreeSkew: 0.8}
+	a, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < a.G.NumEdges(); i++ {
+		if a.G.Edge(uint32(i)) != b.G.Edge(uint32(i)) {
+			t.Fatalf("same config produced different edge %d", i)
+		}
+	}
+}

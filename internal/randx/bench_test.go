@@ -1,0 +1,52 @@
+package randx
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkBernoulli(b *testing.B) {
+	r := New(1)
+	n := 0
+	for i := 0; i < b.N; i++ {
+		if r.Bernoulli(0.3) {
+			n++
+		}
+	}
+	_ = n
+}
+
+func BenchmarkDerive(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Derive(uint64(i))
+	}
+}
+
+func BenchmarkAliasSample(b *testing.B) {
+	weights := make([]float64, 1000)
+	for i := range weights {
+		weights[i] = float64(i + 1)
+	}
+	a := NewAlias(weights)
+	r := New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Sample(r)
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(10000, 1.1)
+	r := New(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(r)
+	}
+}

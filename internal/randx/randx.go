@@ -1,0 +1,185 @@
+// Package randx provides deterministic, splittable pseudo-random number
+// generation for the MPMB sampling algorithms.
+//
+// All samplers in this repository draw from randx rather than math/rand so
+// that every experiment is reproducible from a single seed: a trial's
+// stream can be derived from (seed, trial index) without any shared
+// mutable state, which also makes parallel trials race-free by
+// construction.
+//
+// The core generator is xoshiro256**, seeded through splitmix64 as
+// recommended by its authors. On top of it the package offers the
+// distributions the paper's workloads need: Bernoulli edge flips, uniform
+// and normal weights, Zipf-distributed degrees, and alias-method weighted
+// choice (used by the Karp-Luby estimator to pick a candidate butterfly
+// proportionally to Pr[E(B_j\B_i)]).
+package randx
+
+import (
+	"math"
+)
+
+// SplitMix64 advances a splitmix64 state and returns the next value.
+// It is used to expand a single user seed into the four xoshiro words and
+// to derive independent per-trial seeds.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a xoshiro256** generator. The zero value is not valid; construct
+// with New or NewFromState.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns a generator deterministically seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro must not start from the all-zero state; splitmix64 output
+	// of four consecutive values is never all zero, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Derive returns a new generator whose stream is independent of r's for
+// all practical purposes, identified by id. It does not disturb r's state,
+// so deriving per-trial generators is safe while r keeps producing values.
+func (r *RNG) Derive(id uint64) *RNG {
+	// Mix the current state with the id through splitmix64.
+	sm := r.s[0] ^ (r.s[1] * 0x9e3779b97f4a7c15) ^ (id+1)*0xd1342543de82ef95
+	d := &RNG{}
+	for i := range d.s {
+		d.s[i] = SplitMix64(&sm)
+	}
+	return d
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bernoulli reports true with probability p. Values p <= 0 are always
+// false and p >= 1 always true, so edge probabilities of exactly 0 or 1
+// behave deterministically (the hardness gadget relies on this).
+func (r *RNG) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("randx: Intn with non-positive n")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// UniformRange returns a uniform value in [lo, hi).
+func (r *RNG) UniformRange(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the polar (Marsaglia) method.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// NormalClamped draws Normal(mean, stddev) and clamps the result into
+// [lo, hi]. The paper's Protein dataset synthesizes edge probabilities as
+// Normal(0.5, 0.2) clipped into a valid probability range.
+func (r *RNG) NormalClamped(mean, stddev, lo, hi float64) float64 {
+	x := r.Normal(mean, stddev)
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// Perm returns a uniformly random permutation of [0, n) via Fisher-Yates.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes the first n elements using the provided swap function.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}

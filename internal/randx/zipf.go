@@ -1,0 +1,134 @@
+package randx
+
+import "math"
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(i+1)^s. It precomputes the cumulative mass so sampling is O(log n)
+// by binary search, which is plenty for dataset generation (the only
+// consumer) and avoids the rejection-method edge cases of math/rand's
+// Zipf for small exponents.
+type Zipf struct {
+	cum []float64 // cumulative probabilities, cum[n-1] == 1
+}
+
+// NewZipf builds a Zipf distribution over [0, n) with exponent s > 0.
+// It panics if n <= 0 or s <= 0.
+func NewZipf(n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("randx: NewZipf with non-positive n")
+	}
+	if s <= 0 {
+		panic("randx: NewZipf with non-positive exponent")
+	}
+	cum := make([]float64, n)
+	total := 0.0
+	for i := 0; i < n; i++ {
+		total += math.Pow(float64(i+1), -s)
+		cum[i] = total
+	}
+	inv := 1 / total
+	for i := range cum {
+		cum[i] *= inv
+	}
+	cum[n-1] = 1
+	return &Zipf{cum: cum}
+}
+
+// N returns the support size.
+func (z *Zipf) N() int { return len(z.cum) }
+
+// Sample draws one value in [0, N()).
+func (z *Zipf) Sample(r *RNG) int {
+	u := r.Float64()
+	lo, hi := 0, len(z.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cum[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Alias is a Walker alias table for O(1) weighted sampling from a fixed
+// discrete distribution. The Karp-Luby estimator (Algorithm 4 in the
+// paper) samples a candidate butterfly index j with probability
+// Pr[E(B_j\B_i)] / S_i on every trial; the alias table makes that draw
+// constant-time regardless of how many candidates precede B_i.
+type Alias struct {
+	prob  []float64
+	alias []int
+}
+
+// NewAlias builds an alias table from the given non-negative weights.
+// Weights need not be normalized. It panics if weights is empty or if all
+// weights are zero or any weight is negative/NaN.
+func NewAlias(weights []float64) *Alias {
+	n := len(weights)
+	if n == 0 {
+		panic("randx: NewAlias with empty weights")
+	}
+	total := 0.0
+	for _, w := range weights {
+		if w < 0 || math.IsNaN(w) {
+			panic("randx: NewAlias with negative or NaN weight")
+		}
+		total += w
+	}
+	if total <= 0 {
+		panic("randx: NewAlias with all-zero weights")
+	}
+	a := &Alias{
+		prob:  make([]float64, n),
+		alias: make([]int, n),
+	}
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, w := range weights {
+		scaled[i] = w * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		a.prob[s] = scaled[s]
+		a.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	for _, i := range small {
+		// Numerical residue; these columns are effectively full.
+		a.prob[i] = 1
+		a.alias[i] = i
+	}
+	return a
+}
+
+// N returns the support size.
+func (a *Alias) N() int { return len(a.prob) }
+
+// Sample draws one index with probability proportional to its weight.
+func (a *Alias) Sample(r *RNG) int {
+	i := r.Intn(len(a.prob))
+	if r.Float64() < a.prob[i] {
+		return i
+	}
+	return a.alias[i]
+}

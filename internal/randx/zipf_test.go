@@ -1,0 +1,120 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestZipfDistribution(t *testing.T) {
+	const n, trials = 10, 300000
+	z := NewZipf(n, 1.0)
+	r := New(10)
+	var counts [n]int
+	for i := 0; i < trials; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= n {
+			t.Fatalf("Zipf sample out of range: %d", v)
+		}
+		counts[v]++
+	}
+	// Expected mass of item i is (1/(i+1)) / H_n.
+	h := 0.0
+	for i := 1; i <= n; i++ {
+		h += 1 / float64(i)
+	}
+	for i := 0; i < n; i++ {
+		want := (1 / float64(i+1)) / h
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("Zipf mass of %d = %v, want ≈ %v", i, got, want)
+		}
+	}
+	// Monotone decreasing counts (statistically robust at these margins).
+	for i := 1; i < n; i++ {
+		if counts[i] > counts[i-1]+trials/100 {
+			t.Fatalf("Zipf counts not decreasing: %v", counts)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewZipf(0, 1) },
+		func() { NewZipf(5, 0) },
+		func() { NewZipf(-1, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("NewZipf accepted invalid parameters")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAliasMatchesWeights(t *testing.T) {
+	weights := []float64{1, 2, 3, 4}
+	a := NewAlias(weights)
+	if a.N() != 4 {
+		t.Fatalf("N = %d, want 4", a.N())
+	}
+	r := New(11)
+	const trials = 400000
+	counts := make([]int, len(weights))
+	for i := 0; i < trials; i++ {
+		counts[a.Sample(r)]++
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	for i, w := range weights {
+		want := w / total
+		got := float64(counts[i]) / trials
+		if math.Abs(got-want) > 0.005 {
+			t.Fatalf("alias mass of %d = %v, want ≈ %v", i, got, want)
+		}
+	}
+}
+
+func TestAliasZeroWeightNeverSampled(t *testing.T) {
+	a := NewAlias([]float64{0, 1, 0, 3})
+	r := New(12)
+	for i := 0; i < 100000; i++ {
+		v := a.Sample(r)
+		if v == 0 || v == 2 {
+			t.Fatalf("alias sampled zero-weight index %d", v)
+		}
+	}
+}
+
+func TestAliasSingleElement(t *testing.T) {
+	a := NewAlias([]float64{7.5})
+	r := New(13)
+	for i := 0; i < 100; i++ {
+		if a.Sample(r) != 0 {
+			t.Fatal("single-element alias must always return 0")
+		}
+	}
+}
+
+func TestAliasPanics(t *testing.T) {
+	for _, weights := range [][]float64{
+		nil,
+		{},
+		{0, 0},
+		{1, -1},
+		{math.NaN()},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewAlias(%v) did not panic", weights)
+				}
+			}()
+			NewAlias(weights)
+		}()
+	}
+}

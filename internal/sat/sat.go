@@ -1,0 +1,238 @@
+// Package sat implements Monotone #2-SAT counting and the paper's
+// reduction from it to MPMB probability computation (Lemma III.1),
+// providing an executable form of the #P-hardness proof.
+//
+// A Monotone 2-SAT formula is a conjunction of clauses, each the
+// disjunction of two positive literals. Counting its satisfying
+// assignments is #P-hard; Lemma III.1 maps a formula F over n variables to
+// an uncertain bipartite weighted gadget graph G_# and a distinguished
+// butterfly B such that
+//
+//	P(B) = |{x : F(x)=1}| / 2ⁿ
+//
+// so computing P(B) exactly would count models.
+//
+// Two corrections to the paper's construction, discovered while executing
+// it (documented in DESIGN.md):
+//
+//  1. For a single-literal clause (y_a ∨ y_a) the paper adds the edges
+//     (u_a, v_0) and (u_0, v_a) but the corresponding violation butterfly
+//     B(u_0,u_a | v_0,v_a) also needs the edge (u_0, v_0); BuildGadget
+//     adds it (probability 1, weight 1) whenever such a clause exists.
+//  2. Clause edges from different clauses can accidentally close
+//     unintended heavy butterflies — a certain one from a clause 4-cycle
+//     such as (a∨b),(a∨c),(d∨b),(d∨c), or a mixed one (three clause edges
+//     plus one variable edge) from a clause triangle such as
+//     (a∨b),(b∨c),(a∨c). Either distorts P(B) away from #SAT/2ⁿ. Sound
+//     reports whether a formula avoids this (see its doc comment for the
+//     exact condition); the identity is validated on sound instances.
+package sat
+
+import (
+	"fmt"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// Clause is a disjunction of two positive literals over 1-based variable
+// indices; A == B denotes the single-literal clause (y_A).
+type Clause struct {
+	A, B int
+}
+
+// Formula is a Monotone 2-SAT formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Validate checks variable indices.
+func (f *Formula) Validate() error {
+	if f.NumVars < 0 {
+		return fmt.Errorf("sat: negative variable count %d", f.NumVars)
+	}
+	for i, c := range f.Clauses {
+		if c.A < 1 || c.A > f.NumVars || c.B < 1 || c.B > f.NumVars {
+			return fmt.Errorf("sat: clause %d literals (%d,%d) outside 1..%d", i, c.A, c.B, f.NumVars)
+		}
+	}
+	return nil
+}
+
+// Eval evaluates the formula under the assignment (1-based: assignment[i]
+// is the value of y_{i+1}).
+func (f *Formula) Eval(assignment []bool) bool {
+	for _, c := range f.Clauses {
+		if !assignment[c.A-1] && !assignment[c.B-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// maxCountVars bounds brute-force counting.
+const maxCountVars = 24
+
+// CountSatisfying counts the formula's models by brute force, limited to
+// maxCountVars variables.
+func (f *Formula) CountSatisfying() (uint64, error) {
+	if err := f.Validate(); err != nil {
+		return 0, err
+	}
+	if f.NumVars > maxCountVars {
+		return 0, fmt.Errorf("sat: refusing to enumerate 2^%d assignments (limit 2^%d)", f.NumVars, maxCountVars)
+	}
+	assignment := make([]bool, f.NumVars)
+	var count uint64
+	for mask := uint64(0); mask < 1<<f.NumVars; mask++ {
+		for i := range assignment {
+			assignment[i] = mask&(1<<i) != 0
+		}
+		if f.Eval(assignment) {
+			count++
+		}
+	}
+	return count, nil
+}
+
+// Gadget is the output of the Lemma III.1 reduction.
+type Gadget struct {
+	// G is the uncertain bipartite gadget graph. Left vertex i and right
+	// vertex i (0 ≤ i ≤ n) play the roles of u_i and v_i; vertices n+1
+	// and n+2 on each side carry the target butterfly.
+	G *bigraph.Graph
+	// Target is B(u_{n+1}, u_{n+2} | v_{n+1}, v_{n+2}), the butterfly
+	// whose maximality probability equals #SAT/2ⁿ.
+	Target butterfly.Butterfly
+	// VarEdges[i] is the edge id of (u_{i+1}, v_{i+1}), the uncertain
+	// edge encoding variable y_{i+1}: y is TRUE iff the edge is ABSENT.
+	VarEdges []bigraph.EdgeID
+
+	formula *Formula
+}
+
+// BuildGadget constructs the reduction gadget for f.
+func BuildGadget(f *Formula) (*Gadget, error) {
+	if err := f.Validate(); err != nil {
+		return nil, err
+	}
+	n := f.NumVars
+	b := bigraph.NewBuilder(n+3, n+3)
+	added := make(map[[2]int]bool)
+	addOnce := func(u, v int, w, p float64) error {
+		k := [2]int{u, v}
+		if added[k] {
+			return nil
+		}
+		added[k] = true
+		return b.AddEdge(bigraph.VertexID(u), bigraph.VertexID(v), w, p)
+	}
+
+	// (i) variable edges (u_i, v_i), p = 0.5, w = 1.
+	varEdges := make([]bigraph.EdgeID, n)
+	for i := 1; i <= n; i++ {
+		varEdges[i-1] = bigraph.EdgeID(b.NumEdges())
+		if err := addOnce(i, i, 1, 0.5); err != nil {
+			return nil, err
+		}
+	}
+	// (ii)/(iii) clause edges, p = 1, w = 1.
+	needConst := false
+	for _, c := range f.Clauses {
+		if c.A != c.B {
+			if err := addOnce(c.A, c.B, 1, 1); err != nil {
+				return nil, err
+			}
+			if err := addOnce(c.B, c.A, 1, 1); err != nil {
+				return nil, err
+			}
+		} else {
+			needConst = true
+			if err := addOnce(c.A, 0, 1, 1); err != nil {
+				return nil, err
+			}
+			if err := addOnce(0, c.A, 1, 1); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if needConst {
+		// Correction 1: close the single-literal violation butterflies.
+		if err := addOnce(0, 0, 1, 1); err != nil {
+			return nil, err
+		}
+	}
+	// (iv) the independent target butterfly, p = 1, w = 0.5 per edge.
+	for _, uv := range [][2]int{{n + 1, n + 1}, {n + 1, n + 2}, {n + 2, n + 1}, {n + 2, n + 2}} {
+		if err := addOnce(uv[0], uv[1], 0.5, 1); err != nil {
+			return nil, err
+		}
+	}
+
+	return &Gadget{
+		G:        b.Build(),
+		Target:   butterfly.New(bigraph.VertexID(n+1), bigraph.VertexID(n+2), bigraph.VertexID(n+1), bigraph.VertexID(n+2)),
+		VarEdges: varEdges,
+		formula:  f,
+	}, nil
+}
+
+// Sound reports whether the gadget satisfies the reduction's implicit
+// soundness condition, which the paper's proof leaves unstated.
+//
+// In any possible world, a butterfly heavier than the target (weight 4 vs
+// 2) exists iff all of its uncertain (variable) edges are present, since
+// every clause edge is certain. Writing U(B) for the set of variables
+// whose edge (u_i, v_i) belongs to B, a heavy butterfly B exists in the
+// world of assignment x iff every variable in U(B) is false. The intended
+// heavy butterflies are the clause-violation ones with U(B) = {a, b}; the
+// identity P(Target) = #SAT/2ⁿ survives extra heavy butterflies only when
+// each one's U(B) contains both literals of some clause — then its
+// existence already implies a violated clause and adds no new "bad"
+// worlds. Clause patterns such as {(a∨b),(a∨c),(d∨b),(d∨c)} (a certain
+// butterfly, U = ∅) or clause triangles {(a∨b),(b∨c),(a∨c)} (a mixed
+// butterfly with U = {b}) violate the condition and collapse or distort
+// P(Target).
+func (g *Gadget) Sound() bool {
+	f := g.formula
+	isVar := make(map[bigraph.EdgeID]int, len(g.VarEdges))
+	for i, id := range g.VarEdges {
+		isVar[id] = i + 1 // 1-based variable index
+	}
+	for _, bw := range butterfly.AllBackbone(g.G) {
+		if bw.B == g.Target || bw.W <= 2 {
+			continue
+		}
+		ids, ok := bw.B.EdgeIDs(g.G)
+		if !ok {
+			continue
+		}
+		var u []int
+		for _, id := range ids {
+			if v, isV := isVar[id]; isV {
+				u = append(u, v)
+			}
+		}
+		covered := false
+		for _, c := range f.Clauses {
+			hasA, hasB := false, false
+			for _, v := range u {
+				if v == c.A {
+					hasA = true
+				}
+				if v == c.B {
+					hasB = true
+				}
+			}
+			if hasA && hasB {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			return false
+		}
+	}
+	return true
+}

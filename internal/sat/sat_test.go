@@ -1,0 +1,217 @@
+package sat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+func TestEvalAndCount(t *testing.T) {
+	// F = (y1 ∨ y2) ∧ (y2 ∨ y3): models over 3 vars.
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2}, {2, 3}}}
+	// Enumerate by hand: y2=1 → 4 models; y2=0 needs y1=1 and y3=1 → 1.
+	n, err := f.CountSatisfying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("#SAT = %d, want 5", n)
+	}
+}
+
+func TestCountEmptyFormula(t *testing.T) {
+	f := &Formula{NumVars: 3}
+	n, err := f.CountSatisfying()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 8 {
+		t.Fatalf("#SAT of empty formula = %d, want 2^3", n)
+	}
+}
+
+func TestValidateRejectsBadLiterals(t *testing.T) {
+	for _, f := range []*Formula{
+		{NumVars: 2, Clauses: []Clause{{0, 1}}},
+		{NumVars: 2, Clauses: []Clause{{1, 3}}},
+		{NumVars: -1},
+	} {
+		if err := f.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", f)
+		}
+	}
+}
+
+func TestCountRefusesLargeFormulas(t *testing.T) {
+	f := &Formula{NumVars: 30}
+	if _, err := f.CountSatisfying(); err == nil {
+		t.Fatal("CountSatisfying accepted 30 variables")
+	}
+}
+
+// TestGadgetShape validates the structural properties of the reduction:
+// edge counts, probabilities, weights and the target butterfly.
+func TestGadgetShape(t *testing.T) {
+	f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2}, {2, 3}, {1, 1}}}
+	g, err := BuildGadget(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edges: 3 variable + 2·2 two-literal clause + 2 single-literal
+	// clause + 1 constant (u0,v0) + 4 target = 14.
+	if got := g.G.NumEdges(); got != 14 {
+		t.Fatalf("gadget has %d edges, want 14", got)
+	}
+	if g.G.NumL() != 6 || g.G.NumR() != 6 {
+		t.Fatalf("gadget partitions %d×%d, want 6×6", g.G.NumL(), g.G.NumR())
+	}
+	w, ok := g.Target.Weight(g.G)
+	if !ok || w != 2 {
+		t.Fatalf("target weight = %v (%v), want 2", w, ok)
+	}
+	pr, _ := g.Target.ExistProb(g.G)
+	if pr != 1 {
+		t.Fatalf("target existence probability = %v, want 1", pr)
+	}
+	for i, id := range g.VarEdges {
+		e := g.G.Edge(id)
+		if e.P != 0.5 || e.W != 1 {
+			t.Fatalf("variable edge %d has (w=%v, p=%v), want (1, 0.5)", i, e.W, e.P)
+		}
+	}
+}
+
+// TestReductionMatchesModelCount is the executable Lemma III.1: on sound
+// formulas, the exact MPMB probability of the target butterfly equals
+// #SAT / 2ⁿ.
+func TestReductionMatchesModelCount(t *testing.T) {
+	formulas := []*Formula{
+		{NumVars: 2, Clauses: []Clause{{1, 2}}},
+		{NumVars: 3, Clauses: []Clause{{1, 2}, {2, 3}}},
+		{NumVars: 2, Clauses: []Clause{{1, 1}}},
+		{NumVars: 4, Clauses: []Clause{{1, 2}, {3, 4}}},
+		{NumVars: 4, Clauses: []Clause{{1, 4}, {2, 3}, {1, 3}}},
+		{NumVars: 2, Clauses: nil},
+	}
+	for _, f := range formulas {
+		g, err := BuildGadget(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Sound() {
+			t.Fatalf("expected sound gadget for %+v", f)
+		}
+		count, err := f.CountSatisfying()
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := float64(count) / math.Pow(2, float64(f.NumVars))
+		got, err := core.ExactProb(g.G, g.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-9 {
+			t.Errorf("formula %+v: P(Target) = %v, #SAT/2ⁿ = %v", f, got, want)
+		}
+	}
+}
+
+// TestReductionRandomSoundFormulas extends the identity check to random
+// formulas via testing/quick, skipping (but tallying) unsound gadgets.
+func TestReductionRandomSoundFormulas(t *testing.T) {
+	sound, unsound := 0, 0
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nVars := 2 + r.Intn(3) // 2..4
+		nClauses := r.Intn(4)  // 0..3
+		f := &Formula{NumVars: nVars}
+		for i := 0; i < nClauses; i++ {
+			a := 1 + r.Intn(nVars)
+			b := 1 + r.Intn(nVars)
+			f.Clauses = append(f.Clauses, Clause{A: a, B: b})
+		}
+		g, err := BuildGadget(f)
+		if err != nil {
+			return false
+		}
+		if !g.Sound() {
+			unsound++
+			return true
+		}
+		sound++
+		count, err := f.CountSatisfying()
+		if err != nil {
+			return false
+		}
+		want := float64(count) / math.Pow(2, float64(nVars))
+		got, err := core.ExactProb(g.G, g.Target)
+		if err != nil {
+			return false
+		}
+		return math.Abs(got-want) < 1e-9
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+	if sound == 0 {
+		t.Fatal("no sound gadget was generated; test is vacuous")
+	}
+	t.Logf("verified %d sound gadgets (%d unsound skipped)", sound, unsound)
+}
+
+// TestUnsoundPatternsDetected builds the two clause patterns that create
+// unintended heavy butterflies and checks Sound flags both — and that
+// P(Target) indeed deviates from #SAT/2ⁿ there, confirming the necessity
+// of the soundness condition.
+func TestUnsoundPatternsDetected(t *testing.T) {
+	t.Run("certain butterfly from a clause 4-cycle", func(t *testing.T) {
+		f := &Formula{NumVars: 4, Clauses: []Clause{{1, 2}, {1, 3}, {4, 2}, {4, 3}}}
+		g, err := BuildGadget(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Sound() {
+			t.Fatal("Sound() missed the certain weight-4 butterfly pattern")
+		}
+		got, err := core.ExactProb(g.G, g.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != 0 {
+			t.Fatalf("P(Target) = %v on unsound gadget, want 0", got)
+		}
+		count, _ := f.CountSatisfying()
+		if count == 0 {
+			t.Fatal("formula unexpectedly unsatisfiable; test loses its point")
+		}
+	})
+
+	t.Run("mixed butterfly from a clause triangle", func(t *testing.T) {
+		f := &Formula{NumVars: 3, Clauses: []Clause{{1, 2}, {2, 3}, {1, 3}}}
+		g, err := BuildGadget(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.Sound() {
+			t.Fatal("Sound() missed the mixed weight-4 butterfly pattern")
+		}
+		got, err := core.ExactProb(g.G, g.Target)
+		if err != nil {
+			t.Fatal(err)
+		}
+		count, _ := f.CountSatisfying()
+		want := float64(count) / 8
+		if math.Abs(got-want) < 1e-9 {
+			t.Fatalf("triangle gadget unexpectedly satisfies the identity (P=%v)", got)
+		}
+		// The actual value: the target is maximum only when every
+		// variable edge is absent (any present variable edge completes a
+		// mixed butterfly through the triangle's clause edges).
+		if math.Abs(got-0.125) > 1e-9 {
+			t.Fatalf("P(Target) = %v, want 1/8", got)
+		}
+	})
+}

@@ -1,0 +1,80 @@
+package mpmb
+
+import "fmt"
+
+// Method selects an MPMB algorithm for Search.
+type Method string
+
+// The available search methods.
+const (
+	// MethodExact enumerates all possible worlds (≤ 24 edges).
+	MethodExact Method = "exact"
+	// MethodMCVP is the Monte-Carlo + vertex-priority baseline.
+	MethodMCVP Method = "mc-vp"
+	// MethodOS is Ordering Sampling.
+	MethodOS Method = "os"
+	// MethodOLSKL is Ordering-Listing Sampling with Karp-Luby estimation.
+	MethodOLSKL Method = "ols-kl"
+	// MethodOLS is Ordering-Listing Sampling with the optimized
+	// estimator — the paper's best configuration and the default.
+	MethodOLS Method = "ols"
+)
+
+// Methods lists every valid Method value.
+var Methods = []Method{MethodExact, MethodMCVP, MethodOS, MethodOLSKL, MethodOLS}
+
+// Options configures a search. DefaultOptions matches the paper's
+// experimental setup.
+type Options struct {
+	// Method picks the algorithm for Search (ignored by the SearchXXX
+	// functions, which are explicit). Empty means MethodOLS.
+	Method Method
+	// Trials is the sampling trial count N: the number of sampled worlds
+	// for MC-VP and OS, N_op for OLS, and the Equation 8 base for OLS-KL.
+	Trials int
+	// PrepTrials is the OLS preparing-phase trial count N_os.
+	PrepTrials int
+	// Seed fixes all randomness; identical options give identical results.
+	Seed uint64
+	// Mu is the target probability used to size Karp-Luby trial counts
+	// via Equation 8 (OLS-KL only). 0 disables dynamic sizing: every
+	// candidate then runs exactly Trials trials.
+	Mu float64
+}
+
+// DefaultOptions returns the paper's Section VIII-B defaults: 2×10⁴
+// sampling trials (the Theorem IV.1 bound for μ=0.05, ε=δ=0.1) and 100
+// preparing trials.
+func DefaultOptions() Options {
+	return Options{
+		Method:     MethodOLS,
+		Trials:     20000,
+		PrepTrials: 100,
+		Mu:         0.05,
+	}
+}
+
+// validateFor checks the options against the method that will actually
+// run — the Search dispatcher passes o.Method, while the explicit
+// SearchXXX functions pass their own method so o.Method is ignored.
+func (o Options) validateFor(m Method) error {
+	if o.Trials < 0 || o.PrepTrials < 0 {
+		return fmt.Errorf("mpmb: negative trial counts (Trials=%d, PrepTrials=%d)", o.Trials, o.PrepTrials)
+	}
+	if o.Mu < 0 || o.Mu > 1 {
+		return fmt.Errorf("mpmb: Mu=%v outside [0,1]", o.Mu)
+	}
+	if m == MethodExact {
+		return nil // trial counts unused
+	}
+	if o.Trials == 0 {
+		return fmt.Errorf("mpmb: Trials must be positive (use DefaultOptions for the paper setup)")
+	}
+	switch m {
+	case MethodOLS, MethodOLSKL, Method(""):
+		if o.PrepTrials == 0 {
+			return fmt.Errorf("mpmb: OLS methods need PrepTrials > 0")
+		}
+	}
+	return nil
+}

@@ -1,0 +1,91 @@
+package mpmb
+
+import (
+	"sync"
+
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+// Searcher answers repeated MPMB queries against one graph, reusing the
+// expensive shared state between calls — most importantly the OLS
+// preparing phase, which dominates total cost on large networks (Fig. 8):
+// candidate sets are cached per (PrepTrials, Seed), so sweeping sampling
+// budgets, switching between the OLS and OLS-KL estimators, or asking for
+// different top-k views pays for candidate listing once.
+//
+// A Searcher is safe for concurrent use.
+type Searcher struct {
+	g *Graph
+
+	mu    sync.Mutex
+	cands map[candKey]*core.Candidates
+}
+
+type candKey struct {
+	prepTrials int
+	seed       uint64
+}
+
+// NewSearcher wraps g for repeated queries.
+func NewSearcher(g *Graph) *Searcher {
+	return &Searcher{g: g, cands: make(map[candKey]*core.Candidates)}
+}
+
+// Graph returns the wrapped graph.
+func (s *Searcher) Graph() *Graph { return s.g }
+
+// Search dispatches like the package-level Search, but OLS-family methods
+// reuse the cached candidate set for (opt.PrepTrials, opt.Seed) instead of
+// re-running the preparing phase. Results are identical to the one-shot
+// functions with the same options.
+func (s *Searcher) Search(opt Options) (*Result, error) {
+	switch opt.Method {
+	case MethodOLS, MethodOLSKL, Method(""):
+		if err := opt.validateFor(MethodOLS); err != nil {
+			return nil, err
+		}
+		cands, err := s.candidates(opt.PrepTrials, opt.Seed)
+		if err != nil {
+			return nil, err
+		}
+		return core.OLSSamplingPhase(cands, core.OLSOptions{
+			PrepTrials:  opt.PrepTrials,
+			Trials:      opt.Trials,
+			Seed:        opt.Seed,
+			UseKarpLuby: opt.Method == MethodOLSKL,
+			KL:          core.KLOptions{Mu: opt.Mu},
+		})
+	default:
+		return Search(s.g, opt)
+	}
+}
+
+// CandidateCount reports how many candidate butterflies the preparing
+// phase for (prepTrials, seed) finds, materializing (and caching) it.
+func (s *Searcher) CandidateCount(prepTrials int, seed uint64) (int, error) {
+	cands, err := s.candidates(prepTrials, seed)
+	if err != nil {
+		return 0, err
+	}
+	return cands.Len(), nil
+}
+
+func (s *Searcher) candidates(prepTrials int, seed uint64) (*core.Candidates, error) {
+	key := candKey{prepTrials: prepTrials, seed: seed}
+	s.mu.Lock()
+	cached, ok := s.cands[key]
+	s.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	// Prepare outside the lock; duplicate work on a race is harmless
+	// (both goroutines compute the identical deterministic set).
+	cands, err := core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{})
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.cands[key] = cands
+	s.mu.Unlock()
+	return cands, nil
+}

@@ -1,0 +1,96 @@
+package mpmb
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSearcherMatchesOneShot: Searcher results must be bit-identical to
+// the package-level functions with identical options.
+func TestSearcherMatchesOneShot(t *testing.T) {
+	g := figure1(t)
+	s := NewSearcher(g)
+	if s.Graph() != g {
+		t.Fatal("Graph() does not return the wrapped graph")
+	}
+	for _, m := range []Method{MethodOLS, MethodOLSKL, MethodOS, MethodExact} {
+		opt := Options{Method: m, Trials: 5000, PrepTrials: 100, Seed: 7, Mu: 0.05}
+		want, err := Search(g, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		got, err := s.Search(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if len(got.Estimates) != len(want.Estimates) {
+			t.Fatalf("%s: %d estimates vs %d", m, len(got.Estimates), len(want.Estimates))
+		}
+		for i := range got.Estimates {
+			if got.Estimates[i] != want.Estimates[i] {
+				t.Fatalf("%s: estimate %d differs: %+v vs %+v", m, i, got.Estimates[i], want.Estimates[i])
+			}
+		}
+	}
+}
+
+// TestSearcherCachesCandidates: two OLS queries with the same preparing
+// parameters share a candidate set (observable via CandidateCount and,
+// indirectly, identical results across estimator switches).
+func TestSearcherCachesCandidates(t *testing.T) {
+	g := figure1(t)
+	s := NewSearcher(g)
+	n1, err := s.CandidateCount(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 == 0 {
+		t.Fatal("no candidates found")
+	}
+	n2, err := s.CandidateCount(100, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n1 != n2 {
+		t.Fatalf("cache instability: %d then %d candidates", n1, n2)
+	}
+	// Different key → independent entry (may differ in content).
+	if _, err := s.CandidateCount(50, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSearcherConcurrent: concurrent queries race-safely share the cache.
+func TestSearcherConcurrent(t *testing.T) {
+	g := figure1(t)
+	s := NewSearcher(g)
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			m := MethodOLS
+			if i%2 == 1 {
+				m = MethodOLSKL
+			}
+			_, err := s.Search(Options{Method: m, Trials: 500, PrepTrials: 50, Seed: 3, Mu: 0.05})
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestSearcherValidation propagates option errors.
+func TestSearcherValidation(t *testing.T) {
+	s := NewSearcher(figure1(t))
+	if _, err := s.Search(Options{Method: MethodOLS, Trials: 0}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}
