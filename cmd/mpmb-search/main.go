@@ -6,17 +6,28 @@
 //
 //	mpmb-search -graph movielens.graph                 # OLS, paper defaults
 //	mpmb-search -graph g.graph -method os -trials 50000 -topk 10
-//	mpmb-search -graph g.graph -method os -workers 8   # parallel trials
+//	mpmb-search -graph g.graph -method ols -workers 8  # parallel trials
 //	mpmb-search -graph tiny.graph -method exact        # ≤ 24 edges
 //	mpmb-search -graph g.graph -disjoint -stats
+//
+// Long runs degrade gracefully instead of dying: a -timeout expiry or a
+// Ctrl-C stops the search at the next trial boundary and reports the
+// estimates over the trials completed so far. With -checkpoint the
+// cancelled run's accumulator state is saved, and -resume finishes it
+// later, bit-identical to a run that was never interrupted:
+//
+//	mpmb-search -graph big.graph -trials 1000000 -timeout 30s -checkpoint run.ckpt
+//	mpmb-search -graph big.graph -trials 1000000 -resume run.ckpt
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
@@ -43,7 +54,10 @@ func run(args []string, out io.Writer) error {
 		mu       = fs.Float64("mu", 0.05, "Equation 8 target probability (ols-kl)")
 		disjoint = fs.Bool("disjoint", false, "report vertex-disjoint butterflies (scattered view)")
 		stats    = fs.Bool("stats", false, "also print butterfly-count statistics")
-		workers  = fs.Int("workers", 0, "parallel workers for -method os (0 = sequential)")
+		workers  = fs.Int("workers", 0, "parallel workers for os/ols/ols-kl (0 = sequential)")
+		timeout  = fs.Duration("timeout", 0, "stop after this long and report partial results (0 = no limit)")
+		ckpt     = fs.String("checkpoint", "", "write a cancelled run's resumable state to this file")
+		resume   = fs.String("resume", "", "resume a cancelled run from this checkpoint file")
 		jsonOut  = fs.String("json", "", "also write the reported butterflies as JSON to this file")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -69,14 +83,29 @@ func run(args []string, out io.Writer) error {
 		PrepTrials: *prep,
 		Seed:       *seed,
 		Mu:         *mu,
+		Workers:    *workers,
 	}
+	if *resume != "" {
+		ck, err := mpmb.LoadCheckpoint(*resume)
+		if err != nil {
+			return fmt.Errorf("loading checkpoint: %w", err)
+		}
+		opt.Resume = ck
+	}
+
+	// Ctrl-C and -timeout both cancel the context; the search then stops
+	// at the next trial boundary and returns the completed prefix.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	defer stopSignals()
+
 	t0 := time.Now()
-	var res *mpmb.Result
-	if *workers > 0 && opt.Method == mpmb.MethodOS {
-		res, err = mpmb.SearchOSParallel(g, opt, *workers)
-	} else {
-		res, err = mpmb.Search(g, opt)
-	}
+	res, err := mpmb.SearchContext(ctx, g, opt)
 	if err != nil {
 		return err
 	}
@@ -87,6 +116,19 @@ func run(args []string, out io.Writer) error {
 			res.Method, res.Trials, res.PrepTrials, elapsed.Round(time.Millisecond))
 	} else {
 		fmt.Fprintf(out, "method=%s trials=%d time=%v\n", res.Method, res.Trials, elapsed.Round(time.Millisecond))
+	}
+	if res.Partial {
+		fmt.Fprintf(out, "cancelled after %d/%d trials; estimates cover the completed prefix\n",
+			res.TrialsDone, res.Trials)
+		if *ckpt != "" {
+			if res.Checkpoint == nil {
+				fmt.Fprintf(out, "method %s has no resumable state; re-run to completion\n", res.Method)
+			} else if err := mpmb.SaveCheckpoint(*ckpt, res.Checkpoint); err != nil {
+				return fmt.Errorf("saving checkpoint: %w", err)
+			} else {
+				fmt.Fprintf(out, "checkpoint saved to %s (finish with -resume %s)\n", *ckpt, *ckpt)
+			}
+		}
 	}
 
 	top := res.TopK(*topk)
@@ -125,8 +167,13 @@ func writeJSON(path string, res *mpmb.Result, top []mpmb.Estimate) error {
 		Method     string          `json:"method"`
 		Trials     int             `json:"trials"`
 		PrepTrials int             `json:"prep_trials,omitempty"`
+		Partial    bool            `json:"partial,omitempty"`
+		TrialsDone int             `json:"trials_done,omitempty"`
 		Top        []jsonButterfly `json:"top"`
-	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials}
+	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial}
+	if res.Partial {
+		doc.TrialsDone = res.TrialsDone
+	}
 	for _, e := range top {
 		doc.Top = append(doc.Top, jsonButterfly{
 			U1: e.B.U1, U2: e.B.U2, V1: e.B.V1, V2: e.B.V2,

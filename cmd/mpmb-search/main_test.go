@@ -84,6 +84,118 @@ func TestRunSearchErrors(t *testing.T) {
 	}
 }
 
+// TestRunTimeoutCheckpointResume exercises the graceful-degradation flow
+// end to end through the CLI: a -timeout cancels the run, -checkpoint
+// persists its state, and -resume finishes it with JSON output
+// byte-identical to a run that was never interrupted.
+func TestRunTimeoutCheckpointResume(t *testing.T) {
+	path := writeFigure1(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "run.ckpt")
+	common := []string{"-graph", path, "-method", "os", "-trials", "30000", "-seed", "7"}
+
+	// Reference: the same search, never interrupted.
+	refJSON := filepath.Join(dir, "ref.json")
+	var sb strings.Builder
+	if err := run(append(common, "-json", refJSON), &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// A 1ns timeout is guaranteed to expire before the first trial, so the
+	// cancelled run is deterministic: partial, zero trials done.
+	sb.Reset()
+	err := run(append(common, "-timeout", "1ns", "-checkpoint", ckpt), &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "cancelled after") {
+		t.Fatalf("timed-out run not reported as cancelled:\n%s", out)
+	}
+	if !strings.Contains(out, "checkpoint saved to "+ckpt) {
+		t.Fatalf("checkpoint not saved:\n%s", out)
+	}
+
+	// Resuming finishes the run; the JSON report must match the reference
+	// byte for byte.
+	resJSON := filepath.Join(dir, "resumed.json")
+	sb.Reset()
+	if err := run(append(common, "-resume", ckpt, "-json", resJSON), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "cancelled") {
+		t.Fatalf("resumed run still cancelled:\n%s", sb.String())
+	}
+	ref, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := os.ReadFile(resJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(res) {
+		t.Fatalf("resumed JSON differs from uninterrupted run:\nref:     %s\nresumed: %s", ref, res)
+	}
+}
+
+// TestRunExactNoCheckpoint: exact has no resumable state; the CLI says so
+// instead of writing a useless file.
+func TestRunExactNoCheckpoint(t *testing.T) {
+	path := writeFigure1(t)
+	ckpt := filepath.Join(t.TempDir(), "exact.ckpt")
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "exact",
+		"-timeout", "1ns", "-checkpoint", ckpt}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no resumable state") {
+		t.Fatalf("missing no-resumable-state notice:\n%s", sb.String())
+	}
+	if _, err := os.Stat(ckpt); err == nil {
+		t.Fatal("checkpoint file written for exact method")
+	}
+}
+
+// TestRunWorkersRejected: -workers must be an explicit error for methods
+// with no parallel runner, not a silently ignored flag.
+func TestRunWorkersRejected(t *testing.T) {
+	path := writeFigure1(t)
+	for _, method := range []string{"mc-vp", "exact"} {
+		var sb strings.Builder
+		err := run([]string{"-graph", path, "-method", method, "-workers", "2"}, &sb)
+		if err == nil {
+			t.Fatalf("%s: -workers 2 accepted", method)
+		}
+		if !strings.Contains(err.Error(), "parallel") {
+			t.Fatalf("%s: unhelpful error: %v", method, err)
+		}
+	}
+}
+
+// TestRunResumeErrors covers checkpoint-file failure modes at the CLI
+// boundary: missing file and a checkpoint from a mismatched run.
+func TestRunResumeErrors(t *testing.T) {
+	path := writeFigure1(t)
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-resume", "missing.ckpt"}, &sb); err == nil {
+		t.Fatal("missing checkpoint file accepted")
+	}
+	// Produce a valid checkpoint with seed 7, then resume under seed 8.
+	ckpt := filepath.Join(t.TempDir(), "run.ckpt")
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "30000",
+		"-seed", "7", "-timeout", "1ns", "-checkpoint", ckpt}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = run([]string{"-graph", path, "-method", "os", "-trials", "30000",
+		"-seed", "8", "-resume", ckpt}, &sb)
+	if err == nil {
+		t.Fatal("checkpoint resumed under a different seed")
+	}
+}
+
 func TestRunJSONOutput(t *testing.T) {
 	path := writeFigure1(t)
 	jsonPath := filepath.Join(t.TempDir(), "res.json")

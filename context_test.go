@@ -1,0 +1,193 @@
+package mpmb
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSearchContextCancelledReturnsPartial is the acceptance contract:
+// cancelling mid-run returns a partial Result with TrialsDone < Trials
+// for every method, instead of an error or discarded work.
+func TestSearchContextCancelledReturnsPartial(t *testing.T) {
+	g := figure1(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before the first trial
+
+	for _, m := range []Method{MethodMCVP, MethodOS, MethodOLSKL, MethodOLS, MethodExact} {
+		opt := DefaultOptions()
+		opt.Method = m
+		opt.Trials = 5000
+		res, err := SearchContext(ctx, g, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		if !res.Partial {
+			t.Fatalf("%s: cancelled run not marked partial", m)
+		}
+		if res.TrialsDone >= res.Trials && m != MethodExact {
+			t.Fatalf("%s: TrialsDone = %d, Trials = %d, want TrialsDone < Trials", m, res.TrialsDone, res.Trials)
+		}
+	}
+
+	// An uncancelled context changes nothing.
+	res, err := SearchContext(context.Background(), g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.TrialsDone != res.Trials {
+		t.Fatalf("complete run mis-reported: Partial=%v TrialsDone=%d Trials=%d", res.Partial, res.TrialsDone, res.Trials)
+	}
+	plain, err := Search(g, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plain.Estimates) != len(res.Estimates) {
+		t.Fatalf("SearchContext and Search disagree: %d vs %d estimates", len(res.Estimates), len(plain.Estimates))
+	}
+	for i := range plain.Estimates {
+		if plain.Estimates[i] != res.Estimates[i] {
+			t.Fatalf("estimate %d differs between Search and SearchContext", i)
+		}
+	}
+}
+
+// TestSearchContextResumeThroughFiles runs the full degradation cycle
+// through the public API: cancel, persist the checkpoint to disk, reload,
+// resume, and require bit-identity with an uninterrupted run — including
+// with parallel workers under way.
+func TestSearchContextResumeThroughFiles(t *testing.T) {
+	g := figure1(t)
+	for _, workers := range []int{0, 4} {
+		opt := DefaultOptions()
+		opt.Method = MethodOS
+		opt.Trials = 100000
+		opt.Seed = 13
+		opt.Workers = workers
+
+		ref, err := Search(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Cancel partway through via a deadline that is already close; use
+		// a deterministic short timeout long enough to finish some trials.
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		var part *Result
+		go func() {
+			defer close(done)
+			part, err = SearchContext(ctx, g, opt)
+		}()
+		time.Sleep(time.Millisecond)
+		cancel()
+		<-done
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if !part.Partial {
+			// The run won the race; nothing to resume this round.
+			continue
+		}
+		if part.Checkpoint == nil {
+			t.Fatalf("workers=%d: partial result without checkpoint", workers)
+		}
+
+		path := filepath.Join(t.TempDir(), "os.ckpt")
+		if err := SaveCheckpoint(path, part.Checkpoint); err != nil {
+			t.Fatal(err)
+		}
+		ck, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opt.Resume = ck
+		resumed, err := SearchContext(context.Background(), g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed.Partial {
+			t.Fatalf("workers=%d: resumed run still partial", workers)
+		}
+		if len(resumed.Estimates) != len(ref.Estimates) {
+			t.Fatalf("workers=%d: %d estimates after resume, want %d", workers, len(resumed.Estimates), len(ref.Estimates))
+		}
+		for i := range ref.Estimates {
+			if resumed.Estimates[i] != ref.Estimates[i] {
+				t.Fatalf("workers=%d: estimate %d differs after resume: %+v vs %+v",
+					workers, i, resumed.Estimates[i], ref.Estimates[i])
+			}
+		}
+	}
+}
+
+// TestOptionsRejectUnsupportedCombos pins the validation errors for the
+// new Workers and Resume fields.
+func TestOptionsRejectUnsupportedCombos(t *testing.T) {
+	g := figure1(t)
+	opt := DefaultOptions()
+	opt.Method = MethodMCVP
+	opt.Workers = 2
+	if _, err := Search(g, opt); err == nil {
+		t.Fatal("mc-vp accepted Workers > 0")
+	}
+	opt = DefaultOptions()
+	opt.Method = MethodExact
+	opt.Workers = 2
+	if _, err := Search(g, opt); err == nil {
+		t.Fatal("exact accepted Workers > 0")
+	}
+	opt = DefaultOptions()
+	opt.Method = MethodExact
+	opt.Workers = 0
+	opt.Resume = &Checkpoint{Method: "os", Trials: 1}
+	if _, err := Search(g, opt); err == nil {
+		t.Fatal("exact accepted a resume checkpoint")
+	}
+	opt = DefaultOptions()
+	opt.Workers = -1
+	if _, err := Search(g, opt); err == nil {
+		t.Fatal("negative Workers accepted")
+	}
+}
+
+// TestSearcherSearchContext checks the Searcher's cancellable path reuses
+// cached candidates and honours Workers, returning results identical to
+// the one-shot API.
+func TestSearcherSearchContext(t *testing.T) {
+	g := figure1(t)
+	s := NewSearcher(g)
+	opt := DefaultOptions()
+	opt.Trials = 3000
+	opt.Seed = 21
+
+	ref, err := Search(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 3} {
+		opt.Workers = workers
+		res, err := s.SearchContext(context.Background(), opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range ref.Estimates {
+			if res.Estimates[i] != ref.Estimates[i] {
+				t.Fatalf("workers=%d: estimate %d differs from one-shot search", workers, i)
+			}
+		}
+	}
+
+	// A cancelled context degrades to a partial result here too.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	opt.Workers = 0
+	res, err := s.SearchContext(ctx, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial || res.TrialsDone != 0 {
+		t.Fatalf("cancelled Searcher run: Partial=%v TrialsDone=%d", res.Partial, res.TrialsDone)
+	}
+}

@@ -146,17 +146,17 @@ func runMethodTimed(g *bigraph.Graph, name string, m Method, opt Options) (Timin
 		deadline := time.Now().Add(opt.TimeBudget / 2)
 		completed := 0
 		t0 := time.Now()
-		_, err := core.MCVP(g, core.MCVPOptions{
+		res, err := core.MCVP(g, core.MCVPOptions{
 			Trials:          pilot,
 			Seed:            opt.Seed,
 			Interrupt:       func() bool { return time.Now().After(deadline) },
 			CompletedTrials: &completed,
 		})
 		pilotTime := time.Since(t0)
-		if err != nil && err != core.ErrInterrupted {
+		if err != nil {
 			return cell, err
 		}
-		interrupted := err == core.ErrInterrupted
+		interrupted := res.Partial
 		perTrial := pilotTime / time.Duration(completed+1)
 		if !interrupted && completed > 0 {
 			perTrial = pilotTime / time.Duration(completed)

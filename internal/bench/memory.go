@@ -41,17 +41,14 @@ func RunMemory(opt Options) ([]MemoryCell, error) {
 				case MCVP:
 					// Memory peaks within the first trial; a deadline keeps
 					// dense datasets from running for hours. An interrupted
-					// run still observed the peak working set up to that
-					// point.
+					// run returns a partial result and still observed the
+					// peak working set up to that point.
 					deadline := time.Now().Add(opt.TimeBudget / 4)
 					_, runErr = core.MCVP(g, core.MCVPOptions{
 						Trials:    3,
 						Seed:      opt.Seed,
 						Interrupt: func() bool { return time.Now().After(deadline) },
 					})
-					if runErr == core.ErrInterrupted {
-						runErr = nil
-					}
 				case OS:
 					trials := opt.SampleTrials
 					if trials > 200 {

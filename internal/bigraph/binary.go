@@ -135,6 +135,13 @@ func payloadCRC(g *Graph) uint32 {
 	return crc.Sum32()
 }
 
+// Checksum returns the CRC-32 of g's canonical binary payload — a cheap
+// fingerprint that identifies the graph's exact content (partitions,
+// edges, weights, probabilities). Run checkpoints embed it so that a
+// resume against a different graph is refused instead of silently
+// producing garbage.
+func (g *Graph) Checksum() uint32 { return payloadCRC(g) }
+
 // SaveBinary writes g to the named file in the binary format.
 func SaveBinary(path string, g *Graph) error {
 	f, err := os.Create(path)

@@ -26,21 +26,48 @@ type Candidate struct {
 type Candidates struct {
 	G    *bigraph.Graph
 	List []Candidate
+	// PrepDone is how many preparing trials produced List. It equals the
+	// requested trial count unless the preparing phase was cancelled
+	// through the OSOptions Interrupt hook, in which case List reflects
+	// only the completed prefix of trials.
+	PrepDone int
 }
 
 // PrepareCandidates runs the OLS preparing phase (lines 2–4 of Algorithm
 // 3): nPrep Ordering Sampling trials whose per-trial maximum sets are
 // unioned into C_MB. Per Lemma VI.1, a butterfly with true probability
 // P(B) appears in C_MB with probability 1 − (1−P(B))^nPrep.
+//
+// If osOpt.Interrupt fires, the phase stops and the returned candidate
+// set covers only the completed trials (PrepDone < nPrep); OLS converts
+// that into a resumable prepare-phase checkpoint.
 func PrepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions) (*Candidates, error) {
+	c, _, err := prepareCandidates(g, nPrep, seed, osOpt, nil, 0)
+	return c, err
+}
+
+// prepareCandidates is PrepareCandidates with resume support: it seeds the
+// hit tallies from a prepare-phase checkpoint's entries and continues at
+// trial start+1. The second return reports whether the phase was cut
+// short by osOpt.Interrupt.
+func prepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions, resume []ButterflyCount, start int) (*Candidates, bool, error) {
 	if nPrep <= 0 {
-		return nil, fmt.Errorf("core: preparing phase requires nPrep > 0, got %d", nPrep)
+		return nil, false, fmt.Errorf("core: preparing phase requires nPrep > 0, got %d", nPrep)
 	}
 	idx := newOSIndex(g, osOpt)
 	root := randx.New(seed)
 	hits := make(map[butterfly.Butterfly]int)
+	for _, e := range resume {
+		hits[e.B] = int(e.Count)
+	}
+	done := start
+	interrupted := false
 	var sMB butterfly.MaxSet
-	for trial := 1; trial <= nPrep; trial++ {
+	for trial := start + 1; trial <= nPrep; trial++ {
+		if osOpt.Interrupt != nil && osOpt.Interrupt() {
+			interrupted = true
+			break
+		}
 		rng := root.Derive(uint64(trial))
 		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
 			return rng.Bernoulli(g.Edge(id).P)
@@ -48,8 +75,14 @@ func PrepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions
 		for _, b := range sMB.Set {
 			hits[b]++
 		}
+		done = trial
 	}
-	return NewCandidates(g, hits)
+	c, err := NewCandidates(g, hits)
+	if err != nil {
+		return nil, false, err
+	}
+	c.PrepDone = done
+	return c, interrupted, nil
 }
 
 // NewCandidates builds a sorted candidate set from a butterfly→hit-count
@@ -93,6 +126,17 @@ func AllBackboneCandidates(g *bigraph.Graph) (*Candidates, error) {
 
 // Len returns |C_MB|.
 func (c *Candidates) Len() int { return len(c.List) }
+
+// prepSnapshot exports the preparing-phase hit tallies as canonical-order
+// checkpoint entries, so a cancelled preparing phase can resume exactly.
+func (c *Candidates) prepSnapshot() []ButterflyCount {
+	out := make([]ButterflyCount, 0, len(c.List))
+	for _, cand := range c.List {
+		out = append(out, ButterflyCount{B: cand.B, Count: int64(cand.Hits), Weight: cand.Weight})
+	}
+	sort.Slice(out, func(i, j int) bool { return lessButterfly(out[i].B, out[j].B) })
+	return out
+}
 
 // LargerCount returns L(i): the number of candidates whose weight is
 // strictly larger than candidate i's — equivalently, the largest index

@@ -13,9 +13,31 @@ import (
 // with at most possible.MaxEnumerableEdges edges — the very intractability
 // that motivates the paper's sampling algorithms.
 func Exact(g *bigraph.Graph) (*Result, error) {
+	return ExactInterruptible(g, nil)
+}
+
+// ExactInterruptible is Exact with a cancellation hook, polled every few
+// thousand enumerated worlds. A cancelled enumeration returns a partial
+// Result whose estimates sum only the worlds visited so far — lower
+// bounds on the true probabilities, NOT unbiased samples (worlds are
+// enumerated in a fixed order, not drawn at random) — with TrialsDone
+// reporting the visited world count. There is no checkpoint: re-running
+// the enumeration is the only way to finish, and graphs small enough to
+// enumerate restart cheaply.
+func ExactInterruptible(g *bigraph.Graph, interrupt func() bool) (*Result, error) {
 	probs := make(map[butterfly.Butterfly]float64)
 	weights := make(map[butterfly.Butterfly]float64)
+	worlds := 0
+	interrupted := false
 	err := possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+		worlds++
+		// Poll on the first world (so a pre-cancelled run stops immediately
+		// even when the whole enumeration is under one batch) and then
+		// every 4096 worlds.
+		if worlds%4096 == 1 && interrupt != nil && interrupt() {
+			interrupted = true
+			return false
+		}
 		if pr == 0 {
 			return true
 		}
@@ -34,7 +56,12 @@ func Exact(g *bigraph.Graph) (*Result, error) {
 		es = append(es, Estimate{B: b, Weight: weights[b], P: p})
 	}
 	sortEstimates(es)
-	return &Result{Method: "exact", Estimates: es}, nil
+	res := &Result{Method: "exact", Estimates: es}
+	if interrupted {
+		res.Partial = true
+		res.TrialsDone = worlds
+	}
+	return res, nil
 }
 
 // ExactProb computes P(B) for a single butterfly by world enumeration,

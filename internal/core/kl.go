@@ -42,9 +42,36 @@ type KLOptions struct {
 	// 0. Convergence traces of one butterfly use this to avoid pricing
 	// thousands of irrelevant candidates.
 	OnlyCandidate *int
-	// Interrupt, if non-nil, is polled between candidates; when it
-	// returns true the run aborts with ErrInterrupted.
+	// Interrupt, if non-nil, is polled between candidates; when it returns
+	// true the run stops, leaving later candidates unpriced (State reports
+	// how many were finished). Estimation is candidate-granular, so the
+	// priced prefix is exact. Parallel runners poll the hook concurrently
+	// from every worker; it must be safe for concurrent use there.
 	Interrupt func() bool
+	// State, if non-nil, receives the run's completion state — partial
+	// flag, priced-candidate count, and per-candidate data for
+	// checkpointing.
+	State *EstimatorState
+	// ResumeProbs / ResumeTrials / ResumeDone restore the first ResumeDone
+	// candidates' estimates from an earlier cancelled run; pricing
+	// continues at candidate ResumeDone and finishes bit-identically to an
+	// uninterrupted run (per-candidate streams derive from (Seed,
+	// candidate index)). Incompatible with OnlyCandidate.
+	ResumeProbs  []float64
+	ResumeTrials []int64
+	ResumeDone   int
+}
+
+// klScratch is the reusable lazy edge-sampling state shared by all trials
+// of all candidates priced by one goroutine.
+type klScratch struct {
+	stamp []int32
+	val   []bool
+	cur   int32
+}
+
+func newKLScratch(numE int) *klScratch {
+	return &klScratch{stamp: make([]int32, numE), val: make([]bool, numE)}
 }
 
 // EstimateKarpLuby runs Algorithm 4 over a weight-sorted candidate set and
@@ -68,129 +95,173 @@ type KLOptions struct {
 // missing from the candidate set bias P̂ upward by at most Σ P(B_missing)
 // (Lemma VI.5).
 func EstimateKarpLuby(c *Candidates, opt KLOptions) ([]float64, error) {
+	if err := validateKL(opt); err != nil {
+		return nil, err
+	}
+	n := len(c.List)
+	probs := make([]float64, n)
+	trialsUsed := make([]int, n)
+	start, err := klResumeInit(n, opt, probs, trialsUsed)
+	if err != nil {
+		return nil, err
+	}
+
+	scratch := newKLScratch(c.G.NumEdges())
+	root := randx.New(opt.Seed)
+	partial := false
+	done := n
+	for i := start; i < n; i++ {
+		if opt.Interrupt != nil && opt.Interrupt() {
+			partial = true
+			done = i
+			break
+		}
+		if opt.OnlyCandidate != nil && i != *opt.OnlyCandidate {
+			continue
+		}
+		probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
+	}
+	if opt.TrialsUsed != nil {
+		*opt.TrialsUsed = trialsUsed
+	}
+	if opt.State != nil {
+		*opt.State = EstimatorState{Partial: partial, Done: done, Probs: probs, Trials: trialsUsed}
+	}
+	return probs, nil
+}
+
+// klResumeInit validates the resume options and copies the already-priced
+// prefix into probs/trialsUsed, returning the first candidate to price.
+func klResumeInit(n int, opt KLOptions, probs []float64, trialsUsed []int) (int, error) {
+	if opt.ResumeDone == 0 && opt.ResumeProbs == nil {
+		return 0, nil
+	}
+	if opt.ResumeDone < 0 || opt.ResumeDone > n {
+		return 0, fmt.Errorf("core: Karp-Luby resume at candidate %d outside [0,%d]", opt.ResumeDone, n)
+	}
+	if len(opt.ResumeProbs) != n || len(opt.ResumeTrials) != n {
+		return 0, fmt.Errorf("core: Karp-Luby resume has %d/%d entries, want %d", len(opt.ResumeProbs), len(opt.ResumeTrials), n)
+	}
+	for i := 0; i < opt.ResumeDone; i++ {
+		probs[i] = opt.ResumeProbs[i]
+		trialsUsed[i] = int(opt.ResumeTrials[i])
+	}
+	return opt.ResumeDone, nil
+}
+
+// validateKL checks the option combinations shared by the sequential and
+// parallel Karp-Luby runners.
+func validateKL(opt KLOptions) error {
 	if opt.BaseTrials <= 0 {
-		return nil, fmt.Errorf("core: Karp-Luby estimator requires BaseTrials > 0, got %d", opt.BaseTrials)
+		return fmt.Errorf("core: Karp-Luby estimator requires BaseTrials > 0, got %d", opt.BaseTrials)
 	}
 	if opt.Mu < 0 || opt.Mu > 1 {
-		return nil, fmt.Errorf("core: Karp-Luby Mu=%v outside [0,1]", opt.Mu)
+		return fmt.Errorf("core: Karp-Luby Mu=%v outside [0,1]", opt.Mu)
 	}
+	if opt.OnlyCandidate != nil && (opt.ResumeDone != 0 || opt.ResumeProbs != nil) {
+		return fmt.Errorf("core: Karp-Luby resume is incompatible with OnlyCandidate")
+	}
+	return nil
+}
+
+// klPrice prices one candidate (lines 3–10 of Algorithm 4). Its random
+// stream derives from (root, candidate index) only, so any subset of
+// candidates can be priced in any order — or on any goroutine — with
+// bit-identical results.
+func klPrice(c *Candidates, i int, opt KLOptions, root *randx.RNG, scratch *klScratch) (prob float64, nTrials int) {
 	maxTrials := opt.MaxTrials
 	if maxTrials <= 0 {
 		maxTrials = 50 * opt.BaseTrials
 	}
 	g := c.G
-	n := len(c.List)
-	probs := make([]float64, n)
-	trialsUsed := make([]int, n)
-
-	// Lazy per-trial edge sampling state, shared across candidates.
-	numE := g.NumEdges()
-	stamp := make([]int32, numE)
-	val := make([]bool, numE)
-	var cur int32
-
-	root := randx.New(opt.Seed)
-	for i := 0; i < n; i++ {
-		if opt.Interrupt != nil && opt.Interrupt() {
-			return nil, ErrInterrupted
+	cand := &c.List[i]
+	li := c.LargerCount(i) // line 3: L(i)
+	if li == 0 {
+		// No heavier candidate: B_i is maximum whenever it exists.
+		if opt.OnCandidateTrial != nil {
+			opt.OnCandidateTrial(i, 0, cand.ExistProb)
 		}
-		if opt.OnlyCandidate != nil && i != *opt.OnlyCandidate {
-			continue
-		}
-		cand := &c.List[i]
-		li := c.LargerCount(i) // line 3: L(i)
-		if li == 0 {
-			// No heavier candidate: B_i is maximum whenever it exists.
-			probs[i] = cand.ExistProb
-			if opt.OnCandidateTrial != nil {
-				opt.OnCandidateTrial(i, 0, probs[i])
-			}
-			continue
-		}
-		// Per-competitor diff edge sets and probabilities (line 4).
-		diffs := make([][]bigraph.EdgeID, li)
-		diffProbs := make([]float64, li)
-		sI := 0.0
-		for j := 0; j < li; j++ {
-			diffs[j] = c.DiffEdges(j, i)
-			diffProbs[j] = 1.0
-			for _, id := range diffs[j] {
-				diffProbs[j] *= g.Edge(id).P
-			}
-			sI += diffProbs[j]
-		}
-		if sI == 0 {
-			// Every competitor has an impossible diff set; the union is
-			// empty and B_i is maximum exactly when it exists.
-			probs[i] = cand.ExistProb
-			if opt.OnCandidateTrial != nil {
-				opt.OnCandidateTrial(i, 0, probs[i])
-			}
-			continue
-		}
-
-		nTrials := opt.BaseTrials
-		if opt.Mu > 0 {
-			ratio := KLOpRatio(cand.ExistProb, sI, opt.Mu)
-			nTrials = int(ratio*float64(opt.BaseTrials)) + 1
-			if nTrials > maxTrials {
-				nTrials = maxTrials
-			}
-		}
-		trialsUsed[i] = nTrials
-
-		alias := randx.NewAlias(diffProbs)
-		rng := root.Derive(uint64(i) + 1)
-		cnt := 0
-		for t := 0; t < nTrials; t++ {
-			cur++
-			j := alias.Sample(rng) // line 6
-			// Line 7: sample a world with B_j\B_i forced present.
-			for _, id := range diffs[j] {
-				stamp[id] = cur
-				val[id] = true
-			}
-			// Line 8: reject if any smaller-index competitor also exists.
-			minimal := true
-			for k := 0; k < j && minimal; k++ {
-				allPresent := true
-				for _, id := range diffs[k] {
-					if stamp[id] != cur {
-						stamp[id] = cur
-						val[id] = rng.Bernoulli(g.Edge(id).P)
-					}
-					if !val[id] {
-						allPresent = false
-						break
-					}
-				}
-				if allPresent {
-					minimal = false
-				}
-			}
-			if minimal {
-				cnt++ // line 9
-			}
-			if opt.OnCandidateTrial != nil {
-				running := (1 - float64(cnt)/float64(t+1)*sI) * cand.ExistProb
-				if running < 0 {
-					running = 0
-				}
-				opt.OnCandidateTrial(i, t+1, running)
-			}
-		}
-		// Line 10.
-		p := (1 - float64(cnt)/float64(nTrials)*sI) * cand.ExistProb
-		if p < 0 {
-			p = 0
-		}
-		if p > cand.ExistProb {
-			p = cand.ExistProb
-		}
-		probs[i] = p
+		return cand.ExistProb, 0
 	}
-	if opt.TrialsUsed != nil {
-		*opt.TrialsUsed = trialsUsed
+	// Per-competitor diff edge sets and probabilities (line 4).
+	diffs := make([][]bigraph.EdgeID, li)
+	diffProbs := make([]float64, li)
+	sI := 0.0
+	for j := 0; j < li; j++ {
+		diffs[j] = c.DiffEdges(j, i)
+		diffProbs[j] = 1.0
+		for _, id := range diffs[j] {
+			diffProbs[j] *= g.Edge(id).P
+		}
+		sI += diffProbs[j]
 	}
-	return probs, nil
+	if sI == 0 {
+		// Every competitor has an impossible diff set; the union is
+		// empty and B_i is maximum exactly when it exists.
+		if opt.OnCandidateTrial != nil {
+			opt.OnCandidateTrial(i, 0, cand.ExistProb)
+		}
+		return cand.ExistProb, 0
+	}
+
+	nTrials = opt.BaseTrials
+	if opt.Mu > 0 {
+		ratio := KLOpRatio(cand.ExistProb, sI, opt.Mu)
+		nTrials = int(ratio*float64(opt.BaseTrials)) + 1
+		if nTrials > maxTrials {
+			nTrials = maxTrials
+		}
+	}
+
+	stamp, val := scratch.stamp, scratch.val
+	alias := randx.NewAlias(diffProbs)
+	rng := root.Derive(uint64(i) + 1)
+	cnt := 0
+	for t := 0; t < nTrials; t++ {
+		scratch.cur++
+		cur := scratch.cur
+		j := alias.Sample(rng) // line 6
+		// Line 7: sample a world with B_j\B_i forced present.
+		for _, id := range diffs[j] {
+			stamp[id] = cur
+			val[id] = true
+		}
+		// Line 8: reject if any smaller-index competitor also exists.
+		minimal := true
+		for k := 0; k < j && minimal; k++ {
+			allPresent := true
+			for _, id := range diffs[k] {
+				if stamp[id] != cur {
+					stamp[id] = cur
+					val[id] = rng.Bernoulli(g.Edge(id).P)
+				}
+				if !val[id] {
+					allPresent = false
+					break
+				}
+			}
+			if allPresent {
+				minimal = false
+			}
+		}
+		if minimal {
+			cnt++ // line 9
+		}
+		if opt.OnCandidateTrial != nil {
+			running := (1 - float64(cnt)/float64(t+1)*sI) * cand.ExistProb
+			if running < 0 {
+				running = 0
+			}
+			opt.OnCandidateTrial(i, t+1, running)
+		}
+	}
+	// Line 10.
+	p := (1 - float64(cnt)/float64(nTrials)*sI) * cand.ExistProb
+	if p < 0 {
+		p = 0
+	}
+	if p > cand.ExistProb {
+		p = cand.ExistProb
+	}
+	return p, nTrials
 }

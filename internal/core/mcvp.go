@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
@@ -23,20 +22,24 @@ type MCVPOptions struct {
 	// MaxSet is reused between trials; copy what must be retained.
 	OnTrial func(trial int, sMB *butterfly.MaxSet)
 	// Interrupt, if non-nil, is polled between trials and every few
-	// thousand enumerated butterflies. When it returns true MCVP abandons
-	// the run and returns ErrInterrupted. A single MC-VP trial enumerates
-	// every butterfly of a sampled world — hundreds of millions on dense
-	// graphs — so benchmark harnesses need a way out mid-trial (the
-	// paper's MC-VP runs hit a 4-hour wall on the two large datasets).
+	// thousand enumerated butterflies. When it returns true MCVP stops and
+	// returns a partial Result over the completed trials (the current,
+	// unfinished trial is discarded) with a resumable Checkpoint attached.
+	// A single MC-VP trial enumerates every butterfly of a sampled world —
+	// hundreds of millions on dense graphs — so long runs need a way out
+	// mid-trial (the paper's MC-VP runs hit a 4-hour wall on the two large
+	// datasets).
 	Interrupt func() bool
+	// Resume restores the accumulator from a checkpoint written by an
+	// earlier cancelled run with identical options; the run continues at
+	// trial Resume.Done+1 and the final Result is bit-identical to an
+	// uninterrupted run.
+	Resume *Checkpoint
 	// CompletedTrials, if non-nil, receives the number of fully completed
 	// trials (useful to extrapolate a per-trial lower bound after an
 	// interrupt).
 	CompletedTrials *int
 }
-
-// ErrInterrupted is returned by MCVP when Options.Interrupt fired.
-var ErrInterrupted = errors.New("core: run interrupted")
 
 // MCVP is the baseline of Section IV (Algorithm 1): in each trial it
 // samples a full possible world, enumerates every butterfly of that world
@@ -49,6 +52,14 @@ func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
 	}
 	order := g.PriorityOrder() // line 2 of Algorithm 1
 	acc := newProbAccumulator()
+	start := 1
+	if opt.Resume != nil {
+		if err := opt.Resume.resumeCheck("mc-vp", opt.Seed, opt.Trials, 0, 0, g); err != nil {
+			return nil, err
+		}
+		acc = accumulatorFromCounts(opt.Resume.Counts)
+		start = opt.Resume.Done + 1
+	}
 	root := randx.New(opt.Seed)
 	world := possible.NewWorld(g.NumEdges())
 	var sMB butterfly.MaxSet
@@ -57,10 +68,10 @@ func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
 			*opt.CompletedTrials = n
 		}
 	}
-	setCompleted(0)
-	for trial := 1; trial <= opt.Trials; trial++ {
+	setCompleted(start - 1)
+	for trial := start; trial <= opt.Trials; trial++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
-			return nil, ErrInterrupted
+			return acc.partialResult("mc-vp", g, opt.Seed, opt.Trials, trial-1), nil
 		}
 		rng := root.Derive(uint64(trial))
 		possible.SampleInto(world, g, rng) // line 4
@@ -77,7 +88,9 @@ func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
 			return true
 		})
 		if interrupted {
-			return nil, ErrInterrupted
+			// The half-enumerated trial is discarded; the accumulator only
+			// holds fully completed trials, so the prefix stays exact.
+			return acc.partialResult("mc-vp", g, opt.Seed, opt.Trials, trial-1), nil
 		}
 		if !sMB.Empty() {
 			acc.addMaxSet(&sMB) // lines 18–19

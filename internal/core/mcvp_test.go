@@ -7,20 +7,23 @@ import (
 )
 
 // TestMCVPInterrupt verifies the interrupt hook: an immediate interrupt
-// aborts with ErrInterrupted and zero completed trials; a counting
+// returns a partial result with zero completed trials; a counting
 // interrupt lets a bounded number of trials through.
 func TestMCVPInterrupt(t *testing.T) {
 	g := figure1Graph()
 
 	completed := -1
-	_, err := MCVP(g, MCVPOptions{
+	res, err := MCVP(g, MCVPOptions{
 		Trials:          100,
 		Seed:            1,
 		Interrupt:       func() bool { return true },
 		CompletedTrials: &completed,
 	})
-	if err != ErrInterrupted {
-		t.Fatalf("err = %v, want ErrInterrupted", err)
+	if err != nil {
+		t.Fatalf("err = %v, want partial result", err)
+	}
+	if !res.Partial || res.TrialsDone != 0 {
+		t.Fatalf("Partial=%v TrialsDone=%d, want partial 0", res.Partial, res.TrialsDone)
 	}
 	if completed != 0 {
 		t.Fatalf("completed = %d, want 0", completed)
@@ -28,7 +31,7 @@ func TestMCVPInterrupt(t *testing.T) {
 
 	calls := 0
 	completed = -1
-	_, err = MCVP(g, MCVPOptions{
+	res, err = MCVP(g, MCVPOptions{
 		Trials: 100,
 		Seed:   1,
 		Interrupt: func() bool {
@@ -37,8 +40,11 @@ func TestMCVPInterrupt(t *testing.T) {
 		},
 		CompletedTrials: &completed,
 	})
-	if err != ErrInterrupted {
-		t.Fatalf("err = %v, want ErrInterrupted", err)
+	if err != nil {
+		t.Fatalf("err = %v, want partial result", err)
+	}
+	if !res.Partial || res.TrialsDone != completed {
+		t.Fatalf("Partial=%v TrialsDone=%d completed=%d, want matching partial count", res.Partial, res.TrialsDone, completed)
 	}
 	if completed < 1 || completed >= 100 {
 		t.Fatalf("completed = %d, want a partial count", completed)
@@ -46,7 +52,7 @@ func TestMCVPInterrupt(t *testing.T) {
 
 	// No interrupt: full run, CompletedTrials reaches Trials.
 	completed = -1
-	res, err := MCVP(g, MCVPOptions{Trials: 50, Seed: 1, CompletedTrials: &completed})
+	res, err = MCVP(g, MCVPOptions{Trials: 50, Seed: 1, CompletedTrials: &completed})
 	if err != nil {
 		t.Fatal(err)
 	}

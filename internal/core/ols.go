@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 )
 
@@ -17,15 +19,30 @@ type OLSOptions struct {
 	// UseKarpLuby selects Algorithm 4 for the sampling phase instead of
 	// the paper's optimized Algorithm 5, i.e. the OLS-KL configuration.
 	UseKarpLuby bool
-	// KL carries Karp-Luby-specific knobs. BaseTrials and Seed are
-	// overwritten from Trials and Seed.
+	// KL carries Karp-Luby-specific knobs. BaseTrials, Seed, Interrupt and
+	// the resume/state plumbing are overwritten from this struct's fields.
 	KL KLOptions
-	// Optimized carries optimized-estimator knobs. Trials and Seed are
-	// overwritten from Trials and Seed.
+	// Optimized carries optimized-estimator knobs. Trials, Seed, Interrupt
+	// and the resume/state plumbing are overwritten likewise.
 	Optimized OptimizedOptions
 	// OS configures the preparing phase's Ordering Sampling pruning
-	// behaviour (its Trials, Seed and OnTrial fields are ignored).
+	// behaviour (its Trials, Seed, OnTrial and Interrupt fields are
+	// ignored; cancellation uses the top-level Interrupt).
 	OS OSOptions
+	// Interrupt, if non-nil, is polled between preparing trials and inside
+	// the sampling phase; when it returns true the run stops and returns a
+	// partial Result with a resumable Checkpoint. Cancellation during the
+	// preparing phase yields a prepare-phase checkpoint and no estimates
+	// yet; during the sampling phase, estimates over the completed prefix.
+	// Parallel runners poll the hook concurrently from every worker; it
+	// must be safe for concurrent use there.
+	Interrupt func() bool
+	// Resume continues a cancelled run from its checkpoint. The options
+	// must match the checkpointed run (method, seed, trial targets, Mu,
+	// graph); the finished Result is bit-identical to an uninterrupted
+	// run. Note the checkpoint does not record ablation knobs (the OS
+	// pruning flags, KL.MaxTrials): resume them with the same values.
+	Resume *Checkpoint
 }
 
 // DefaultOLSOptions mirrors the paper's experimental defaults (Section
@@ -33,6 +50,20 @@ type OLSOptions struct {
 // matching μ=0.05, ε=δ=0.1 under Theorem IV.1.
 func DefaultOLSOptions() OLSOptions {
 	return OLSOptions{PrepTrials: 100, Trials: 20000}
+}
+
+func (o OLSOptions) method() string {
+	if o.UseKarpLuby {
+		return "ols-kl"
+	}
+	return "ols"
+}
+
+func (o OLSOptions) mu() float64 {
+	if o.UseKarpLuby {
+		return o.KL.Mu
+	}
+	return 0
 }
 
 // OLS is Ordering-Listing Sampling (Section VI, Algorithm 3). The
@@ -47,43 +78,179 @@ func DefaultOLSOptions() OLSOptions {
 // no candidate at all (no butterfly observed in any preparing trial)
 // yields an empty Result rather than an error.
 func OLS(g *bigraph.Graph, opt OLSOptions) (*Result, error) {
-	cands, err := PrepareCandidates(g, opt.PrepTrials, opt.Seed, opt.OS)
+	return olsRun(g, opt, 0)
+}
+
+// OLSParallel is OLS with the sampling phase distributed over workers
+// goroutines (0 means GOMAXPROCS); the short preparing phase stays
+// sequential. Results are bit-identical to OLS with the same options.
+func OLSParallel(g *bigraph.Graph, opt OLSOptions, workers int) (*Result, error) {
+	if workers <= 0 {
+		workers = parDefaultWorkers()
+	}
+	return olsRun(g, opt, workers)
+}
+
+// olsRun executes both OLS phases; workers 0 means a fully sequential
+// sampling phase.
+func olsRun(g *bigraph.Graph, opt OLSOptions, workers int) (*Result, error) {
+	method := opt.method()
+	if opt.Resume != nil {
+		if err := opt.Resume.resumeCheck(method, opt.Seed, opt.Trials, opt.PrepTrials, opt.mu(), g); err != nil {
+			return nil, err
+		}
+	}
+	prepOpt := opt.OS
+	prepOpt.Interrupt = opt.Interrupt
+	var resumeCounts []ButterflyCount
+	start := 0
+	if opt.Resume != nil && opt.Resume.Prepare {
+		resumeCounts = opt.Resume.Counts
+		start = opt.Resume.Done
+	}
+	cands, interrupted, err := prepareCandidates(g, opt.PrepTrials, opt.Seed, prepOpt, resumeCounts, start)
 	if err != nil {
 		return nil, err
 	}
-	return OLSSamplingPhase(cands, opt)
+	if interrupted {
+		return prepPartialResult(method, g, opt, cands), nil
+	}
+	samplingResume := opt.Resume
+	if samplingResume != nil && samplingResume.Prepare {
+		samplingResume = nil // the prepare checkpoint is consumed; sampling starts fresh
+	}
+	return olsSampling(cands, opt, workers, samplingResume)
+}
+
+// prepPartialResult wraps a cancelled preparing phase: no estimates yet,
+// just the resumable hit tallies.
+func prepPartialResult(method string, g *bigraph.Graph, opt OLSOptions, cands *Candidates) *Result {
+	return &Result{
+		Method:     method,
+		Trials:     opt.Trials,
+		PrepTrials: opt.PrepTrials,
+		Partial:    true,
+		TrialsDone: 0,
+		Checkpoint: &Checkpoint{
+			Method:     method,
+			Seed:       opt.Seed,
+			Trials:     opt.Trials,
+			PrepTrials: opt.PrepTrials,
+			Mu:         opt.mu(),
+			GraphCRC:   g.Checksum(),
+			Prepare:    true,
+			Done:       cands.PrepDone,
+			Counts:     cands.prepSnapshot(),
+		},
+	}
 }
 
 // OLSSamplingPhase runs only the sampling phase of Algorithm 3 over an
 // already-prepared candidate set. The benchmark harness uses this to time
 // the two phases separately (Fig. 8) and to sweep trial counts without
-// re-listing candidates.
+// re-listing candidates; the Searcher uses it to reuse cached candidates.
+// opt.Resume must be nil or a sampling-phase checkpoint (prepare-phase
+// checkpoints are consumed by OLS itself).
 func OLSSamplingPhase(cands *Candidates, opt OLSOptions) (*Result, error) {
-	method := "ols"
-	if opt.UseKarpLuby {
-		method = "ols-kl"
+	return OLSSamplingPhaseParallel(cands, opt, 0)
+}
+
+// OLSSamplingPhaseParallel is OLSSamplingPhase with the estimator trials
+// (or, for Karp-Luby, candidates) distributed over workers goroutines
+// (0 means sequential). Results are bit-identical to the sequential phase.
+func OLSSamplingPhaseParallel(cands *Candidates, opt OLSOptions, workers int) (*Result, error) {
+	resume := opt.Resume
+	if resume != nil {
+		if err := resume.resumeCheck(opt.method(), opt.Seed, opt.Trials, opt.PrepTrials, opt.mu(), cands.G); err != nil {
+			return nil, err
+		}
+		if resume.Prepare {
+			return nil, fmt.Errorf("core: checkpoint is from the preparing phase; resume through OLS, not the sampling phase")
+		}
 	}
+	return olsSampling(cands, opt, workers, resume)
+}
+
+// olsSampling prices the candidates and assembles the Result, threading
+// cancellation, resume state, and partial-result bookkeeping through the
+// selected estimator.
+func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpoint) (*Result, error) {
+	method := opt.method()
+	g := cands.G
 	if cands.Len() == 0 {
-		return &Result{Method: method, Trials: opt.Trials, PrepTrials: opt.PrepTrials}, nil
+		return &Result{Method: method, Trials: opt.Trials, TrialsDone: opt.Trials, PrepTrials: opt.PrepTrials}, nil
 	}
 	// The sampling phase must not share a random stream with the
 	// preparing phase; offset the seed deterministically.
 	sampleSeed := opt.Seed ^ 0xa5a5a5a5deadbeef
+	var st EstimatorState
 	var probs []float64
 	var err error
 	if opt.UseKarpLuby {
 		kl := opt.KL
 		kl.BaseTrials = opt.Trials
 		kl.Seed = sampleSeed
-		probs, err = EstimateKarpLuby(cands, kl)
+		kl.Interrupt = opt.Interrupt
+		kl.State = &st
+		if resume != nil {
+			if len(resume.CandProbs) != cands.Len() {
+				return nil, fmt.Errorf("core: checkpoint has %d candidates, preparing phase produced %d (options mismatch?)", len(resume.CandProbs), cands.Len())
+			}
+			kl.ResumeProbs = resume.CandProbs
+			kl.ResumeTrials = resume.CandTrials
+			kl.ResumeDone = resume.Done
+		}
+		if workers > 1 {
+			probs, err = EstimateKarpLubyParallel(cands, kl, workers)
+		} else {
+			probs, err = EstimateKarpLuby(cands, kl)
+		}
 	} else {
 		op := opt.Optimized
 		op.Trials = opt.Trials
 		op.Seed = sampleSeed
-		probs, err = EstimateOptimized(cands, op)
+		op.Interrupt = opt.Interrupt
+		op.State = &st
+		if resume != nil {
+			if len(resume.CandCounts) != cands.Len() {
+				return nil, fmt.Errorf("core: checkpoint has %d candidates, preparing phase produced %d (options mismatch?)", len(resume.CandCounts), cands.Len())
+			}
+			op.ResumeCounts = resume.CandCounts
+			op.ResumeDone = resume.Done
+		}
+		if workers > 1 {
+			probs, err = EstimateOptimizedParallel(cands, op, workers)
+		} else {
+			probs, err = EstimateOptimized(cands, op)
+		}
 	}
 	if err != nil {
 		return nil, err
 	}
-	return cands.result(method, probs, opt.Trials, opt.PrepTrials), nil
+	res := cands.result(method, probs, opt.Trials, opt.PrepTrials)
+	res.TrialsDone = opt.Trials
+	if st.Partial {
+		res.Partial = true
+		res.TrialsDone = st.Done
+		ck := &Checkpoint{
+			Method:     method,
+			Seed:       opt.Seed,
+			Trials:     opt.Trials,
+			PrepTrials: opt.PrepTrials,
+			Mu:         opt.mu(),
+			GraphCRC:   g.Checksum(),
+			Done:       st.Done,
+		}
+		if opt.UseKarpLuby {
+			ck.CandProbs = st.Probs
+			ck.CandTrials = make([]int64, len(st.Trials))
+			for i, t := range st.Trials {
+				ck.CandTrials[i] = int64(t)
+			}
+		} else {
+			ck.CandCounts = st.Counts
+		}
+		res.Checkpoint = ck
+	}
+	return res, nil
 }

@@ -7,6 +7,23 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/randx"
 )
 
+// EstimatorState reports how far an estimator ran, for partial results and
+// checkpointing. An estimator fills the options' State pointer (when
+// non-nil) whether the run completed or was cancelled.
+type EstimatorState struct {
+	// Partial is true when the run was cut short by the Interrupt hook.
+	Partial bool
+	// Done is the completed prefix: trials for the optimized estimator,
+	// fully priced candidates for Karp-Luby.
+	Done int
+	// Counts is the optimized estimator's per-candidate hit tally at stop.
+	Counts []int64
+	// Probs / Trials are Karp-Luby's per-candidate estimates and executed
+	// trial counts (entries at index >= Done are unpriced).
+	Probs  []float64
+	Trials []int
+}
+
 // OptimizedOptions configures the paper's optimized probability estimator
 // (Algorithm 5), the sampling phase of OLS.
 type OptimizedOptions struct {
@@ -28,8 +45,20 @@ type OptimizedOptions struct {
 	// S_MB restricted to C_MB). The slice is reused; copy to retain.
 	OnTrial func(trial int, hits []int)
 	// Interrupt, if non-nil, is polled between trials; when it returns
-	// true the run aborts with ErrInterrupted.
+	// true the run stops and the returned probabilities are normalized
+	// over the completed trials (State reports how many). Parallel runners
+	// poll the hook concurrently from every worker; it must be safe for
+	// concurrent use there.
 	Interrupt func() bool
+	// State, if non-nil, receives the run's completion state — partial
+	// flag, completed trials, and the raw counts needed to checkpoint.
+	State *EstimatorState
+	// ResumeCounts / ResumeDone seed the accumulator from an earlier
+	// cancelled run: counts indexed like the candidate list, with
+	// ResumeDone trials already folded in. The run continues at trial
+	// ResumeDone+1 and finishes bit-identically to an uninterrupted one.
+	ResumeCounts []int64
+	ResumeDone   int
 }
 
 // EstimateOptimized runs Algorithm 5 over a weight-sorted candidate set
@@ -46,9 +75,12 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: optimized estimator requires Trials > 0, got %d", opt.Trials)
 	}
-	g := c.G
 	n := len(c.List)
-	counts := make([]int, n)
+	counts, start, err := optimizedResumeCounts(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	g := c.G
 	// Per-trial lazy sampling state over backbone edge ids.
 	numE := g.NumEdges()
 	stamp := make([]int32, numE)
@@ -71,9 +103,9 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 
 	root := randx.New(opt.Seed)
 	var hits []int
-	for trial := 1; trial <= opt.Trials; trial++ {
+	for trial := start; trial <= opt.Trials; trial++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
-			return nil, ErrInterrupted
+			return optimizedFinish(counts, trial-1, opt, true), nil
 		}
 		rng := root.Derive(uint64(trial))
 		cur++
@@ -114,10 +146,38 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 			opt.OnTrial(trial, hits)
 		}
 	}
+	return optimizedFinish(counts, opt.Trials, opt, false), nil
+}
 
-	probs := make([]float64, n)
-	for i, cnt := range counts { // lines 11–12
-		probs[i] = float64(cnt) / float64(opt.Trials)
+// optimizedResumeCounts validates resume options and returns the starting
+// accumulator plus the first trial to run.
+func optimizedResumeCounts(n int, opt OptimizedOptions) ([]int64, int, error) {
+	if opt.ResumeDone < 0 || opt.ResumeDone > opt.Trials {
+		return nil, 0, fmt.Errorf("core: optimized resume at trial %d outside [0,%d]", opt.ResumeDone, opt.Trials)
 	}
-	return probs, nil
+	counts := make([]int64, n)
+	if opt.ResumeCounts != nil {
+		if len(opt.ResumeCounts) != n {
+			return nil, 0, fmt.Errorf("core: optimized resume has %d candidate counts, want %d", len(opt.ResumeCounts), n)
+		}
+		copy(counts, opt.ResumeCounts)
+	} else if opt.ResumeDone != 0 {
+		return nil, 0, fmt.Errorf("core: optimized resume at trial %d without counts", opt.ResumeDone)
+	}
+	return counts, opt.ResumeDone + 1, nil
+}
+
+// optimizedFinish converts counts into probabilities normalized over the
+// done-trial prefix (lines 11–12) and reports the run state.
+func optimizedFinish(counts []int64, done int, opt OptimizedOptions, partial bool) []float64 {
+	probs := make([]float64, len(counts))
+	if done > 0 {
+		for i, cnt := range counts {
+			probs[i] = float64(cnt) / float64(done)
+		}
+	}
+	if opt.State != nil {
+		*opt.State = EstimatorState{Partial: partial, Done: done, Counts: counts}
+	}
+	return probs
 }

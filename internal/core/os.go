@@ -28,9 +28,17 @@ type OSOptions struct {
 	// reused between trials; copy what must be retained.
 	OnTrial func(trial int, sMB *butterfly.MaxSet)
 	// Interrupt, if non-nil, is polled between trials; when it returns
-	// true the run aborts with ErrInterrupted. OS trials are short, so
+	// true the run stops and returns a partial Result over the completed
+	// trials with a resumable Checkpoint attached. OS trials are short, so
 	// between-trial granularity suffices (unlike MC-VP's mid-trial hook).
+	// Parallel runners poll the hook concurrently from every worker, so it
+	// must be safe for concurrent use there (a context-derived hook is).
 	Interrupt func() bool
+	// Resume restores the accumulator from a checkpoint written by an
+	// earlier cancelled run with identical options; the run continues at
+	// trial Resume.Done+1 and the final Result is bit-identical to an
+	// uninterrupted run.
+	Resume *Checkpoint
 }
 
 // OS is Ordering Sampling (Section V, Algorithm 2). Like MC-VP it samples
@@ -57,11 +65,19 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 	}
 	idx := newOSIndex(g, opt)
 	acc := newProbAccumulator()
+	start := 1
+	if opt.Resume != nil {
+		if err := opt.Resume.resumeCheck("os", opt.Seed, opt.Trials, 0, 0, g); err != nil {
+			return nil, err
+		}
+		acc = accumulatorFromCounts(opt.Resume.Counts)
+		start = opt.Resume.Done + 1
+	}
 	root := randx.New(opt.Seed)
 	var sMB butterfly.MaxSet
-	for trial := 1; trial <= opt.Trials; trial++ {
+	for trial := start; trial <= opt.Trials; trial++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
-			return nil, ErrInterrupted
+			return acc.partialResult("os", g, opt.Seed, opt.Trials, trial-1), nil
 		}
 		rng := root.Derive(uint64(trial))
 		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {

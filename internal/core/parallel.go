@@ -1,23 +1,115 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
 )
 
+// ErrWorkerPanic wraps a panic recovered inside a parallel runner's worker
+// goroutine. The panic does not crash the process: the first panicking
+// worker records its value, the remaining workers drain, and the runner
+// returns this error (no partial result — an abandoned chunk would break
+// the completed-prefix invariant that partial results rely on).
+var ErrWorkerPanic = errors.New("core: worker panicked")
+
+// parChunkTrials is the dispatch granularity of the parallel runners. A
+// worker claims one chunk of consecutive trials at a time and always
+// finishes a claimed chunk, so on cancellation the completed trials form
+// an exact prefix 1..done — exactly the state a sequential resume expects.
+// Small enough that cancellation latency is a few chunk-lengths of work,
+// large enough that the atomic claim is amortized away.
+const parChunkTrials = 16
+
+func parDefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// parLoop runs trials start+1..end distributed over workers goroutines.
+// newBody runs once on each worker's goroutine to set up worker-local
+// scratch and returns the per-trial function.
+//
+// Dispatch is chunked: a monotonic counter hands out chunks of
+// parChunkTrials consecutive trials. Workers poll stop/interrupt only
+// BETWEEN chunks and never abandon a claimed chunk, so every handed-out
+// chunk is fully executed and the executed trials are exactly
+// start+1..done for the returned done. A worker panic is recovered,
+// cancels the siblings, and surfaces as an ErrWorkerPanic-wrapped error;
+// done is meaningless in that case because the panicking worker abandoned
+// its chunk mid-flight.
+func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int) func(trial int)) (done int, err error) {
+	total := end - start
+	nChunks := (total + parChunkTrials - 1) / parChunkTrials
+	var next atomic.Int64
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	var panicMu sync.Mutex
+	var panicErr error
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if panicErr == nil {
+						panicErr = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+					}
+					panicMu.Unlock()
+					halt()
+				}
+			}()
+			body := newBody(w)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if interrupt != nil && interrupt() {
+					halt()
+					return
+				}
+				c := next.Add(1) - 1
+				if c >= int64(nChunks) {
+					return
+				}
+				lo := start + int(c)*parChunkTrials + 1
+				hi := min(start+(int(c)+1)*parChunkTrials, end)
+				for t := lo; t <= hi; t++ {
+					body(t)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if panicErr != nil {
+		return 0, panicErr
+	}
+	handed := int(next.Load())
+	if handed > nChunks {
+		handed = nChunks
+	}
+	done = min(start+handed*parChunkTrials, end)
+	return done, nil
+}
+
 // OSParallel runs Ordering Sampling with trials distributed over workers
 // goroutines (0 means GOMAXPROCS). Trials are independent and each trial's
 // random stream is derived from (Seed, trial index), so the estimates are
 // bit-identical to the sequential OS with the same options — parallelism
-// changes wall-clock time, never results. The OnTrial hook is not
-// supported here (trial completion order would be nondeterministic); use
-// OS when tracing.
+// changes wall-clock time, never results. Cancellation (opt.Interrupt,
+// which every worker polls concurrently) yields the same partial-Result-
+// plus-Checkpoint contract as OS, and opt.Resume continues such a
+// checkpoint. The OnTrial hook is not supported here (trial completion
+// order would be nondeterministic); use OS when tracing.
 func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: OSParallel requires Trials > 0, got %d", opt.Trials)
@@ -25,13 +117,22 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 	if opt.OnTrial != nil {
 		return nil, fmt.Errorf("core: OSParallel does not support OnTrial; use OS")
 	}
+	start := 0
+	resumed := newProbAccumulator()
+	if opt.Resume != nil {
+		if err := opt.Resume.resumeCheck("os", opt.Seed, opt.Trials, 0, 0, g); err != nil {
+			return nil, err
+		}
+		resumed = accumulatorFromCounts(opt.Resume.Counts)
+		start = opt.Resume.Done
+	}
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = parDefaultWorkers()
 	}
-	if workers > opt.Trials {
-		workers = opt.Trials
+	if workers > opt.Trials-start {
+		workers = opt.Trials - start
 	}
-	if workers == 1 {
+	if workers <= 1 {
 		return OS(g, opt)
 	}
 
@@ -39,33 +140,32 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 	// Worker-local accumulators, merged at the end; no shared mutable
 	// state during the run.
 	accs := make([]*probAccumulator, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		accs[w] = newProbAccumulator()
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			idx := newOSIndex(g, opt)
-			var sMB butterfly.MaxSet
-			for trial := w + 1; trial <= opt.Trials; trial += workers {
-				rng := root.Derive(uint64(trial))
-				idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
-					return rng.Bernoulli(g.Edge(id).P)
-				})
-				if !sMB.Empty() {
-					accs[w].addMaxSet(&sMB)
-				}
+	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int) {
+		acc := newProbAccumulator()
+		accs[w] = acc
+		idx := newOSIndex(g, opt)
+		var sMB butterfly.MaxSet
+		return func(trial int) {
+			rng := root.Derive(uint64(trial))
+			idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
+				return rng.Bernoulli(g.Edge(id).P)
+			})
+			if !sMB.Empty() {
+				acc.addMaxSet(&sMB)
 			}
-		}(w)
-	}
-	wg.Wait()
-
-	merged := newProbAccumulator()
-	for _, a := range accs {
-		for b, c := range a.counts {
-			merged.counts[b] += c
-			merged.weights[b] = a.weights[b]
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := resumed
+	for _, a := range accs {
+		if a != nil {
+			merged.merge(a)
+		}
+	}
+	if done < opt.Trials {
+		return merged.partialResult("os", g, opt.Seed, opt.Trials, done), nil
 	}
 	return merged.result("os", opt.Trials), nil
 }
@@ -74,10 +174,11 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 // distributed over workers goroutines (0 means GOMAXPROCS). Each worker
 // owns private lazy-sampling scratch and a private count vector; per-trial
 // streams are derived from (Seed, trial index), so the estimates are
-// bit-identical to EstimateOptimized with the same options. The OnTrial
-// hook is unsupported (trial completion order would be nondeterministic).
-// The EagerSampling and DisableEarlyBreak ablations are likewise
-// sequential-only knobs.
+// bit-identical to EstimateOptimized with the same options. Cancellation
+// and resume follow the sequential contract (opt.Interrupt is polled from
+// every worker; opt.State reports the completed prefix). The OnTrial hook
+// is unsupported (trial completion order would be nondeterministic), and
+// the EagerSampling/DisableEarlyBreak ablations are sequential-only knobs.
 func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int) ([]float64, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: optimized estimator requires Trials > 0, got %d", opt.Trials)
@@ -88,71 +189,71 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 	if opt.EagerSampling || opt.DisableEarlyBreak {
 		return nil, fmt.Errorf("core: ablation options are sequential-only; use EstimateOptimized")
 	}
+	n := len(c.List)
+	counts, startTrial, err := optimizedResumeCounts(n, opt)
+	if err != nil {
+		return nil, err
+	}
+	start := startTrial - 1
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = parDefaultWorkers()
 	}
-	if workers > opt.Trials {
-		workers = opt.Trials
+	if workers > opt.Trials-start {
+		workers = opt.Trials - start
 	}
-	if workers == 1 {
+	if workers <= 1 {
 		return EstimateOptimized(c, opt)
 	}
 
 	g := c.G
-	n := len(c.List)
 	numE := g.NumEdges()
 	root := randx.New(opt.Seed)
-	countsPer := make([][]int, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		countsPer[w] = make([]int, n)
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			stamp := make([]int32, numE)
-			val := make([]bool, numE)
-			var cur int32
-			counts := countsPer[w]
-			for trial := w + 1; trial <= opt.Trials; trial += workers {
-				rng := root.Derive(uint64(trial))
-				cur++
-				wMax := math.Inf(-1)
-				for k := 0; k < n; k++ {
-					cand := &c.List[k]
-					if cand.Weight < wMax {
+	countsPer := make([][]int64, workers)
+	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int) {
+		cw := make([]int64, n)
+		countsPer[w] = cw
+		stamp := make([]int32, numE)
+		val := make([]bool, numE)
+		var cur int32
+		return func(trial int) {
+			rng := root.Derive(uint64(trial))
+			cur++
+			wMax := math.Inf(-1)
+			for k := 0; k < n; k++ {
+				cand := &c.List[k]
+				if cand.Weight < wMax {
+					break
+				}
+				exists := true
+				for _, id := range cand.Edges {
+					if stamp[id] != cur {
+						stamp[id] = cur
+						val[id] = rng.Bernoulli(g.Edge(id).P)
+					}
+					if !val[id] {
+						exists = false
 						break
 					}
-					exists := true
-					for _, id := range cand.Edges {
-						if stamp[id] != cur {
-							stamp[id] = cur
-							val[id] = rng.Bernoulli(g.Edge(id).P)
-						}
-						if !val[id] {
-							exists = false
-							break
-						}
-					}
-					if exists {
-						counts[k]++
-						wMax = cand.Weight
-					}
+				}
+				if exists {
+					cw[k]++
+					wMax = cand.Weight
 				}
 			}
-		}(w)
+		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-
-	probs := make([]float64, n)
-	for _, counts := range countsPer {
-		for i, cnt := range counts {
-			probs[i] += float64(cnt)
+	for _, cw := range countsPer {
+		if cw == nil {
+			continue
+		}
+		for i, cnt := range cw {
+			counts[i] += cnt
 		}
 	}
-	for i := range probs {
-		probs[i] /= float64(opt.Trials)
-	}
-	return probs, nil
+	return optimizedFinish(counts, done, opt, done < opt.Trials), nil
 }
 
 // EstimateKarpLubyParallel runs the Algorithm 4 estimator with candidates
@@ -160,61 +261,53 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 // trial-parallel runners, the natural axis here is the candidate: every
 // candidate's estimation is independent (its random stream derives from
 // (Seed, candidate index)), so per-candidate results are bit-identical to
-// the sequential EstimateKarpLuby. The tracing and restriction hooks
-// (OnCandidateTrial, OnlyCandidate, TrialsUsed pointer aside) are
-// sequential-only; TrialsUsed is supported.
+// the sequential EstimateKarpLuby. Cancellation stops pricing at a
+// candidate-prefix boundary and resume continues from it, like the
+// sequential runner. The tracing and restriction hooks (OnCandidateTrial,
+// OnlyCandidate) are sequential-only; TrialsUsed is supported.
 func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]float64, error) {
-	if opt.BaseTrials <= 0 {
-		return nil, fmt.Errorf("core: Karp-Luby estimator requires BaseTrials > 0, got %d", opt.BaseTrials)
+	if err := validateKL(opt); err != nil {
+		return nil, err
 	}
-	if opt.OnCandidateTrial != nil || opt.OnlyCandidate != nil || opt.Interrupt != nil {
-		return nil, fmt.Errorf("core: EstimateKarpLubyParallel does not support hooks; use EstimateKarpLuby")
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if opt.OnCandidateTrial != nil || opt.OnlyCandidate != nil {
+		return nil, fmt.Errorf("core: EstimateKarpLubyParallel does not support tracing hooks; use EstimateKarpLuby")
 	}
 	n := len(c.List)
-	if workers > n {
-		workers = n
+	probs := make([]float64, n)
+	trialsUsed := make([]int, n)
+	start, err := klResumeInit(n, opt, probs, trialsUsed)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = parDefaultWorkers()
+	}
+	if workers > n-start {
+		workers = n - start
 	}
 	if workers <= 1 {
 		return EstimateKarpLuby(c, opt)
 	}
 
-	probs := make([]float64, n)
-	trialsUsed := make([]int, n)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < n; i += workers {
-				// Price candidate i alone; the per-candidate stream
-				// derivation makes this identical to the sequential path.
-				idx := i
-				sub := opt
-				sub.OnlyCandidate = &idx
-				var used []int
-				sub.TrialsUsed = &used
-				res, err := EstimateKarpLuby(c, sub)
-				if err != nil {
-					errs[w] = err
-					return
-				}
-				probs[i] = res[i]
-				trialsUsed[i] = used[i]
-			}
-		}(w)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	numE := c.G.NumEdges()
+	root := randx.New(opt.Seed)
+	// parLoop's 1-based "trials" start+1..n map to candidate indices
+	// start..n-1. Writes into probs/trialsUsed are per-index disjoint.
+	done, err := parLoop(start, n, workers, opt.Interrupt, func(w int) func(int) {
+		scratch := newKLScratch(numE)
+		return func(trial int) {
+			i := trial - 1
+			probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
 	if opt.TrialsUsed != nil {
 		*opt.TrialsUsed = trialsUsed
+	}
+	if opt.State != nil {
+		*opt.State = EstimatorState{Partial: done < n, Done: done, Probs: probs, Trials: trialsUsed}
 	}
 	return probs, nil
 }

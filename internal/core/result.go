@@ -10,6 +10,7 @@ import (
 	"math"
 	"sort"
 
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 )
 
@@ -36,6 +37,22 @@ type Result struct {
 	// descending P, ties by descending weight, then canonical vertex
 	// order.
 	Estimates []Estimate
+	// Partial marks a run cut short by cancellation. Estimates are then
+	// normalized over the TrialsDone completed trials — still unbiased,
+	// because every trial's stream derives from (Seed, trial index) and a
+	// prefix of i.i.d. trials is itself a valid (lower-fidelity) sample.
+	Partial bool
+	// TrialsDone is the completed prefix the estimates are normalized
+	// over. It equals Trials for a complete run. Units are sampling trials
+	// for mc-vp/os/ols, fully priced candidates for a partial ols-kl run,
+	// and enumerated worlds for a partial exact run (whose estimates are
+	// then lower bounds, not unbiased samples).
+	TrialsDone int
+	// Checkpoint carries the resumable accumulator state of a cancelled
+	// run (nil for complete runs and for methods without resume support).
+	// Pass it back via the options' Resume field to finish the run
+	// bit-identically to an uninterrupted one.
+	Checkpoint *Checkpoint
 }
 
 // sortEstimates establishes the canonical result order.
@@ -135,10 +152,14 @@ func (r *Result) ConfidenceInterval(b butterfly.Butterfly, z float64) (lo, hi fl
 	case "exact":
 		return e.P, e.P, true
 	case "mc-vp", "os", "ols":
-		if r.Trials <= 0 {
+		trials := r.Trials
+		if r.Partial {
+			trials = r.TrialsDone // partial estimates are normalized over the prefix
+		}
+		if trials <= 0 {
 			return 0, 0, false
 		}
-		n := float64(r.Trials)
+		n := float64(trials)
 		p := e.P
 		denom := 1 + z*z/n
 		center := (p + z*z/(2*n)) / denom
@@ -189,16 +210,63 @@ func (a *probAccumulator) addMaxSet(m *butterfly.MaxSet) {
 	}
 }
 
+// merge folds another accumulator's tallies into a (used to combine
+// worker-local accumulators and resumed checkpoint state).
+func (a *probAccumulator) merge(b *probAccumulator) {
+	for bf, c := range b.counts {
+		a.counts[bf] += c
+		a.weights[bf] = b.weights[bf]
+	}
+}
+
+// snapshot exports the accumulator as canonical-order checkpoint entries.
+func (a *probAccumulator) snapshot() []ButterflyCount {
+	return sortedCounts(a.counts, a.weights)
+}
+
+// accumulatorFromCounts rebuilds an accumulator from checkpoint entries.
+func accumulatorFromCounts(entries []ButterflyCount) *probAccumulator {
+	a := newProbAccumulator()
+	for _, e := range entries {
+		a.counts[e.B] = int(e.Count)
+		a.weights[e.B] = e.Weight
+	}
+	return a
+}
+
 // result converts counts into probabilities P̂(B) = count/trials.
 func (a *probAccumulator) result(method string, trials int) *Result {
+	res := a.resultNorm(method, trials, trials)
+	return res
+}
+
+// resultNorm normalizes counts over norm completed trials while reporting
+// trials as the run's target — the partial-result path, where norm < trials.
+func (a *probAccumulator) resultNorm(method string, trials, norm int) *Result {
 	es := make([]Estimate, 0, len(a.counts))
 	for b, c := range a.counts {
 		es = append(es, Estimate{
 			B:      b,
 			Weight: a.weights[b],
-			P:      float64(c) / float64(trials),
+			P:      float64(c) / float64(norm),
 		})
 	}
 	sortEstimates(es)
-	return &Result{Method: method, Trials: trials, Estimates: es}
+	return &Result{Method: method, Trials: trials, TrialsDone: norm, Estimates: es}
+}
+
+// partialResult finalizes a cancelled counting run: estimates normalized
+// over the done-trial prefix plus a resumable checkpoint.
+func (a *probAccumulator) partialResult(method string, g *bigraph.Graph, seed uint64, trials, done int) *Result {
+	res := a.resultNorm(method, trials, done)
+	res.Partial = true
+	res.Checkpoint = &Checkpoint{
+		Method:   method,
+		Seed:     seed,
+		Trials:   trials,
+		GraphCRC: g.Checksum(),
+		Done:     done,
+		Counts:   a.snapshot(),
+	}
+	return res
 }

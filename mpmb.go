@@ -102,22 +102,59 @@ func SaveGraph(path string, g *Graph) error { return bigraph.Save(path, g) }
 func SaveGraphBinary(path string, g *Graph) error { return bigraph.SaveBinary(path, g) }
 
 // Search runs the method selected in opt. It is the dynamic-dispatch
-// companion of the SearchXXX functions.
+// companion of the SearchXXX functions. See SearchContext for the
+// cancellable variant with partial results and resume.
 func Search(g *Graph, opt Options) (*Result, error) {
-	if err := opt.validateFor(opt.Method); err != nil {
+	return searchHook(g, opt, nil)
+}
+
+// searchHook is the shared dispatcher behind Search and SearchContext:
+// it validates the options, threads the cancellation hook and resume
+// checkpoint into the core runners, and routes to the parallel runners
+// when opt.Workers asks for them.
+func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
+	method := opt.Method
+	if method == "" {
+		method = MethodOLS
+	}
+	if err := opt.validateFor(method); err != nil {
 		return nil, err
 	}
-	switch opt.Method {
+	switch method {
 	case MethodExact:
-		return Exact(g)
+		return core.ExactInterruptible(g, interrupt)
 	case MethodMCVP:
-		return SearchMCVP(g, opt)
+		return core.MCVP(g, core.MCVPOptions{
+			Trials:    opt.Trials,
+			Seed:      opt.Seed,
+			Interrupt: interrupt,
+			Resume:    opt.Resume,
+		})
 	case MethodOS:
-		return SearchOS(g, opt)
-	case MethodOLSKL:
-		return SearchOLSKL(g, opt)
-	case MethodOLS, Method(""):
-		return SearchOLS(g, opt)
+		osOpt := core.OSOptions{
+			Trials:    opt.Trials,
+			Seed:      opt.Seed,
+			Interrupt: interrupt,
+			Resume:    opt.Resume,
+		}
+		if opt.Workers > 0 {
+			return core.OSParallel(g, osOpt, opt.Workers)
+		}
+		return core.OS(g, osOpt)
+	case MethodOLS, MethodOLSKL:
+		olsOpt := core.OLSOptions{
+			PrepTrials:  opt.PrepTrials,
+			Trials:      opt.Trials,
+			Seed:        opt.Seed,
+			UseKarpLuby: method == MethodOLSKL,
+			KL:          core.KLOptions{Mu: opt.Mu},
+			Interrupt:   interrupt,
+			Resume:      opt.Resume,
+		}
+		if opt.Workers > 0 {
+			return core.OLSParallel(g, olsOpt, opt.Workers)
+		}
+		return core.OLS(g, olsOpt)
 	default:
 		return nil, fmt.Errorf("mpmb: unknown method %q", opt.Method)
 	}
@@ -126,19 +163,15 @@ func Search(g *Graph, opt Options) (*Result, error) {
 // SearchMCVP runs the Monte-Carlo with Vertex Priority baseline
 // (Algorithm 1) for opt.Trials sampled worlds.
 func SearchMCVP(g *Graph, opt Options) (*Result, error) {
-	if err := opt.validateFor(MethodMCVP); err != nil {
-		return nil, err
-	}
-	return core.MCVP(g, core.MCVPOptions{Trials: opt.Trials, Seed: opt.Seed})
+	opt.Method = MethodMCVP
+	return searchHook(g, opt, nil)
 }
 
 // SearchOS runs Ordering Sampling (Algorithm 2) for opt.Trials sampled
 // worlds.
 func SearchOS(g *Graph, opt Options) (*Result, error) {
-	if err := opt.validateFor(MethodOS); err != nil {
-		return nil, err
-	}
-	return core.OS(g, core.OSOptions{Trials: opt.Trials, Seed: opt.Seed})
+	opt.Method = MethodOS
+	return searchHook(g, opt, nil)
 }
 
 // SearchOSParallel is SearchOS with trials spread over the given number
@@ -146,39 +179,31 @@ func SearchOS(g *Graph, opt Options) (*Result, error) {
 // from (Seed, trial index), so results are bit-identical to SearchOS with
 // the same options — only wall-clock time changes.
 func SearchOSParallel(g *Graph, opt Options, workers int) (*Result, error) {
+	opt.Method = MethodOS
+	opt.Workers = 0 // validated separately; workers may be 0 = GOMAXPROCS
 	if err := opt.validateFor(MethodOS); err != nil {
 		return nil, err
 	}
-	return core.OSParallel(g, core.OSOptions{Trials: opt.Trials, Seed: opt.Seed}, workers)
+	return core.OSParallel(g, core.OSOptions{
+		Trials: opt.Trials,
+		Seed:   opt.Seed,
+		Resume: opt.Resume,
+	}, workers)
 }
 
 // SearchOLS runs Ordering-Listing Sampling (Algorithm 3) with the paper's
 // optimized shared-trial estimator (Algorithm 5).
 func SearchOLS(g *Graph, opt Options) (*Result, error) {
-	if err := opt.validateFor(MethodOLS); err != nil {
-		return nil, err
-	}
-	return core.OLS(g, core.OLSOptions{
-		PrepTrials: opt.PrepTrials,
-		Trials:     opt.Trials,
-		Seed:       opt.Seed,
-	})
+	opt.Method = MethodOLS
+	return searchHook(g, opt, nil)
 }
 
 // SearchOLSKL runs Ordering-Listing Sampling with the Karp-Luby estimator
 // (Algorithm 4) in the sampling phase. When opt.Mu > 0, per-candidate
 // trial counts follow Equation 8 relative to opt.Trials.
 func SearchOLSKL(g *Graph, opt Options) (*Result, error) {
-	if err := opt.validateFor(MethodOLSKL); err != nil {
-		return nil, err
-	}
-	return core.OLS(g, core.OLSOptions{
-		PrepTrials:  opt.PrepTrials,
-		Trials:      opt.Trials,
-		Seed:        opt.Seed,
-		UseKarpLuby: true,
-		KL:          core.KLOptions{Mu: opt.Mu},
-	})
+	opt.Method = MethodOLSKL
+	return searchHook(g, opt, nil)
 }
 
 // Exact computes P(B) for every butterfly by enumerating all 2^|E|

@@ -40,6 +40,17 @@ type Options struct {
 	// via Equation 8 (OLS-KL only). 0 disables dynamic sizing: every
 	// candidate then runs exactly Trials trials.
 	Mu float64
+	// Workers distributes the sampling trials over that many goroutines
+	// (os, ols, ols-kl only; 0 keeps the run sequential). Results are
+	// bit-identical to the sequential run with the same options — each
+	// trial's random stream derives from (Seed, trial index), so only
+	// wall-clock time changes. Exact and mc-vp reject Workers > 0.
+	Workers int
+	// Resume continues a cancelled run from the Checkpoint attached to its
+	// partial Result (see SearchContext). The options must match the
+	// checkpointed run; the finished result is bit-identical to an
+	// uninterrupted one. Supported by mc-vp, os, ols and ols-kl.
+	Resume *Checkpoint
 }
 
 // DefaultOptions returns the paper's Section VIII-B defaults: 2×10⁴
@@ -64,7 +75,19 @@ func (o Options) validateFor(m Method) error {
 	if o.Mu < 0 || o.Mu > 1 {
 		return fmt.Errorf("mpmb: Mu=%v outside [0,1]", o.Mu)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("mpmb: negative Workers (%d)", o.Workers)
+	}
+	switch m {
+	case MethodExact, MethodMCVP:
+		if o.Workers > 0 {
+			return fmt.Errorf("mpmb: method %q does not support parallel execution (Workers=%d); use os, ols or ols-kl", m, o.Workers)
+		}
+	}
 	if m == MethodExact {
+		if o.Resume != nil {
+			return fmt.Errorf("mpmb: the exact method cannot resume from a checkpoint; re-run the enumeration")
+		}
 		return nil // trial counts unused
 	}
 	if o.Trials == 0 {

@@ -1,6 +1,7 @@
 package mpmb
 
 import (
+	"context"
 	"sync"
 
 	"github.com/uncertain-graphs/mpmb/internal/core"
@@ -39,24 +40,45 @@ func (s *Searcher) Graph() *Graph { return s.g }
 // re-running the preparing phase. Results are identical to the one-shot
 // functions with the same options.
 func (s *Searcher) Search(opt Options) (*Result, error) {
+	return s.searchHook(opt, nil)
+}
+
+// SearchContext is Search with the package-level SearchContext's
+// graceful-degradation contract: cancelling ctx returns a partial Result
+// (with a resumable Checkpoint for the resumable methods) instead of
+// discarding the completed trials. Resume a sampling-phase checkpoint by
+// passing it back via opt.Resume; a prepare-phase OLS checkpoint must go
+// through the package-level SearchContext, which re-runs the preparing
+// phase the Searcher would otherwise cache.
+func (s *Searcher) SearchContext(ctx context.Context, opt Options) (*Result, error) {
+	return s.searchHook(opt, ctxHook(ctx))
+}
+
+func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, error) {
 	switch opt.Method {
 	case MethodOLS, MethodOLSKL, Method(""):
-		if err := opt.validateFor(MethodOLS); err != nil {
+		method := opt.Method
+		if method == "" {
+			method = MethodOLS
+		}
+		if err := opt.validateFor(method); err != nil {
 			return nil, err
 		}
 		cands, err := s.candidates(opt.PrepTrials, opt.Seed)
 		if err != nil {
 			return nil, err
 		}
-		return core.OLSSamplingPhase(cands, core.OLSOptions{
+		return core.OLSSamplingPhaseParallel(cands, core.OLSOptions{
 			PrepTrials:  opt.PrepTrials,
 			Trials:      opt.Trials,
 			Seed:        opt.Seed,
-			UseKarpLuby: opt.Method == MethodOLSKL,
+			UseKarpLuby: method == MethodOLSKL,
 			KL:          core.KLOptions{Mu: opt.Mu},
-		})
+			Interrupt:   interrupt,
+			Resume:      opt.Resume,
+		}, opt.Workers)
 	default:
-		return Search(s.g, opt)
+		return searchHook(s.g, opt, interrupt)
 	}
 }
 
