@@ -7,7 +7,9 @@
 //
 // Experiments: table3, table4, fig6, fig7, fig8, fig9, fig10, fig11,
 // fig12, fig13, ablation (DESIGN.md §6 design-choice costs), summary
-// (= fig7's speedup table), or all.
+// (= fig7's speedup table), conformance (the internal/statcheck
+// estimator-vs-exact-oracle gate, also spellable as the subcommand
+// `mpmb-bench conformance`), or all.
 //
 // Examples:
 //
@@ -37,9 +39,15 @@ func main() {
 // run parses args and executes the selected experiments, writing tables
 // to out. Split from main for testability.
 func run(args []string, out io.Writer) error {
+	// `mpmb-bench conformance` is sugar for `-exp conformance`: the
+	// statistical conformance check is a gate, not a figure, so it gets a
+	// subcommand spelling.
+	if len(args) > 0 && args[0] == "conformance" {
+		args = append([]string{"-exp", "conformance"}, args[1:]...)
+	}
 	fs := flag.NewFlagSet("mpmb-bench", flag.ContinueOnError)
 	var (
-		exp      = fs.String("exp", "all", "experiment to run: table3,table4,fig6..fig13,ablation,topk,summary,all")
+		exp      = fs.String("exp", "all", "experiment to run: table3,table4,fig6..fig13,ablation,topk,conformance,summary,all")
 		trials   = fs.Int("trials", 2000, "sampling-phase trials N (paper: 20000)")
 		prep     = fs.Int("prep", 100, "OLS preparing-phase trials N_os")
 		seed     = fs.Uint64("seed", 1, "random seed for datasets and samplers")
@@ -103,6 +111,7 @@ func run(args []string, out io.Writer) error {
 		{"fig13", func() error { return bench.PrintMemory(out, opt) }},
 		{"ablation", func() error { return bench.PrintAblations(out, opt) }},
 		{"topk", func() error { return bench.PrintTopKAgreement(out, opt) }},
+		{"conformance", func() error { return bench.PrintConformance(out, opt) }},
 	}
 
 	want := strings.ToLower(*exp)

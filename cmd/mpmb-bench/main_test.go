@@ -43,6 +43,49 @@ func TestRunSummaryAliasesFig7(t *testing.T) {
 	}
 }
 
+// TestRunConformanceSubcommand: `mpmb-bench conformance` emits the JSON
+// conformance report (per-method error, coverage, trials-to-tolerance)
+// and a PASS verdict line. PrepTrials stays at the paper's 100 — the
+// candidate-coverage gate is calibrated for it — while a reduced trial
+// count keeps the test quick (the acceptance intervals widen to match).
+func TestRunConformanceSubcommand(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"conformance", "-trials", "1000", "-prep", "100", "-seed", "1"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	var rep struct {
+		Pass    bool `json:"pass"`
+		Methods []struct {
+			Method            string  `json:"method"`
+			MaxAbsErr         float64 `json:"max_abs_err"`
+			Coverage          float64 `json:"coverage"`
+			TrialsToTolerance int     `json:"trials_to_tolerance"`
+		} `json:"methods"`
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	if err := dec.Decode(&rep); err != nil {
+		t.Fatalf("conformance output is not a JSON report: %v\n%s", err, out)
+	}
+	if !rep.Pass {
+		t.Fatalf("conformance reported failure:\n%s", out)
+	}
+	if len(rep.Methods) != 4 {
+		t.Fatalf("expected 4 method summaries, got %d", len(rep.Methods))
+	}
+	for _, m := range rep.Methods {
+		if m.TrialsToTolerance <= 0 {
+			t.Errorf("%s: missing trials_to_tolerance", m.Method)
+		}
+	}
+	if !strings.Contains(out, "conformance: PASS") {
+		t.Fatalf("missing verdict line:\n%s", out)
+	}
+	if !strings.Contains(out, "[conformance completed") {
+		t.Fatalf("missing completion line:\n%s", out)
+	}
+}
+
 func TestRunBenchErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {

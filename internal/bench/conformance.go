@@ -1,0 +1,50 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"github.com/uncertain-graphs/mpmb/internal/statcheck"
+)
+
+// RunConformance executes the statistical conformance harness
+// (internal/statcheck) over its short oracle corpus: every estimator
+// against the exact oracles under Hoeffding acceptance intervals, plus
+// the metamorphic invariants. Options.SampleTrials and PrepTrials
+// override the harness trial counts so the CLI flags apply; everything
+// else uses the statcheck defaults.
+func RunConformance(opt Options) (*statcheck.Report, error) {
+	cfg := statcheck.DefaultConfig(opt.Seed)
+	if opt.SampleTrials > 0 {
+		cfg.Trials = opt.SampleTrials
+	}
+	if opt.PrepTrials > 0 {
+		cfg.PrepTrials = opt.PrepTrials
+	}
+	return statcheck.Run(cfg, statcheck.ShortCorpus())
+}
+
+// PrintConformance runs the conformance harness and writes the full JSON
+// report — per-method max absolute error, coverage and
+// trials-to-tolerance — followed by a one-line verdict. The JSON is the
+// same document `mpmb-bench -json` embeds under "conformance".
+func PrintConformance(w io.Writer, opt Options) error {
+	rep, err := RunConformance(opt)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(w); err != nil {
+		return err
+	}
+	verdict := "PASS"
+	if !rep.Pass {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "conformance: %s (%d interval violations, budget %d; %d metamorphic)\n",
+		verdict, rep.Violations, rep.FailureBudget, rep.MetamorphicViolations)
+	if !rep.Pass {
+		return fmt.Errorf("conformance failed: %d violations against budget %d, %d metamorphic",
+			rep.Violations, rep.FailureBudget, rep.MetamorphicViolations)
+	}
+	return nil
+}

@@ -24,7 +24,7 @@ func ExportJSON(w io.Writer, opt Options, experiments []string) error {
 	known := map[string]bool{
 		"table3": true, "table4": true, "fig6": true, "fig7": true,
 		"fig8": true, "fig9": true, "fig10": true, "fig11": true,
-		"fig12": true, "fig13": true, "ablation": true,
+		"fig12": true, "fig13": true, "ablation": true, "conformance": true,
 	}
 	for e := range want {
 		if !known[e] {
@@ -123,6 +123,13 @@ func ExportJSON(w io.Writer, opt Options, experiments []string) error {
 			return err
 		}
 		report.Results["ablation"] = cells
+	}
+	if include("conformance") {
+		rep, err := RunConformance(opt)
+		if err != nil {
+			return err
+		}
+		report.Results["conformance"] = rep
 	}
 
 	enc := json.NewEncoder(w)

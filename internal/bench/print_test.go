@@ -152,7 +152,7 @@ func TestExportJSONAllExperiments(t *testing.T) {
 	if report.SampleTrials != 50 {
 		t.Fatalf("sample_trials = %d", report.SampleTrials)
 	}
-	for _, want := range []string{"table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation"} {
+	for _, want := range []string{"table3", "table4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "ablation", "conformance"} {
 		if _, ok := report.Results[want]; !ok {
 			t.Fatalf("JSON report missing %q", want)
 		}

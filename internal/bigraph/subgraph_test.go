@@ -118,6 +118,74 @@ func TestVertexSampleProperty(t *testing.T) {
 	}
 }
 
+// TestInducedSubgraphBoundaries walks the degenerate inputs table-driven:
+// empty graphs, empty keep sets, and single-edge graphs where the edge's
+// survival hinges on exactly one endpoint.
+func TestInducedSubgraphBoundaries(t *testing.T) {
+	empty := NewBuilder(0, 0).Build()
+	single := func() *Graph {
+		b := NewBuilder(2, 2)
+		b.MustAddEdge(0, 1, 2.5, 0.5)
+		return b.Build()
+	}()
+
+	cases := []struct {
+		name         string
+		g            *Graph
+		keepL, keepR []VertexID
+		wantL, wantR int
+		wantEdges    int
+	}{
+		{"empty graph, empty keeps", empty, nil, nil, 0, 0, 0},
+		{"empty keeps on non-empty graph", single, nil, nil, 0, 0, 0},
+		{"single edge, both endpoints kept", single, []VertexID{0}, []VertexID{1}, 1, 1, 1},
+		{"single edge, left endpoint dropped", single, []VertexID{1}, []VertexID{1}, 1, 1, 0},
+		{"single edge, right endpoint dropped", single, []VertexID{0}, []VertexID{0}, 1, 1, 0},
+		{"isolated vertices kept", single, []VertexID{1}, []VertexID{0}, 1, 1, 0},
+		{"full keep is identity-sized", single, []VertexID{0, 1}, []VertexID{0, 1}, 2, 2, 1},
+	}
+	for _, c := range cases {
+		sub, err := c.g.InducedSubgraph(c.keepL, c.keepR)
+		if err != nil {
+			t.Errorf("%s: %v", c.name, err)
+			continue
+		}
+		if sub.NumL() != c.wantL || sub.NumR() != c.wantR || sub.NumEdges() != c.wantEdges {
+			t.Errorf("%s: got %dx%d with %d edges, want %dx%d with %d",
+				c.name, sub.NumL(), sub.NumR(), sub.NumEdges(), c.wantL, c.wantR, c.wantEdges)
+		}
+	}
+}
+
+// TestVertexSampleBoundaries: sampling an empty graph is legal at every
+// fraction, and a single-edge graph at frac just above zero keeps the
+// guaranteed one vertex per side.
+func TestVertexSampleBoundaries(t *testing.T) {
+	empty := NewBuilder(0, 0).Build()
+	for _, frac := range []float64{0, 0.5, 1} {
+		sub, err := empty.VertexSample(frac, randx.New(1))
+		if err != nil {
+			t.Fatalf("frac %v on empty graph: %v", frac, err)
+		}
+		if sub.NumL() != 0 || sub.NumR() != 0 || sub.NumEdges() != 0 {
+			t.Fatalf("frac %v on empty graph kept %dx%d/%d", frac, sub.NumL(), sub.NumR(), sub.NumEdges())
+		}
+	}
+
+	b := NewBuilder(1, 1)
+	b.MustAddEdge(0, 0, 1, 0.5)
+	single := b.Build()
+	sub, err := single.VertexSample(0.01, randx.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// frac > 0 guarantees at least one vertex per non-empty side — here
+	// that forces the full graph.
+	if sub.NumL() != 1 || sub.NumR() != 1 || sub.NumEdges() != 1 {
+		t.Fatalf("tiny fraction on 1x1 graph kept %dx%d/%d, want 1x1/1", sub.NumL(), sub.NumR(), sub.NumEdges())
+	}
+}
+
 func TestComputeStats(t *testing.T) {
 	g := buildFigure1(t)
 	s := g.ComputeStats()

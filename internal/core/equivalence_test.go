@@ -1,0 +1,108 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// Cross-runner equivalence: a parallel runner is an implementation
+// detail, so seed for seed its FULL Result — method tag, trial
+// bookkeeping, partial flag and every estimate, bit for bit and in
+// canonical order — must match the sequential runner's. The existing
+// parallel tests compare estimate values; these pin the whole struct,
+// and in particular workers=1 (a degenerate pool, historically the
+// easiest configuration to special-case apart).
+
+// requireSameResult asserts full Result identity.
+func requireSameResult(t *testing.T, label string, seq, par *Result) {
+	t.Helper()
+	if par.Method != seq.Method || par.Trials != seq.Trials ||
+		par.PrepTrials != seq.PrepTrials || par.TrialsDone != seq.TrialsDone ||
+		par.Partial != seq.Partial {
+		t.Fatalf("%s: result headers differ:\nseq: %+v\npar: %+v", label, headerOf(seq), headerOf(par))
+	}
+	if !reflect.DeepEqual(par.Estimates, seq.Estimates) {
+		t.Fatalf("%s: estimates differ:\nseq: %v\npar: %v", label, seq.Estimates, par.Estimates)
+	}
+}
+
+func headerOf(r *Result) map[string]any {
+	return map[string]any{
+		"Method": r.Method, "Trials": r.Trials, "PrepTrials": r.PrepTrials,
+		"TrialsDone": r.TrialsDone, "Partial": r.Partial,
+	}
+}
+
+func TestOSParallelFullResultEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 4; trial++ {
+		g := randGraph(r, 6, 6, 16)
+		opt := OSOptions{Trials: 600, Seed: uint64(trial)*13 + 7}
+		seq, err := OS(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 3} {
+			par, err := OSParallel(g, opt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "os", seq, par)
+		}
+	}
+}
+
+func TestOLSParallelFullResultEquivalence(t *testing.T) {
+	r := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 3; trial++ {
+		g := randGraph(r, 6, 6, 16)
+		for _, useKL := range []bool{false, true} {
+			opt := OLSOptions{
+				PrepTrials:  40,
+				Trials:      400,
+				Seed:        uint64(trial)*17 + 3,
+				UseKarpLuby: useKL,
+			}
+			seq, err := OLS(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 3} {
+				par, err := OLSParallel(g, opt, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResult(t, seq.Method, seq, par)
+			}
+		}
+	}
+}
+
+// TestEstimateKarpLubyParallelSingleWorker covers the workers=1 pool the
+// broader KL equivalence test skips.
+func TestEstimateKarpLubyParallelSingleWorker(t *testing.T) {
+	r := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 3; trial++ {
+		g := randDenseSmallGraph(r, 14)
+		cands, err := AllBackboneCandidates(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cands.Len() == 0 {
+			continue
+		}
+		opt := KLOptions{BaseTrials: 500, Seed: uint64(trial) + 11}
+		seq, err := EstimateKarpLuby(cands, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := EstimateKarpLubyParallel(cands, opt, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(par, seq) {
+			t.Fatalf("workers=1 KL estimates differ:\nseq: %v\npar: %v", seq, par)
+		}
+	}
+}

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+)
+
+// interrupt14EdgeGraph builds a deterministic 14-edge graph (2^14 worlds),
+// large enough that the enumeration crosses the second cancellation poll.
+func interrupt14EdgeGraph() *bigraph.Graph {
+	b := bigraph.NewBuilder(4, 4)
+	n := 0
+	for u := 0; u < 4 && n < 14; u++ {
+		for v := 0; v < 4 && n < 14; v++ {
+			b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), float64(n%5)*0.5+1, 0.5)
+			n++
+		}
+	}
+	return b.Build()
+}
+
+// TestExactInterruptiblePollsFirstWorld pins the polling cadence contract
+// of ExactInterruptible: the hook is checked on the very first world (so
+// a pre-cancelled run never does real work, even when the whole
+// enumeration would fit in one polling batch) and the result is flagged
+// Partial with TrialsDone reporting the single visited world.
+func TestExactInterruptiblePollsFirstWorld(t *testing.T) {
+	res, err := ExactInterruptible(figure1Graph(), func() bool { return true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("pre-cancelled run not flagged Partial")
+	}
+	if res.TrialsDone != 1 {
+		t.Fatalf("pre-cancelled run visited %d worlds, want 1 (poll must fire on the first world)", res.TrialsDone)
+	}
+	if len(res.Estimates) != 0 {
+		t.Fatalf("pre-cancelled run produced %d estimates, want none", len(res.Estimates))
+	}
+}
+
+// TestExactInterruptiblePollCadence pins the worlds%4096 == 1 polling
+// schedule: with the hook cancelling on its second call, a 2^14-world
+// enumeration must stop exactly at world 4097 — and the partial
+// estimates must be lower bounds on the true probabilities (they sum a
+// prefix of the world enumeration; see Result.Partial).
+func TestExactInterruptiblePollCadence(t *testing.T) {
+	g := interrupt14EdgeGraph()
+	calls := 0
+	res, err := ExactInterruptible(g, func() bool {
+		calls++
+		return calls >= 2
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Partial {
+		t.Fatal("cancelled run not flagged Partial")
+	}
+	if res.TrialsDone != 4097 {
+		t.Fatalf("stopped at world %d, want 4097 (second poll of the %%4096 == 1 cadence)", res.TrialsDone)
+	}
+
+	full, err := Exact(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Partial {
+		t.Fatal("uninterrupted run flagged Partial")
+	}
+	if len(res.Estimates) == 0 {
+		t.Fatal("4096 enumerated worlds of a 0.5-probability graph produced no estimate")
+	}
+	for _, e := range res.Estimates {
+		exact, ok := full.Lookup(e.B)
+		if !ok {
+			t.Fatalf("partial result contains %v, absent from the full enumeration", e.B)
+		}
+		if e.P > exact.P+1e-12 {
+			t.Errorf("%v: partial estimate %v exceeds exact probability %v — not a lower bound", e.B, e.P, exact.P)
+		}
+	}
+}
+
+// TestExactInterruptibleNilHookCompletes: the nil-hook path is the plain
+// Exact contract — complete, not Partial, TrialsDone untouched.
+func TestExactInterruptibleNilHookCompletes(t *testing.T) {
+	res, err := ExactInterruptible(figure1Graph(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.TrialsDone != 0 {
+		t.Fatalf("complete run has Partial=%v TrialsDone=%d", res.Partial, res.TrialsDone)
+	}
+	if len(res.Estimates) == 0 {
+		t.Fatal("figure 1 enumeration produced no estimates")
+	}
+}

@@ -23,6 +23,14 @@ type OSOptions struct {
 	// the top-2 weight classes of Section V-C (Table II). Ablation only;
 	// results are identical, time and space are not.
 	KeepAllAngles bool
+	// DropA2 deliberately BREAKS the angle table: only the largest angle
+	// weight class (A1) is maintained and the second class (A2) is
+	// discarded, so butterflies formed from the top angle plus a strictly
+	// lighter one are silently lost. This is NOT an ablation — it changes
+	// results. It exists solely as fault injection for the statistical
+	// conformance harness (internal/statcheck), which must demonstrably
+	// fail when an estimator is biased. Never set it elsewhere.
+	DropA2 bool
 	// OnTrial, if non-nil, is invoked after every trial with the 1-based
 	// trial index and that trial's maximum butterfly set. The MaxSet is
 	// reused between trials; copy what must be retained.
@@ -218,6 +226,21 @@ func (e *angleEntry) update(w float64, mid bigraph.VertexID) {
 	}
 }
 
+// updateDropA2 is the deliberately broken Table II update behind
+// OSOptions.DropA2: it keeps only the A1 class, so bestWeight can never
+// report an A1+A2 combination and those butterflies are lost. Kept as a
+// separate method so the correct update's signature (exercised directly
+// by angle-table tests) stays untouched.
+func (e *angleEntry) updateDropA2(w float64, mid bigraph.VertexID) {
+	switch {
+	case w > e.w1:
+		e.w1 = w
+		e.mids1 = append(e.mids1[:0], mid)
+	case w == e.w1:
+		e.mids1 = append(e.mids1, mid)
+	}
+}
+
 // bestWeight returns the largest butterfly weight this endpoint pair can
 // currently produce, or -Inf if it cannot produce one (fewer than two
 // angles retained).
@@ -261,7 +284,11 @@ func (x *osIndex) runTrial(sMB *butterfly.MaxSet, present func(bigraph.EdgeID) b
 			if x.opt.KeepAllAngles {
 				ent.all = append(ent.all, midW{mid: vj, w: angleW})
 			}
-			ent.update(angleW, vj) // line 12, Table II
+			if x.opt.DropA2 {
+				ent.updateDropA2(angleW, vj) // fault injection: A2 lost
+			} else {
+				ent.update(angleW, vj) // line 12, Table II
+			}
 			if bw := ent.bestWeight(); bw > wMax {
 				wMax = bw // line 13
 			}

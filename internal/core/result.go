@@ -37,10 +37,14 @@ type Result struct {
 	// descending P, ties by descending weight, then canonical vertex
 	// order.
 	Estimates []Estimate
-	// Partial marks a run cut short by cancellation. Estimates are then
-	// normalized over the TrialsDone completed trials — still unbiased,
-	// because every trial's stream derives from (Seed, trial index) and a
-	// prefix of i.i.d. trials is itself a valid (lower-fidelity) sample.
+	// Partial marks a run cut short by cancellation. For the sampling
+	// methods the estimates are then normalized over the TrialsDone
+	// completed trials — still unbiased, because every trial's stream
+	// derives from (Seed, trial index) and a prefix of i.i.d. trials is
+	// itself a valid (lower-fidelity) sample. A partial EXACT run is
+	// different: its estimates sum only the enumerated-world prefix, so
+	// they are deterministic lower bounds on the true probabilities, not
+	// unbiased samples (see TrialsDone).
 	Partial bool
 	// TrialsDone is the completed prefix the estimates are normalized
 	// over. It equals Trials for a complete run. Units are sampling trials

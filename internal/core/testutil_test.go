@@ -5,7 +5,32 @@ import (
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/statcheck/interval"
 )
+
+// statTolAlpha is the per-comparison two-sided error probability the
+// convergence tests accept, matching the internal/statcheck harness: at
+// 1e-9 a failing comparison is an estimator bug, not seed luck, so the
+// tests stay deterministic-given-seed without hand-tuned slack.
+const statTolAlpha = 1e-9
+
+// statTol returns the Hoeffding acceptance half-width for a binomial
+// proportion estimated over the given trial count (the derivation lives
+// in internal/statcheck/interval).
+func statTol(trials int) float64 { return interval.HoeffdingHalfWidth(trials, statTolAlpha) }
+
+// statTolScaled is statTol for an estimate that is an affine transform of
+// a binomial proportion with the given scale — the Karp-Luby estimator,
+// whose estimate moves by Pr[E(B_i)]·S_i per unit of its underlying
+// proportion. The 1e-9 floor covers the candidates Karp-Luby prices in
+// closed form (L(i) = 0 or S_i = 0), which are exact up to float
+// association.
+func statTolScaled(scale float64, trials int) float64 {
+	if eps := interval.ScaledHalfWidth(scale, trials, statTolAlpha); eps > 1e-9 {
+		return eps
+	}
+	return 1e-9
+}
 
 // figure1Graph builds the running example of the paper's Figure 1:
 // L = {u1, u2}, R = {v1, v2, v3} with the listed weights and

@@ -37,6 +37,81 @@ func TestZipfDistribution(t *testing.T) {
 	}
 }
 
+// TestZipfBoundaries covers the support and skew extremes table-driven:
+// a single-element support must always return 0 regardless of exponent,
+// extreme skew must concentrate (essentially) all mass on index 0, and
+// near-zero skew must still reach the tail of the support.
+func TestZipfBoundaries(t *testing.T) {
+	cases := []struct {
+		name   string
+		n      int
+		s      float64
+		seed   uint64
+		draws  int
+		verify func(t *testing.T, counts []int, draws int)
+	}{
+		{"n=1 degenerate support", 1, 1, 21, 1000, func(t *testing.T, counts []int, draws int) {
+			if counts[0] != draws {
+				t.Errorf("n=1 must always sample 0, got counts %v", counts)
+			}
+		}},
+		{"n=1 with extreme skew", 1, 100, 22, 1000, func(t *testing.T, counts []int, draws int) {
+			if counts[0] != draws {
+				t.Errorf("n=1 must always sample 0, got counts %v", counts)
+			}
+		}},
+		{"max skew concentrates on 0", 8, 50, 23, 5000, func(t *testing.T, counts []int, draws int) {
+			// P(index >= 1) = 2^-50/Z ≈ 1e-15: index 0 every time.
+			if counts[0] != draws {
+				t.Errorf("s=50 sampled beyond index 0: %v", counts)
+			}
+		}},
+		{"near-zero skew reaches the tail", 8, 0.01, 24, 20000, func(t *testing.T, counts []int, draws int) {
+			for i, c := range counts {
+				if c == 0 {
+					t.Errorf("s=0.01 never sampled index %d: %v", i, counts)
+				}
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			z := NewZipf(c.n, c.s)
+			if z.N() != c.n {
+				t.Fatalf("N() = %d, want %d", z.N(), c.n)
+			}
+			r := New(c.seed)
+			counts := make([]int, c.n)
+			for i := 0; i < c.draws; i++ {
+				v := z.Sample(r)
+				if v < 0 || v >= c.n {
+					t.Fatalf("sample %d outside [0, %d)", v, c.n)
+				}
+				counts[v]++
+			}
+			c.verify(t, counts, c.draws)
+		})
+	}
+}
+
+// TestAliasMaxSkew: one weight dominating by many orders of magnitude
+// must not destabilize the table construction.
+func TestAliasMaxSkew(t *testing.T) {
+	a := NewAlias([]float64{1e15, 1, 1, 1})
+	r := New(25)
+	const draws = 50000
+	other := 0
+	for i := 0; i < draws; i++ {
+		if a.Sample(r) != 0 {
+			other++
+		}
+	}
+	// P(index != 0) = 3e-15: any non-zero draw here is a table bug.
+	if other != 0 {
+		t.Errorf("dominant weight lost %d/%d draws to 1e-15 tail mass", other, draws)
+	}
+}
+
 func TestZipfPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { NewZipf(0, 1) },

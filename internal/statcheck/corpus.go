@@ -1,0 +1,168 @@
+package statcheck
+
+import (
+	"fmt"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/dataset"
+)
+
+// Case is one oracle-corpus entry: a named graph small enough for exact
+// possible-world enumeration. Corpus graphs are fixed — they do not
+// depend on the harness Config.Seed — so that a violation on a case is
+// attributable to the estimator seed alone.
+type Case struct {
+	Name string
+	G    *bigraph.Graph
+}
+
+// ShortCorpus returns the default conformance corpus: the paper's running
+// example plus hand-built adversarial cases (exact weight ties at the
+// maximum, zero- and one-probability edges, duplicate angle weights
+// exercising the A1/A2 classes of Table II, butterfly-free graphs) and a
+// few deterministic synthetic generator outputs. Every graph has at most
+// 14 edges, so exact enumeration visits at most 2^14 worlds and the whole
+// corpus runs in seconds.
+func ShortCorpus() []Case {
+	return []Case{
+		{Name: "figure1", G: figure1()},
+		{Name: "tied-max", G: tiedMax()},
+		{Name: "zero-one-prob", G: zeroOneProb()},
+		{Name: "all-certain", G: allCertain()},
+		{Name: "angle-classes", G: angleClasses()},
+		{Name: "single-edge", G: singleEdge()},
+		{Name: "no-edges", G: bigraph.NewBuilder(2, 2).Build()},
+		{Name: "synth-halfstep", G: synthetic(dataset.SyntheticConfig{
+			Seed: 11, NumL: 3, NumR: 3, NumEdges: 8,
+			Weights: dataset.WeightHalfStep,
+		})},
+		{Name: "synth-uniform", G: synthetic(dataset.SyntheticConfig{
+			Seed: 12, NumL: 3, NumR: 4, NumEdges: 10,
+			Probs: dataset.ProbNormal,
+		})},
+		{Name: "synth-fixedp", G: synthetic(dataset.SyntheticConfig{
+			Seed: 13, NumL: 4, NumR: 3, NumEdges: 12, DegreeSkew: 1.2,
+			Weights: dataset.WeightHalfStep, Probs: dataset.ProbFixed, ProbMean: 0.5,
+		})},
+	}
+}
+
+// LongCorpus extends ShortCorpus with larger (up to 18 edges, 2^18
+// worlds) and more varied synthetic graphs for the nightly run.
+func LongCorpus() []Case {
+	long := ShortCorpus()
+	for seed := uint64(21); seed <= 26; seed++ {
+		long = append(long, Case{
+			Name: fmt.Sprintf("synth-long-%d", seed),
+			G: synthetic(dataset.SyntheticConfig{
+				Seed: seed, NumL: 4, NumR: 5, NumEdges: 18,
+				DegreeSkew: float64(seed%3) * 0.8,
+				Weights:    []dataset.WeightDist{dataset.WeightUniform, dataset.WeightHalfStep, dataset.WeightNormal}[seed%3],
+				Probs:      []dataset.ProbDist{dataset.ProbUniform, dataset.ProbNormal, dataset.ProbFixed}[seed%3],
+				ProbMean:   0.4,
+			}),
+		})
+	}
+	return long
+}
+
+// figure1 is the paper's Figure 1 running example (2×3): the graph every
+// algorithm test in internal/core is anchored on.
+func figure1() *bigraph.Graph {
+	b := bigraph.NewBuilder(2, 3)
+	b.MustAddEdge(0, 0, 2, 0.5) // (u1, v1)
+	b.MustAddEdge(0, 1, 2, 0.6) // (u1, v2)
+	b.MustAddEdge(0, 2, 1, 0.8) // (u1, v3)
+	b.MustAddEdge(1, 0, 3, 0.3) // (u2, v1)
+	b.MustAddEdge(1, 1, 3, 0.4) // (u2, v2)
+	b.MustAddEdge(1, 2, 1, 0.7) // (u2, v3)
+	return b.Build()
+}
+
+// tiedMax: a complete 2×3 graph with every weight equal, so all three
+// butterflies tie at the maximum weight in every world where they exist —
+// the S_MB-is-a-set semantics under maximal stress.
+func tiedMax() *bigraph.Graph {
+	b := bigraph.NewBuilder(2, 3)
+	probs := []float64{0.5, 0.6, 0.7, 0.4, 0.8, 0.3}
+	i := 0
+	for u := 0; u < 2; u++ {
+		for v := 0; v < 3; v++ {
+			b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), 1, probs[i])
+			i++
+		}
+	}
+	return b.Build()
+}
+
+// zeroOneProb mixes deterministic edges (p = 0 and p = 1) with uncertain
+// ones: butterflies through the p=0 edge must get exactly zero mass and
+// the p=1 edges must behave as certainties in every sampler.
+func zeroOneProb() *bigraph.Graph {
+	b := bigraph.NewBuilder(2, 3)
+	b.MustAddEdge(0, 0, 2, 1) // certain
+	b.MustAddEdge(0, 1, 2, 0) // impossible
+	b.MustAddEdge(0, 2, 1, 0.5)
+	b.MustAddEdge(1, 0, 3, 1) // certain
+	b.MustAddEdge(1, 1, 3, 0.5)
+	b.MustAddEdge(1, 2, 1, 0.5)
+	return b.Build()
+}
+
+// allCertain: a single possible world; the maximum butterflies must get
+// P = 1 from every method after any number of trials.
+func allCertain() *bigraph.Graph {
+	b := bigraph.NewBuilder(2, 3)
+	weights := []float64{2, 2, 1, 3, 3, 1}
+	i := 0
+	for u := 0; u < 2; u++ {
+		for v := 0; v < 3; v++ {
+			b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), weights[i], 1)
+			i++
+		}
+	}
+	return b.Build()
+}
+
+// angleClasses engineers duplicate angle weights per endpoint pair: the
+// pair (u0, u1) sees two angles of weight 5 (via v0, v1), two of weight 3
+// (via v2, v3) and one of weight 1 (via v4), so the Table II update hits
+// the equal-to-A1, equal-to-A2 and below-A2 cases, and worlds where only
+// one weight-5 angle survives need the A1+A2 combination — the exact
+// butterflies the DropA2 fault loses.
+func angleClasses() *bigraph.Graph {
+	b := bigraph.NewBuilder(2, 5)
+	// Per middle vertex v: w(u0,v) + w(u1,v) is the angle weight.
+	type mid struct{ w0, w1, p0, p1 float64 }
+	mids := []mid{
+		{2.5, 2.5, 0.5, 0.6}, // angle weight 5
+		{2, 3, 0.4, 0.5},     // angle weight 5 (different split)
+		{1.5, 1.5, 0.7, 0.3}, // angle weight 3
+		{1, 2, 0.6, 0.4},     // angle weight 3
+		{0.5, 0.5, 0.8, 0.7}, // angle weight 1
+	}
+	for v, m := range mids {
+		b.MustAddEdge(0, bigraph.VertexID(v), m.w0, m.p0)
+		b.MustAddEdge(1, bigraph.VertexID(v), m.w1, m.p1)
+	}
+	return b.Build()
+}
+
+// singleEdge admits no butterfly in any world: every method must return
+// an empty estimate set.
+func singleEdge() *bigraph.Graph {
+	b := bigraph.NewBuilder(2, 2)
+	b.MustAddEdge(0, 0, 1, 0.5)
+	return b.Build()
+}
+
+// synthetic materializes a generator config, panicking on configuration
+// errors — corpus configs are compile-time constants, so an error is a
+// bug in this file, not a runtime condition.
+func synthetic(cfg dataset.SyntheticConfig) *bigraph.Graph {
+	d, err := dataset.Synthetic(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("statcheck: bad corpus config: %v", err))
+	}
+	return d.G
+}

@@ -1,0 +1,70 @@
+// Package interval provides the acceptance-interval arithmetic used by
+// the statistical conformance harness (internal/statcheck) and by the
+// estimator-convergence tests in internal/core.
+//
+// Every sampler in this repository reports binomial proportions (or a
+// fixed affine transform of one), so the two-sided Hoeffding inequality
+// gives a distribution-free acceptance band: for X ~ Bin(n, p),
+//
+//	Pr( |X/n − p| ≥ t ) ≤ 2·exp(−2·n·t²).
+//
+// Solving 2·exp(−2·n·t²) = α for t yields the half-width below. A test
+// that rejects only outside ±HoeffdingHalfWidth(n, α) is therefore wrong
+// with probability at most α per comparison regardless of p — which is
+// what makes a corpus-wide failure budget sound: with α = 1e-9 and a few
+// thousand comparisons, the expected number of false alarms is ~1e-6.
+//
+// The package is deliberately dependency-free so that tests inside
+// internal/core can import it without creating an import cycle with
+// internal/statcheck (which imports core).
+package interval
+
+import "math"
+
+// HoeffdingHalfWidth returns the two-sided acceptance half-width t such
+// that a binomial proportion over n trials deviates from its mean by at
+// least t with probability at most alpha:
+//
+//	t = sqrt( ln(2/alpha) / (2n) ).
+//
+// It panics if n <= 0 or alpha is outside (0, 1).
+func HoeffdingHalfWidth(n int, alpha float64) float64 {
+	if n <= 0 {
+		panic("interval: HoeffdingHalfWidth with non-positive trial count")
+	}
+	checkAlpha(alpha)
+	return math.Sqrt(math.Log(2/alpha) / (2 * float64(n)))
+}
+
+// TrialsForHalfWidth returns the smallest trial count n for which
+// HoeffdingHalfWidth(n, alpha) <= eps:
+//
+//	n = ceil( ln(2/alpha) / (2·eps²) ).
+//
+// It panics if eps <= 0 or alpha is outside (0, 1).
+func TrialsForHalfWidth(eps, alpha float64) int {
+	if eps <= 0 {
+		panic("interval: TrialsForHalfWidth with non-positive eps")
+	}
+	checkAlpha(alpha)
+	return int(math.Ceil(math.Log(2/alpha) / (2 * eps * eps)))
+}
+
+// ScaledHalfWidth returns the acceptance half-width for an estimator that
+// reports scale·(affine transform of a binomial proportion over n
+// trials), i.e. scale·HoeffdingHalfWidth(n, alpha). The Karp-Luby
+// estimate P̂ = (1 − Cnt/N·S_i)·Pr[E(B_i)] moves by Pr[E(B_i)]·S_i per
+// unit of Cnt/N, so its half-width uses scale = Pr[E(B_i)]·S_i. A
+// non-positive scale returns 0 (the estimate is then deterministic).
+func ScaledHalfWidth(scale float64, n int, alpha float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	return scale * HoeffdingHalfWidth(n, alpha)
+}
+
+func checkAlpha(alpha float64) {
+	if !(alpha > 0 && alpha < 1) {
+		panic("interval: alpha outside (0, 1)")
+	}
+}

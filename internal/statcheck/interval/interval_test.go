@@ -1,0 +1,78 @@
+package interval
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHoeffdingHalfWidthValues(t *testing.T) {
+	// t = sqrt(ln(2/alpha)/(2n)), hand-computed reference points.
+	cases := []struct {
+		n     int
+		alpha float64
+		want  float64
+	}{
+		{1, 1e-2, math.Sqrt(math.Log(200) / 2)},
+		{60000, 1e-9, math.Sqrt(math.Log(2e9) / 120000)},
+		{4000, 1e-9, math.Sqrt(math.Log(2e9) / 8000)},
+	}
+	for _, c := range cases {
+		got := HoeffdingHalfWidth(c.n, c.alpha)
+		if math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("HoeffdingHalfWidth(%d, %v) = %v, want %v", c.n, c.alpha, got, c.want)
+		}
+	}
+	// Monotonicity: more trials or a looser alpha shrink the band.
+	if HoeffdingHalfWidth(1000, 1e-9) <= HoeffdingHalfWidth(2000, 1e-9) {
+		t.Error("half-width must shrink with more trials")
+	}
+	if HoeffdingHalfWidth(1000, 1e-3) >= HoeffdingHalfWidth(1000, 1e-9) {
+		t.Error("half-width must grow as alpha tightens")
+	}
+}
+
+func TestTrialsForHalfWidthInvertsHalfWidth(t *testing.T) {
+	for _, eps := range []float64{0.001, 0.01, 0.05, 0.2} {
+		for _, alpha := range []float64{1e-3, 1e-6, 1e-9} {
+			n := TrialsForHalfWidth(eps, alpha)
+			if got := HoeffdingHalfWidth(n, alpha); got > eps {
+				t.Errorf("TrialsForHalfWidth(%v, %v) = %d but half-width %v > eps", eps, alpha, n, got)
+			}
+			if n > 1 {
+				if got := HoeffdingHalfWidth(n-1, alpha); got <= eps {
+					t.Errorf("TrialsForHalfWidth(%v, %v) = %d is not minimal (n-1 gives %v)", eps, alpha, n, got)
+				}
+			}
+		}
+	}
+}
+
+func TestScaledHalfWidth(t *testing.T) {
+	base := HoeffdingHalfWidth(500, 1e-6)
+	if got := ScaledHalfWidth(0.25, 500, 1e-6); math.Abs(got-0.25*base) > 1e-15 {
+		t.Errorf("ScaledHalfWidth = %v, want %v", got, 0.25*base)
+	}
+	if got := ScaledHalfWidth(0, 500, 1e-6); got != 0 {
+		t.Errorf("zero scale must give zero width, got %v", got)
+	}
+	if got := ScaledHalfWidth(-1, 500, 1e-6); got != 0 {
+		t.Errorf("negative scale must give zero width, got %v", got)
+	}
+}
+
+func TestPanicsOnInvalidInput(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("n=0", func() { HoeffdingHalfWidth(0, 0.5) })
+	mustPanic("alpha=0", func() { HoeffdingHalfWidth(10, 0) })
+	mustPanic("alpha=1", func() { HoeffdingHalfWidth(10, 1) })
+	mustPanic("eps=0", func() { TrialsForHalfWidth(0, 0.5) })
+	mustPanic("bad alpha", func() { TrialsForHalfWidth(0.1, 2) })
+}

@@ -1,0 +1,43 @@
+//go:build statlong
+
+package statcheck
+
+// The nightly long-corpus conformance run: larger graphs (up to 2^18
+// worlds), more trials, several seeds. Excluded from the default build
+// by the statlong tag; CI runs it as
+//
+//	go test -race -tags statlong ./internal/statcheck/
+//
+// (see .github/workflows/nightly.yml).
+
+import "testing"
+
+func TestLongCorpusConformance(t *testing.T) {
+	for seed := uint64(1); seed <= 3; seed++ {
+		cfg := DefaultConfig(seed)
+		cfg.Trials = 20000
+		rep, err := Run(cfg, LongCorpus())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Pass {
+			t.Errorf("seed %d: long conformance failed (%d violations, %d metamorphic):\n%s",
+				seed, rep.Violations, rep.MetamorphicViolations, detailDump(rep))
+		}
+	}
+}
+
+// TestLongCorpusSabotageDetected re-proves detection power at the long
+// corpus scale.
+func TestLongCorpusSabotageDetected(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Trials = 20000
+	cfg.Sabotage.DropA2 = true
+	rep, err := Run(cfg, LongCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Error("long corpus passed with the A2 angle class dropped")
+	}
+}

@@ -1,0 +1,280 @@
+package statcheck
+
+// Metamorphic invariants: properties that must hold deterministically
+// (not just in distribution), so a single run either proves them for
+// this corpus or exposes a real bug. Each check exploits a designed
+// coupling:
+//
+//   - per-world conformance: one OS trial on a fixed world must equal
+//     the brute-force maximum butterfly set of that world, bit for bit;
+//   - relabeling / side-swap invariance: permuting vertex labels (or
+//     swapping the L and R sides) while preserving edge insertion order
+//     keeps every edge id — and therefore every Bernoulli draw — the
+//     same, so exact, mc-vp and os results must be identical modulo the
+//     label mapping. OLS is excluded: its candidate ordering breaks
+//     weight ties by vertex id, which a relabeling legitimately changes.
+//   - monotonicity: raising the edge probabilities of the heaviest
+//     backbone butterfly B0 can only increase P(B0). For the exact
+//     solver that is a theorem; for mc-vp it holds per trial because
+//     SampleInto consumes one uniform draw per edge iff 0 < p < 1, and
+//     the boost p' = p + (1-p)/2 keeps every probability inside (0, 1),
+//     so the very same draws produce a superset of B0-present trials.
+//     (OS draws lazily and prunes, so its draw alignment shifts — it is
+//     checked in distribution by the main harness instead.)
+
+import (
+	"math"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+const (
+	// enumerateEdgeCap: check OSOnWorld against every world up to 2^14;
+	// sample beyond that.
+	enumerateEdgeCap = 14
+	sampledWorlds    = 1024
+	// weightTol absorbs float association differences in butterfly
+	// weights whose four addends are summed in a labeling-dependent
+	// canonical order.
+	weightTol = 1e-9
+	// exactIdentityTol bounds |exact P(B0) − Pr[E(B0)]| for a butterfly
+	// in the top backbone weight group, and the slack allowed in the
+	// exact monotonicity comparison. The identity is exact in real
+	// arithmetic, but the enumerator accumulates up to 2^18 world
+	// probabilities, so rounding can reach ~1e-10.
+	exactIdentityTol = 1e-9
+)
+
+func (h *harness) runMetamorphic(ci int, cs *CaseReport, g *bigraph.Graph, exactP map[butterfly.Butterfly]float64) error {
+	h.checkOSWorldConformance(cs, g)
+	if err := h.checkRelabelInvariance(ci, cs, g); err != nil {
+		return err
+	}
+	if err := h.checkSwapInvariance(ci, cs, g); err != nil {
+		return err
+	}
+	return h.checkMonotonicity(ci, cs, g, exactP)
+}
+
+// checkOSWorldConformance compares OSOnWorld (one Ordering Sampling
+// trial on a fixed world, with any injected fault) against the
+// brute-force butterfly.MaxWeightSet on the same world.
+func (h *harness) checkOSWorldConformance(cs *CaseReport, g *bigraph.Graph) {
+	opt := core.OSOptions{DropA2: h.cfg.Sabotage.DropA2}
+	mismatches := 0
+	check := func(w *possible.World) {
+		got := core.OSOnWorld(g, w, opt)
+		want := butterfly.MaxWeightSet(g, w)
+		if !sameMaxSet(got, want) {
+			mismatches++
+		}
+	}
+	if g.NumEdges() <= enumerateEdgeCap {
+		// The error only fires past MaxEnumerableEdges; the cap is below it.
+		_ = possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+			check(w)
+			return true
+		})
+	} else {
+		rng := randx.New(h.cfg.Seed ^ 0x05f0)
+		for t := 0; t < sampledWorlds; t++ {
+			check(possible.Sample(g, rng.Derive(uint64(t))))
+		}
+	}
+	if mismatches > 0 {
+		h.metaViolation(cs, "%s: OSOnWorld disagrees with brute-force MaxWeightSet on %d world(s)",
+			cs.Name, mismatches)
+	}
+}
+
+func sameMaxSet(a, b butterfly.MaxSet) bool {
+	if a.Empty() != b.Empty() {
+		return false
+	}
+	if a.Empty() {
+		return true
+	}
+	// OS computes a butterfly's weight as the sum of its two angle
+	// weights, the brute force as a sequential four-edge sum: on weights
+	// that are not exactly representable sums the two associate
+	// differently, so W may differ by an ulp even when the sets agree.
+	if math.Abs(a.W-b.W) > weightTol || len(a.Set) != len(b.Set) {
+		return false
+	}
+	in := make(map[butterfly.Butterfly]bool, len(b.Set))
+	for _, x := range b.Set {
+		in[x] = true
+	}
+	for _, x := range a.Set {
+		if !in[x] {
+			return false
+		}
+	}
+	return true
+}
+
+// checkRelabelInvariance permutes the left and right vertex labels while
+// preserving edge insertion order (hence edge ids and random streams)
+// and demands bit-identical results from exact, mc-vp and os modulo the
+// permutation.
+func (h *harness) checkRelabelInvariance(ci int, cs *CaseReport, g *bigraph.Graph) error {
+	rng := randx.New(h.cfg.Seed ^ 0x51ab)
+	permL := rng.Perm(g.NumL())
+	permR := rng.Perm(g.NumR())
+	b := bigraph.NewBuilder(g.NumL(), g.NumR())
+	for _, e := range g.Edges() {
+		b.MustAddEdge(bigraph.VertexID(permL[e.U]), bigraph.VertexID(permR[e.V]), e.W, e.P)
+	}
+	mapB := func(x butterfly.Butterfly) butterfly.Butterfly {
+		return butterfly.New(
+			bigraph.VertexID(permL[x.U1]), bigraph.VertexID(permL[x.U2]),
+			bigraph.VertexID(permR[x.V1]), bigraph.VertexID(permR[x.V2]))
+	}
+	return h.checkMappedInvariance(ci, cs, "relabel", g, b.Build(), mapB, 8)
+}
+
+// checkSwapInvariance mirrors the graph across its bipartition (left
+// vertices become right and vice versa), again preserving edge ids.
+func (h *harness) checkSwapInvariance(ci int, cs *CaseReport, g *bigraph.Graph) error {
+	b := bigraph.NewBuilder(g.NumR(), g.NumL())
+	for _, e := range g.Edges() {
+		b.MustAddEdge(e.V, e.U, e.W, e.P)
+	}
+	mapB := func(x butterfly.Butterfly) butterfly.Butterfly {
+		return butterfly.New(x.V1, x.V2, x.U1, x.U2)
+	}
+	return h.checkMappedInvariance(ci, cs, "lr-swap", g, b.Build(), mapB, 12)
+}
+
+func (h *harness) checkMappedInvariance(ci int, cs *CaseReport, name string, g, g2 *bigraph.Graph, mapB func(butterfly.Butterfly) butterfly.Butterfly, slotBase int) error {
+	type runner struct {
+		method string
+		run    func(*bigraph.Graph, uint64) (*core.Result, error)
+	}
+	runners := []runner{
+		{"exact", func(gr *bigraph.Graph, _ uint64) (*core.Result, error) { return core.Exact(gr) }},
+		{"mc-vp", func(gr *bigraph.Graph, seed uint64) (*core.Result, error) {
+			return core.MCVP(gr, core.MCVPOptions{Trials: metaTrials, Seed: seed})
+		}},
+		{"os", func(gr *bigraph.Graph, seed uint64) (*core.Result, error) {
+			return core.OS(gr, core.OSOptions{Trials: metaTrials, Seed: seed, DropA2: h.cfg.Sabotage.DropA2})
+		}},
+	}
+	for i, r := range runners {
+		seed := h.seedFor(ci, slotBase+i)
+		res1, err := r.run(g, seed)
+		if err != nil {
+			return err
+		}
+		res2, err := r.run(g2, seed)
+		if err != nil {
+			return err
+		}
+		if diff := compareMapped(res1, res2, mapB); diff != "" {
+			h.metaViolation(cs, "%s: %s not invariant under %s: %s", cs.Name, r.method, name, diff)
+		}
+	}
+	return nil
+}
+
+// compareMapped demands the two results agree butterfly-for-butterfly
+// under the mapping: identical P (bit-exact — same trials, same draws)
+// and equal weight up to float association.
+func compareMapped(a, b *core.Result, mapB func(butterfly.Butterfly) butterfly.Butterfly) string {
+	if len(a.Estimates) != len(b.Estimates) {
+		return "estimate counts differ"
+	}
+	bm := make(map[butterfly.Butterfly]core.Estimate, len(b.Estimates))
+	for _, e := range b.Estimates {
+		bm[e.B] = e
+	}
+	for _, e := range a.Estimates {
+		mb := mapB(e.B)
+		other, ok := bm[mb]
+		if !ok {
+			return e.B.String() + " has no counterpart " + mb.String()
+		}
+		if other.P != e.P {
+			return e.B.String() + ": P differs under mapping"
+		}
+		if math.Abs(other.Weight-e.Weight) > weightTol {
+			return e.B.String() + ": weight differs under mapping"
+		}
+	}
+	return ""
+}
+
+// checkMonotonicity boosts the edge probabilities of the heaviest
+// backbone butterfly B0 and verifies (a) exact P(B0) equals Pr[E(B0)]
+// before the boost (B0 is in the top weight group: whenever it exists it
+// is maximal), (b) exact P(B0) does not decrease, and (c) the coupled
+// mc-vp trial count of B0 does not decrease.
+func (h *harness) checkMonotonicity(ci int, cs *CaseReport, g *bigraph.Graph, exactP map[butterfly.Butterfly]float64) error {
+	all := butterfly.AllBackbone(g)
+	if len(all) == 0 {
+		return nil
+	}
+	b0 := all[0]
+	for _, bw := range all[1:] {
+		if bw.W > b0.W || (bw.W == b0.W && lessButterfly(bw.B, b0.B)) {
+			b0 = bw
+		}
+	}
+	ep, _ := b0.B.ExistProb(g)
+	if math.Abs(exactP[b0.B]-ep) > exactIdentityTol {
+		h.metaViolation(cs, "%s: exact P(B0)=%v but Pr[E(B0)]=%v for top-weight butterfly %v",
+			cs.Name, exactP[b0.B], ep, b0.B)
+	}
+
+	ids, _ := b0.B.EdgeIDs(g)
+	boost := make(map[bigraph.EdgeID]bool, 4)
+	for _, id := range ids {
+		boost[id] = true
+	}
+	bld := bigraph.NewBuilder(g.NumL(), g.NumR())
+	for i, e := range g.Edges() {
+		p := e.P
+		if boost[bigraph.EdgeID(i)] && p > 0 && p < 1 {
+			p += (1 - p) / 2
+		}
+		bld.MustAddEdge(e.U, e.V, e.W, p)
+	}
+	g2 := bld.Build()
+
+	p2, err := core.ExactProb(g2, b0.B)
+	if err != nil {
+		return err
+	}
+	if p2 < exactP[b0.B]-exactIdentityTol {
+		h.metaViolation(cs, "%s: exact P(B0) dropped from %v to %v after boosting its edges",
+			cs.Name, exactP[b0.B], p2)
+	}
+
+	seed := h.seedFor(ci, 15)
+	m1, err := core.MCVP(g, core.MCVPOptions{Trials: metaTrials, Seed: seed})
+	if err != nil {
+		return err
+	}
+	m2, err := core.MCVP(g2, core.MCVPOptions{Trials: metaTrials, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if estOf(m2, b0.B) < estOf(m1, b0.B) {
+		h.metaViolation(cs, "%s: coupled mc-vp estimate of B0 dropped from %v to %v after boosting its edges",
+			cs.Name, estOf(m1, b0.B), estOf(m2, b0.B))
+	}
+	return nil
+}
+
+func estOf(r *core.Result, b butterfly.Butterfly) float64 {
+	for _, e := range r.Estimates {
+		if e.B == b {
+			return e.P
+		}
+	}
+	return 0
+}

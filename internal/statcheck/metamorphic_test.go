@@ -1,0 +1,118 @@
+package statcheck
+
+import (
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+func TestSameMaxSet(t *testing.T) {
+	mk := func(w float64, bs ...butterfly.Butterfly) butterfly.MaxSet {
+		var m butterfly.MaxSet
+		for _, b := range bs {
+			m.Add(b, w)
+		}
+		return m
+	}
+	b1 := butterfly.New(0, 1, 0, 1)
+	b2 := butterfly.New(0, 1, 0, 2)
+
+	if !sameMaxSet(mk(3, b1, b2), mk(3, b2, b1)) {
+		t.Error("order must not matter")
+	}
+	if !sameMaxSet(butterfly.MaxSet{}, butterfly.MaxSet{}) {
+		t.Error("two empty sets must match")
+	}
+	if sameMaxSet(mk(3, b1), butterfly.MaxSet{}) {
+		t.Error("empty vs non-empty must differ")
+	}
+	if sameMaxSet(mk(3, b1), mk(3, b1, b2)) {
+		t.Error("differing cardinality must differ")
+	}
+	if sameMaxSet(mk(3, b1), mk(3, b2)) {
+		t.Error("differing members must differ")
+	}
+	if sameMaxSet(mk(3, b1), mk(4, b1)) {
+		t.Error("weights beyond tolerance must differ")
+	}
+	// An ulp-scale weight difference (float association) is tolerated.
+	var a, b butterfly.MaxSet
+	a.Add(b1, 3.0000000000000004)
+	b.Add(b1, 3)
+	if !sameMaxSet(a, b) {
+		t.Error("ulp-scale weight difference must be tolerated")
+	}
+}
+
+// TestMetamorphicChecksRunOnEveryCase: every corpus case reports zero
+// metamorphic violations under the default config — and the per-case
+// counters exist (they were exercised), which guards against the checks
+// silently short-circuiting.
+func TestMetamorphicChecksRunOnEveryCase(t *testing.T) {
+	rep, err := Run(DefaultConfig(9), ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Cases) != len(ShortCorpus()) {
+		t.Fatalf("report has %d cases, corpus has %d", len(rep.Cases), len(ShortCorpus()))
+	}
+	for _, c := range rep.Cases {
+		if c.Metamorphic != 0 {
+			t.Errorf("%s: %d metamorphic violations", c.Name, c.Metamorphic)
+		}
+	}
+}
+
+// TestCorpusShape pins the corpus invariants the harness and docs rely
+// on: unique names, exact-enumerable sizes, and the presence of the
+// adversarial archetypes (ties at the max, degenerate probabilities, a
+// single possible world, butterfly-free graphs).
+func TestCorpusShape(t *testing.T) {
+	short := ShortCorpus()
+	long := LongCorpus()
+	if len(long) <= len(short) {
+		t.Error("long corpus must extend the short corpus")
+	}
+	for i, c := range long[:len(short)] {
+		if c.Name != short[i].Name {
+			t.Fatalf("long corpus does not start with the short corpus (index %d)", i)
+		}
+	}
+
+	seen := map[string]bool{}
+	withoutButterflies := 0
+	for _, c := range long {
+		if seen[c.Name] {
+			t.Errorf("duplicate corpus case name %q", c.Name)
+		}
+		seen[c.Name] = true
+		if c.G == nil {
+			t.Fatalf("%s: nil graph", c.Name)
+		}
+		if c.G.NumEdges() > 18 {
+			t.Errorf("%s: %d edges exceeds the exact-enumeration budget", c.Name, c.G.NumEdges())
+		}
+		if len(butterfly.AllBackbone(c.G)) == 0 {
+			withoutButterflies++
+		}
+	}
+	for _, name := range []string{"figure1", "tied-max", "zero-one-prob", "all-certain", "angle-classes", "no-edges"} {
+		if !seen[name] {
+			t.Errorf("corpus lost the %q case", name)
+		}
+	}
+	if withoutButterflies < 2 {
+		t.Errorf("corpus must keep butterfly-free cases (found %d)", withoutButterflies)
+	}
+}
+
+// TestShortCorpusIsQuick: the short corpus must stay inside the
+// per-world enumeration cap so `go test ./internal/statcheck` checks
+// OSOnWorld on EVERY world of every case.
+func TestShortCorpusIsQuick(t *testing.T) {
+	for _, c := range ShortCorpus() {
+		if c.G.NumEdges() > enumerateEdgeCap {
+			t.Errorf("%s: %d edges exceeds the short-corpus cap %d", c.Name, c.G.NumEdges(), enumerateEdgeCap)
+		}
+	}
+}

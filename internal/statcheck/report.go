@@ -1,0 +1,80 @@
+package statcheck
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// Report is the outcome of one conformance run: per-case and per-method
+// aggregates plus the overall verdict. It serializes to the JSON document
+// emitted by `mpmb-bench conformance`.
+type Report struct {
+	Seed          uint64  `json:"seed"`
+	Trials        int     `json:"trials"`
+	PrepTrials    int     `json:"prep_trials"`
+	Alpha         float64 `json:"alpha"`
+	FailureBudget int     `json:"failure_budget"`
+
+	Cases   []CaseReport    `json:"cases"`
+	Methods []MethodSummary `json:"methods"`
+
+	// Violations is the corpus-wide count of acceptance-interval
+	// violations (all methods, all cases). The run passes when it stays
+	// within FailureBudget AND no metamorphic invariant broke.
+	Violations int `json:"violations"`
+	// MetamorphicViolations counts broken metamorphic invariants —
+	// relabeling/swap variance, per-world OS mismatches, monotonicity
+	// breaks. These are deterministic properties: the budget for them is
+	// always zero.
+	MetamorphicViolations int  `json:"metamorphic_violations"`
+	Pass                  bool `json:"pass"`
+
+	// Details lists human-readable descriptions of the first violations
+	// encountered (capped), for debugging a failed run.
+	Details []string `json:"details,omitempty"`
+}
+
+// CaseReport aggregates one corpus graph.
+type CaseReport struct {
+	Name        string `json:"name"`
+	NumEdges    int    `json:"num_edges"`
+	Butterflies int    `json:"butterflies"` // backbone butterflies
+	Comparisons int    `json:"comparisons"`
+	Violations  int    `json:"violations"`
+	// Metamorphic counts this case's broken invariants.
+	Metamorphic int     `json:"metamorphic_violations"`
+	MaxAbsErr   float64 `json:"max_abs_err"`
+}
+
+// MethodSummary aggregates one estimator across the corpus.
+type MethodSummary struct {
+	Method      string `json:"method"`
+	Comparisons int    `json:"comparisons"`
+	Violations  int    `json:"violations"`
+	// MaxAbsErr / MeanAbsErr measure distance from the method's oracle:
+	// the exact P(B) for mc-vp and os, the candidate-restricted exact
+	// value for ols and ols-kl (what those estimators converge to on a
+	// truncated C_MB, per Lemma VI.5).
+	MaxAbsErr  float64 `json:"max_abs_err"`
+	MeanAbsErr float64 `json:"mean_abs_err"`
+	// MaxAbsErrVsExact is the distance from the true exact P(B),
+	// including the OLS truncation bias (equals MaxAbsErr for mc-vp/os).
+	MaxAbsErrVsExact float64 `json:"max_abs_err_vs_exact"`
+	// Coverage is the fraction of comparisons inside their acceptance
+	// interval: 1 − Violations/Comparisons (1 when there were none).
+	Coverage float64 `json:"coverage"`
+	// Trials is the per-comparison sample size the run used.
+	Trials int `json:"trials"`
+	// TrialsToTolerance is the trial count this method would need for a
+	// ±0.01 acceptance half-width at the report's Alpha, given the
+	// worst-case estimate scale observed in the corpus (1 for plain
+	// binomial methods, max Pr[E(B_i)]·S_i for ols-kl).
+	TrialsToTolerance int `json:"trials_to_tolerance"`
+}
+
+// WriteJSON writes the report as an indented JSON document.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

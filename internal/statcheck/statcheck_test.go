@@ -1,0 +1,192 @@
+package statcheck
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestShortCorpusPassesAcrossSeeds is the headline conformance gate:
+// every estimator stays inside its acceptance interval on every corpus
+// case, for several distinct harness seeds. With Alpha = 1e-9 a false
+// alarm over the whole corpus has probability ~1e-6 per seed, so a
+// failure here is an estimator bug, not noise.
+func TestShortCorpusPassesAcrossSeeds(t *testing.T) {
+	for seed := uint64(1); seed <= 5; seed++ {
+		rep, err := Run(DefaultConfig(seed), ShortCorpus())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.Pass {
+			t.Errorf("seed %d: conformance failed (%d violations, %d metamorphic):\n%s",
+				seed, rep.Violations, rep.MetamorphicViolations, detailDump(rep))
+		}
+		if rep.MetamorphicViolations != 0 {
+			t.Errorf("seed %d: %d metamorphic violations (budget is always 0)", seed, rep.MetamorphicViolations)
+		}
+	}
+}
+
+// TestRunIsDeterministic: the report is a pure function of (config,
+// corpus) — two runs with the same seed must serialize identically.
+func TestRunIsDeterministic(t *testing.T) {
+	r1, err := Run(DefaultConfig(42), ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(DefaultConfig(42), ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 bytes.Buffer
+	if err := r1.WriteJSON(&b1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteJSON(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1.Bytes(), b2.Bytes()) {
+		t.Error("two runs with the same seed produced different reports")
+	}
+}
+
+// TestDropA2SabotageIsDetected proves the harness has power against a
+// real systematic bias: dropping the A2 angle class from Ordering
+// Sampling must fail the suite both deterministically (per-world OS
+// conformance) and statistically (os interval violations).
+func TestDropA2SabotageIsDetected(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Sabotage.DropA2 = true
+	rep, err := Run(cfg, ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("suite passed with the A2 angle class dropped")
+	}
+	if rep.MetamorphicViolations == 0 {
+		t.Error("per-world OS conformance did not catch the dropped A2 class")
+	}
+	if v := methodViolations(rep, "os"); v == 0 {
+		t.Error("os acceptance intervals did not catch the dropped A2 class")
+	}
+	if v := methodViolations(rep, "mc-vp"); v != 0 {
+		t.Errorf("mc-vp does not use the angle table but recorded %d violations", v)
+	}
+}
+
+// TestScaleSabotageIsDetected: a flat miscalibration (all estimates
+// halved) must trip every method's intervals — the all-certain corpus
+// case alone guarantees a confidently-known candidate per method.
+func TestScaleSabotageIsDetected(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.Sabotage.ScaleEstimates = 0.5
+	rep, err := Run(cfg, ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Pass {
+		t.Fatal("suite passed with every estimate halved")
+	}
+	if rep.Violations <= cfg.FailureBudget {
+		t.Errorf("violations %d within budget %d", rep.Violations, cfg.FailureBudget)
+	}
+	for _, m := range []string{"mc-vp", "os", "ols", "ols-kl"} {
+		if methodViolations(rep, m) == 0 {
+			t.Errorf("%s: no violation recorded for halved estimates", m)
+		}
+	}
+}
+
+// TestReportJSONRoundTrip: the emitted document parses back into an
+// equivalent report (the mpmb-bench conformance consumer contract).
+func TestReportJSONRoundTrip(t *testing.T) {
+	rep, err := Run(DefaultConfig(7), ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("emitted JSON does not parse: %v", err)
+	}
+	if back.Seed != rep.Seed || back.Pass != rep.Pass ||
+		back.Violations != rep.Violations || len(back.Cases) != len(rep.Cases) ||
+		len(back.Methods) != len(rep.Methods) {
+		t.Error("round-tripped report lost fields")
+	}
+	for i, m := range back.Methods {
+		if m != rep.Methods[i] {
+			t.Errorf("method summary %d changed in round trip", i)
+		}
+	}
+}
+
+// TestRunRejectsInvalidConfig: harness misconfiguration is an error,
+// never a silently-passing report.
+func TestRunRejectsInvalidConfig(t *testing.T) {
+	bad := []Config{
+		{Seed: 1, Trials: 0, PrepTrials: 10, Alpha: 1e-9},
+		{Seed: 1, Trials: 100, PrepTrials: 0, Alpha: 1e-9},
+		{Seed: 1, Trials: 100, PrepTrials: 10, Alpha: 0},
+		{Seed: 1, Trials: 100, PrepTrials: 10, Alpha: 1},
+	}
+	for i, cfg := range bad {
+		if _, err := Run(cfg, ShortCorpus()); err == nil {
+			t.Errorf("config %d: Run accepted invalid configuration", i)
+		}
+	}
+}
+
+// TestMethodSummariesAreComplete: the report carries estimator-quality
+// stats for all four methods with sane ranges.
+func TestMethodSummariesAreComplete(t *testing.T) {
+	rep, err := Run(DefaultConfig(3), ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"mc-vp": true, "os": true, "ols": true, "ols-kl": true}
+	for _, m := range rep.Methods {
+		if !want[m.Method] {
+			t.Errorf("unexpected method %q", m.Method)
+		}
+		delete(want, m.Method)
+		if m.Comparisons == 0 {
+			t.Errorf("%s: no comparisons recorded", m.Method)
+		}
+		if m.Coverage < 0 || m.Coverage > 1 {
+			t.Errorf("%s: coverage %v outside [0, 1]", m.Method, m.Coverage)
+		}
+		if m.MaxAbsErr < 0 || m.MaxAbsErrVsExact < m.MaxAbsErr-1e-15 && m.Method != "ols" && m.Method != "ols-kl" {
+			t.Errorf("%s: inconsistent error stats (max=%v vsExact=%v)", m.Method, m.MaxAbsErr, m.MaxAbsErrVsExact)
+		}
+		if m.TrialsToTolerance <= 0 {
+			t.Errorf("%s: TrialsToTolerance = %d", m.Method, m.TrialsToTolerance)
+		}
+	}
+	for m := range want {
+		t.Errorf("method %q missing from report", m)
+	}
+}
+
+func methodViolations(rep *Report, method string) int {
+	for _, m := range rep.Methods {
+		if m.Method == method {
+			return m.Violations
+		}
+	}
+	return -1
+}
+
+func detailDump(rep *Report) string {
+	var buf bytes.Buffer
+	for _, d := range rep.Details {
+		buf.WriteString("  ")
+		buf.WriteString(d)
+		buf.WriteByte('\n')
+	}
+	return buf.String()
+}
