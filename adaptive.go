@@ -1,0 +1,85 @@
+package mpmb
+
+import (
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+// StopReason classifies why a supervised (adaptive) run ended; see
+// AdaptiveReport.StopReason.
+type StopReason = core.StopReason
+
+// The adaptive run stop reasons.
+const (
+	// StopCompleted: the full trial budget ran and every enabled audit
+	// passed.
+	StopCompleted = core.StopCompleted
+	// StopEpsilon: the leader's half-width reached Options.Epsilon before
+	// the trial budget ran out.
+	StopEpsilon = core.StopEpsilon
+	// StopDeadline: Options.Deadline expired; the Result is the
+	// partial-but-honest prefix completed in time.
+	StopDeadline = core.StopDeadline
+	// StopCancelled: the context (or signal) cancelled the run.
+	StopCancelled = core.StopCancelled
+)
+
+// AdaptiveReport is the supervisor's bookkeeping for an adaptive run,
+// attached to Result.Adaptive whenever any of Options.AuditEvery,
+// Epsilon, Deadline or StallTimeout is set: the stop reason, the achieved
+// leader half-width, the audit and escalation counts, and every
+// degradation-ladder transition.
+type AdaptiveReport = core.AdaptiveReport
+
+// Transition records one escalation or degradation-ladder event of an
+// adaptive run (see AdaptiveReport.Transitions).
+type Transition = core.Transition
+
+// ErrStalled reports an adaptive run whose workers stopped making
+// progress for longer than Options.StallTimeout. Match with errors.Is;
+// the concrete *StallError carries the quiet duration.
+var ErrStalled = core.ErrStalled
+
+// StallError is the typed error behind ErrStalled.
+type StallError = core.StallError
+
+// ErrRetriesExhausted reports that every attempt of a retried checkpoint
+// save or load failed; see CheckpointStore. Match with errors.Is; the
+// concrete *RetryExhaustedError carries the attempt count and last cause.
+var ErrRetriesExhausted = core.ErrRetriesExhausted
+
+// RetryExhaustedError is the typed error behind ErrRetriesExhausted.
+type RetryExhaustedError = core.RetryExhaustedError
+
+// RetryPolicy shapes the exponential backoff (with deterministic jitter)
+// between checkpoint I/O attempts of a CheckpointStore.
+type RetryPolicy = core.RetryPolicy
+
+// DefaultRetryPolicy returns the standard checkpoint retry budget:
+// 4 attempts, 50 ms base delay, 2 s cap.
+func DefaultRetryPolicy() RetryPolicy { return core.DefaultRetryPolicy() }
+
+// CheckpointStore saves and loads checkpoints with retry on transient
+// I/O failures, using the same atomic temp-file-then-rename protocol as
+// SaveCheckpoint — a failing save never tears an existing checkpoint.
+type CheckpointStore = core.CheckpointStore
+
+// CheckpointFS is the filesystem seam a CheckpointStore writes through;
+// inject an implementation via NewCheckpointStoreFS to wrap exotic (or,
+// in tests, deliberately flaky) storage.
+type CheckpointFS = core.CheckpointFS
+
+// CheckpointFile is the writable scratch file CheckpointFS.CreateTemp
+// returns.
+type CheckpointFile = core.CheckpointFile
+
+// NewCheckpointStore builds a retrying checkpoint store over the real
+// filesystem.
+func NewCheckpointStore(policy RetryPolicy) *CheckpointStore {
+	return core.NewCheckpointStore(policy)
+}
+
+// NewCheckpointStoreFS is NewCheckpointStore with an injectable
+// filesystem; fs nil means the real one.
+func NewCheckpointStoreFS(policy RetryPolicy, fs CheckpointFS) *CheckpointStore {
+	return core.NewCheckpointStoreFS(policy, fs)
+}

@@ -56,6 +56,11 @@ func run(args []string, out io.Writer) error {
 		datasets = fs.String("datasets", "", "comma-separated dataset subset (default: all four)")
 		mu       = fs.Float64("mu", 0.05, "target probability for trial-number arithmetic")
 		jsonOut  = fs.String("json", "", "write structured JSON results to this file instead of text tables")
+
+		auditEvery = fs.Int("audit-every", 0, "conformance: audit cadence of the supervised self-healing demonstration (0 = off)")
+		selfHeal   = fs.Bool("self-healing", false, "conformance: run the self-healing demonstration unsupervised (fails by design)")
+		epsilon    = fs.Float64("epsilon", 0, "conformance: accuracy-aware stop for the supervised run (0 = off)")
+		deadline   = fs.Duration("deadline", 0, "conformance: wall-clock bound for the supervised run (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +75,12 @@ func run(args []string, out io.Writer) error {
 	opt.Mu = *mu
 	if *datasets != "" {
 		opt.Datasets = strings.Split(*datasets, ",")
+	}
+	opt.AuditEvery = *auditEvery
+	opt.SelfHealing = *selfHeal
+	opt.Epsilon = *epsilon
+	if *deadline > 0 {
+		opt.Deadline = time.Now().Add(*deadline)
 	}
 
 	if *jsonOut != "" {

@@ -86,6 +86,33 @@ func TestRunConformanceSubcommand(t *testing.T) {
 	}
 }
 
+// TestRunConformanceSelfHealing drives the self-healing demonstration
+// through the CLI: unsupervised it fails by design; with -audit-every the
+// supervised run heals and conformance passes.
+func TestRunConformanceSelfHealing(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"conformance", "-trials", "4000", "-seed", "1", "-self-healing"}, &sb)
+	if err == nil {
+		t.Fatalf("unsupervised self-healing demonstration passed — it must fail by design:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "self-healing: NOT healed") {
+		t.Fatalf("missing self-healing failure line:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	err = run([]string{"conformance", "-trials", "4000", "-seed", "1", "-audit-every", "100"}, &sb)
+	if err != nil {
+		t.Fatalf("supervised self-healing run failed: %v\n%s", err, sb.String())
+	}
+	out := sb.String()
+	if !strings.Contains(out, "self-healing: healed") {
+		t.Fatalf("missing healed line:\n%s", out)
+	}
+	if !strings.Contains(out, "conformance: PASS") {
+		t.Fatalf("healed run did not pass conformance:\n%s", out)
+	}
+}
+
 func TestRunBenchErrors(t *testing.T) {
 	var sb strings.Builder
 	if err := run([]string{"-exp", "fig99"}, &sb); err == nil {

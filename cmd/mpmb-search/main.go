@@ -18,6 +18,17 @@
 //
 //	mpmb-search -graph big.graph -trials 1000000 -timeout 30s -checkpoint run.ckpt
 //	mpmb-search -graph big.graph -trials 1000000 -resume run.ckpt
+//
+// Adaptive runs add self-healing and accuracy-aware stopping on top:
+// -audit-every interleaves full-sampling coverage audits that widen an
+// under-prepared OLS candidate set (or fall back to OS when the
+// escalation budget runs out), -epsilon stops as soon as the leading
+// estimate is tight enough, and -deadline bounds the wall-clock budget
+// while still reporting the honest partial result:
+//
+//	mpmb-search -graph big.graph -method ols -audit-every 1000
+//	mpmb-search -graph big.graph -method os -trials 10000000 -epsilon 0.005
+//	mpmb-search -graph big.graph -deadline 5m -checkpoint run.ckpt
 package main
 
 import (
@@ -28,6 +39,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
@@ -59,6 +71,12 @@ func run(args []string, out io.Writer) error {
 		ckpt     = fs.String("checkpoint", "", "write a cancelled run's resumable state to this file")
 		resume   = fs.String("resume", "", "resume a cancelled run from this checkpoint file")
 		jsonOut  = fs.String("json", "", "also write the reported butterflies as JSON to this file")
+
+		auditEvery = fs.Int("audit-every", 0, "interleave a coverage audit every N OLS sampling trials (0 = off)")
+		maxEsc     = fs.Int("max-escalations", 0, "audit escalations before falling back to os (0 = default)")
+		epsilon    = fs.Float64("epsilon", 0, "stop once the leader estimate's half-width is ≤ this (0 = off)")
+		deadline   = fs.Duration("deadline", 0, "wall-clock budget; stop at the trial boundary past it (0 = off)")
+		stall      = fs.Duration("stall-timeout", 0, "fail with a stall error after this long without progress (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -78,30 +96,40 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opt := mpmb.Options{
-		Method:     mpmb.Method(*method),
-		Trials:     *trials,
-		PrepTrials: *prep,
-		Seed:       *seed,
-		Mu:         *mu,
-		Workers:    *workers,
+		Method:         mpmb.Method(*method),
+		Trials:         *trials,
+		PrepTrials:     *prep,
+		Seed:           *seed,
+		Mu:             *mu,
+		Workers:        *workers,
+		AuditEvery:     *auditEvery,
+		MaxEscalations: *maxEsc,
+		Epsilon:        *epsilon,
+		StallTimeout:   *stall,
 	}
+	if *deadline > 0 {
+		opt.Deadline = time.Now().Add(*deadline)
+	}
+	// Checkpoint I/O goes through the retrying store: transient failures
+	// on flaky volumes back off and retry instead of losing the run.
+	store := mpmb.NewCheckpointStore(mpmb.DefaultRetryPolicy())
 	if *resume != "" {
-		ck, err := mpmb.LoadCheckpoint(*resume)
+		ck, err := store.Load(*resume)
 		if err != nil {
 			return fmt.Errorf("loading checkpoint: %w", err)
 		}
 		opt.Resume = ck
 	}
 
-	// Ctrl-C and -timeout both cancel the context; the search then stops
-	// at the next trial boundary and returns the completed prefix.
+	// Ctrl-C, SIGTERM and -timeout all cancel the context; the search then
+	// stops at the next trial boundary and returns the completed prefix.
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt)
+	ctx, stopSignals := signal.NotifyContext(ctx, os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
 
 	t0 := time.Now()
@@ -117,13 +145,26 @@ func run(args []string, out io.Writer) error {
 	} else {
 		fmt.Fprintf(out, "method=%s trials=%d time=%v\n", res.Method, res.Trials, elapsed.Round(time.Millisecond))
 	}
+	if ad := res.Adaptive; ad != nil {
+		fmt.Fprintf(out, "adaptive: stop=%s", ad.StopReason)
+		if ad.HalfWidth > 0 {
+			fmt.Fprintf(out, " half-width=%.5f", ad.HalfWidth)
+		}
+		if ad.Audits > 0 {
+			fmt.Fprintf(out, " audits=%d escalations=%d", ad.Audits, ad.Escalations)
+		}
+		fmt.Fprintf(out, " final-method=%s\n", ad.FinalMethod)
+		for _, tr := range ad.Transitions {
+			fmt.Fprintf(out, "adaptive: transition %s -> %s (%s, at trial %d)\n", tr.From, tr.To, tr.Reason, tr.AtTrial)
+		}
+	}
 	if res.Partial {
-		fmt.Fprintf(out, "cancelled after %d/%d trials; estimates cover the completed prefix\n",
+		fmt.Fprintf(out, "stopped after %d/%d trials; estimates cover the completed prefix\n",
 			res.TrialsDone, res.Trials)
 		if *ckpt != "" {
 			if res.Checkpoint == nil {
 				fmt.Fprintf(out, "method %s has no resumable state; re-run to completion\n", res.Method)
-			} else if err := mpmb.SaveCheckpoint(*ckpt, res.Checkpoint); err != nil {
+			} else if err := store.Save(*ckpt, res.Checkpoint); err != nil {
 				return fmt.Errorf("saving checkpoint: %w", err)
 			} else {
 				fmt.Fprintf(out, "checkpoint saved to %s (finish with -resume %s)\n", *ckpt, *ckpt)
@@ -164,13 +205,14 @@ func writeJSON(path string, res *mpmb.Result, top []mpmb.Estimate) error {
 		P              float64
 	}
 	doc := struct {
-		Method     string          `json:"method"`
-		Trials     int             `json:"trials"`
-		PrepTrials int             `json:"prep_trials,omitempty"`
-		Partial    bool            `json:"partial,omitempty"`
-		TrialsDone int             `json:"trials_done,omitempty"`
-		Top        []jsonButterfly `json:"top"`
-	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial}
+		Method     string               `json:"method"`
+		Trials     int                  `json:"trials"`
+		PrepTrials int                  `json:"prep_trials,omitempty"`
+		Partial    bool                 `json:"partial,omitempty"`
+		TrialsDone int                  `json:"trials_done,omitempty"`
+		Adaptive   *mpmb.AdaptiveReport `json:"adaptive,omitempty"`
+		Top        []jsonButterfly      `json:"top"`
+	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial, Adaptive: res.Adaptive}
 	if res.Partial {
 		doc.TrialsDone = res.TrialsDone
 	}

@@ -1,11 +1,16 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
+	"syscall"
 	"testing"
+	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
 )
@@ -109,8 +114,8 @@ func TestRunTimeoutCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := sb.String()
-	if !strings.Contains(out, "cancelled after") {
-		t.Fatalf("timed-out run not reported as cancelled:\n%s", out)
+	if !strings.Contains(out, "stopped after") {
+		t.Fatalf("timed-out run not reported as stopped:\n%s", out)
 	}
 	if !strings.Contains(out, "checkpoint saved to "+ckpt) {
 		t.Fatalf("checkpoint not saved:\n%s", out)
@@ -123,8 +128,8 @@ func TestRunTimeoutCheckpointResume(t *testing.T) {
 	if err := run(append(common, "-resume", ckpt, "-json", resJSON), &sb); err != nil {
 		t.Fatal(err)
 	}
-	if strings.Contains(sb.String(), "cancelled") {
-		t.Fatalf("resumed run still cancelled:\n%s", sb.String())
+	if strings.Contains(sb.String(), "stopped after") {
+		t.Fatalf("resumed run still partial:\n%s", sb.String())
 	}
 	ref, err := os.ReadFile(refJSON)
 	if err != nil {
@@ -193,6 +198,154 @@ func TestRunResumeErrors(t *testing.T) {
 		"-seed", "8", "-resume", ckpt}, &sb)
 	if err == nil {
 		t.Fatal("checkpoint resumed under a different seed")
+	}
+}
+
+// TestHelperSearchProcess is not a test: it is the subprocess body for the
+// signal tests, re-executed from the test binary with
+// MPMB_SEARCH_HELPER=1. It runs an effectively unbounded search so the
+// parent can interrupt it with a signal.
+func TestHelperSearchProcess(t *testing.T) {
+	if os.Getenv("MPMB_SEARCH_HELPER") != "1" {
+		t.Skip("helper process body")
+	}
+	args := os.Args[len(os.Args)-4:] // -graph <path> -checkpoint <path>
+	err := run(append(args, "-method", "os", "-trials", "1000000000", "-seed", "7"), os.Stdout)
+	if err != nil {
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// syncBuffer is a bytes.Buffer safe to poll from the test while the
+// exec machinery's copier goroutine writes the child's output into it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// signalStopsSearch runs the helper process and delivers sig once the
+// search has started; the CLI must trap it, stop at a trial boundary, save
+// the checkpoint and exit 0 with partial results.
+func signalStopsSearch(t *testing.T, sig os.Signal) {
+	t.Helper()
+	path := writeFigure1(t)
+	ckpt := filepath.Join(t.TempDir(), "sig.ckpt")
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperSearchProcess", "--",
+		"-graph", path, "-checkpoint", ckpt)
+	cmd.Env = append(os.Environ(), "MPMB_SEARCH_HELPER=1")
+	var outBuf syncBuffer
+	cmd.Stdout = &outBuf
+	cmd.Stderr = &outBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the search to actually start (the graph-loaded banner),
+	// then signal.
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(outBuf.String(), "loaded") {
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("helper never started:\n%s", outBuf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond) // let it get into the sampling loop
+	if err := cmd.Process.Signal(sig); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("helper did not exit cleanly after %v: %v\n%s", sig, err, outBuf.String())
+	}
+	out := outBuf.String()
+	if !strings.Contains(out, "stopped after") {
+		t.Fatalf("%v did not produce a graceful partial result:\n%s", sig, out)
+	}
+	if !strings.Contains(out, "checkpoint saved to") {
+		t.Fatalf("%v run saved no checkpoint:\n%s", sig, out)
+	}
+	if _, err := mpmb.LoadCheckpoint(ckpt); err != nil {
+		t.Fatalf("checkpoint written on %v does not load: %v", sig, err)
+	}
+}
+
+func TestRunSIGTERMGraceful(t *testing.T) { signalStopsSearch(t, syscall.SIGTERM) }
+func TestRunSIGINTGraceful(t *testing.T)  { signalStopsSearch(t, os.Interrupt) }
+
+// TestRunAdaptiveFlags drives the new adaptive flags end to end through
+// the CLI: -epsilon stops early and reports the achieved half-width,
+// -audit-every reports its audit tally, and both land in the JSON output.
+func TestRunAdaptiveFlags(t *testing.T) {
+	path := writeFigure1(t)
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "100000000",
+		"-epsilon", "0.05", "-seed", "7"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "adaptive: stop=epsilon") || !strings.Contains(out, "half-width=") {
+		t.Fatalf("missing epsilon-stop report:\n%s", out)
+	}
+
+	jsonPath := filepath.Join(t.TempDir(), "adaptive.json")
+	sb.Reset()
+	err = run([]string{"-graph", path, "-method", "ols", "-trials", "4000",
+		"-audit-every", "500", "-json", jsonPath}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "audits=") {
+		t.Fatalf("missing audit tally:\n%s", sb.String())
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Adaptive *mpmb.AdaptiveReport `json:"adaptive"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Adaptive == nil || doc.Adaptive.StopReason != mpmb.StopCompleted || doc.Adaptive.Audits == 0 {
+		t.Fatalf("JSON adaptive report = %+v", doc.Adaptive)
+	}
+
+	sb.Reset()
+	if err := run([]string{"-graph", path, "-method", "os", "-audit-every", "10"}, &sb); err == nil {
+		t.Fatal("-audit-every accepted for a non-OLS method")
+	}
+}
+
+// TestRunDeadlineFlag: -deadline bounds the run and reports the honest
+// partial prefix with a deadline stop reason.
+func TestRunDeadlineFlag(t *testing.T) {
+	path := writeFigure1(t)
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "1000000000",
+		"-deadline", "100ms"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "adaptive: stop=deadline") {
+		t.Fatalf("missing deadline stop:\n%s", out)
+	}
+	if !strings.Contains(out, "stopped after") {
+		t.Fatalf("deadline run not partial:\n%s", out)
 	}
 }
 

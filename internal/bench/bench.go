@@ -62,6 +62,22 @@ type Options struct {
 	TimeBudget time.Duration
 	// Datasets restricts which Table III datasets run (default: all).
 	Datasets []string
+
+	// AuditEvery > 0 turns the conformance experiment's self-healing
+	// demonstration on in supervised mode: an under-prepared OLS run on
+	// the angle-stressor graph whose coverage audits (one per AuditEvery
+	// sampling trials) must recover the exact leader. 0 leaves the
+	// demonstration off unless SelfHealing forces the unsupervised
+	// (deliberately failing) variant.
+	AuditEvery int
+	// SelfHealing forces the conformance self-healing demonstration even
+	// with AuditEvery == 0 — the plain variant, which fails by design
+	// (used to verify the check's power).
+	SelfHealing bool
+	// Epsilon / Deadline forward accuracy-aware stopping to the
+	// supervised conformance run (zero values = off).
+	Epsilon  float64
+	Deadline time.Time
 }
 
 // DefaultOptions mirrors the paper's Section VIII-B setup scaled to a

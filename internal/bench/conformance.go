@@ -21,6 +21,12 @@ func RunConformance(opt Options) (*statcheck.Report, error) {
 	if opt.PrepTrials > 0 {
 		cfg.PrepTrials = opt.PrepTrials
 	}
+	if opt.AuditEvery > 0 || opt.SelfHealing {
+		cfg.SelfHealing = true
+		cfg.AuditEvery = opt.AuditEvery
+		cfg.Epsilon = opt.Epsilon
+		cfg.Deadline = opt.Deadline
+	}
 	return statcheck.Run(cfg, statcheck.ShortCorpus())
 }
 
@@ -39,6 +45,14 @@ func PrintConformance(w io.Writer, opt Options) error {
 	verdict := "PASS"
 	if !rep.Pass {
 		verdict = "FAIL"
+	}
+	if sh := rep.SelfHealing; sh != nil {
+		state := "healed"
+		if !sh.Healed {
+			state = "NOT healed"
+		}
+		fmt.Fprintf(w, "self-healing: %s (leader err %.4g vs band %.4g; audits=%d escalations=%d method=%s)\n",
+			state, sh.AbsErr, sh.HalfWidth, sh.Audits, sh.Escalations, sh.Method)
 	}
 	fmt.Fprintf(w, "conformance: %s (%d interval violations, budget %d; %d metamorphic)\n",
 		verdict, rep.Violations, rep.FailureBudget, rep.MetamorphicViolations)

@@ -16,6 +16,14 @@ func FuzzRead(f *testing.F) {
 	f.Add("mpmb-bigraph 1 1 2\n0 0 1 1\n")
 	f.Add("garbage\n")
 	f.Add("mpmb-bigraph 4294967295 1 0\n")
+	// Oversized-header seeds: edge counts past the global limit, past the
+	// bipartite capacity, and just inside both — the parser must reject
+	// (or handle) each without allocating header-sized buffers.
+	f.Add("mpmb-bigraph 2 2 8589934593\n")            // > maxTextEdges
+	f.Add("mpmb-bigraph 2 2 999999999999999999999\n") // overflows int
+	f.Add("mpmb-bigraph 2 2 5\n")                     // > numL*numR capacity
+	f.Add("mpmb-bigraph 16777216 16777216 8589934592\n")
+	f.Add("mpmb-bigraph 3 3 9\n0 0 1 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := Read(strings.NewReader(in))
 		if err != nil {

@@ -29,6 +29,12 @@ const formatMagic = "mpmb-bigraph"
 // 2²⁴ is ~90× the largest evaluation dataset's side.
 const maxVerticesPerSide = 1 << 24
 
+// maxTextEdges bounds the declared edge count of a text header, matching
+// ReadBinary's limit: a header claiming more edges than any real dataset
+// is hostile or corrupt, and rejecting it up front keeps the declared
+// count safe to use for preallocation.
+const maxTextEdges = 1 << 33
+
 // Write serializes g in the text interchange format.
 func Write(w io.Writer, g *Graph) error {
 	bw := bufio.NewWriterSize(w, 1<<16)
@@ -83,10 +89,27 @@ func Read(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("bigraph: line %d: bad numR %q (limit %d)", lineNo, fields[2], maxVerticesPerSide)
 			}
 			declared, err = strconv.Atoi(fields[3])
-			if err != nil || declared < 0 {
-				return nil, fmt.Errorf("bigraph: line %d: bad edge count %q", lineNo, fields[3])
+			if err != nil || declared < 0 || int64(declared) > maxTextEdges {
+				return nil, fmt.Errorf("bigraph: line %d: bad edge count %q (limit %d)", lineNo, fields[3], int64(maxTextEdges))
+			}
+			// A bipartite simple graph has at most numL·numR edges; a
+			// header declaring more can never validate, so reject it
+			// before parsing (and potentially buffering) the edge lines.
+			if int64(declared) > int64(numL)*int64(numR) {
+				return nil, fmt.Errorf("bigraph: line %d: header declares %d edges but a %d x %d graph holds at most %d",
+					lineNo, declared, numL, numR, int64(numL)*int64(numR))
 			}
 			b = NewBuilder(numL, numR)
+			// Preallocate from the vetted declared count, capped so the
+			// allocation stays bounded by actual input rather than by a
+			// header's claim — a lying header costs at most ~2 MiB before
+			// the trailing count check rejects it.
+			if prealloc := declared; prealloc > 0 {
+				if prealloc > 1<<16 {
+					prealloc = 1 << 16
+				}
+				b.edges = make([]Edge, 0, prealloc)
+			}
 			continue
 		}
 		if len(fields) != 4 {

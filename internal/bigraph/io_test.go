@@ -89,6 +89,34 @@ func TestReadRejectsMalformedInput(t *testing.T) {
 	}
 }
 
+// TestReadRejectsOversizedHeaders: the text parser enforces the same
+// declared-edge-count discipline as ReadBinary — a header claiming more
+// edges than the global limit (or than the graph can bipartitely hold)
+// is rejected up front, before any header-sized allocation or edge-line
+// parsing.
+func TestReadRejectsOversizedHeaders(t *testing.T) {
+	cases := map[string]string{
+		"past global limit":      "mpmb-bigraph 16777216 16777216 8589934593\n",
+		"int overflow":           "mpmb-bigraph 2 2 99999999999999999999\n",
+		"past bipartite cap":     "mpmb-bigraph 2 2 5\n",
+		"cap with pending edges": "mpmb-bigraph 3 3 10\n0 0 1 0.5\n",
+	}
+	for name, in := range cases {
+		if _, err := Read(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: Read accepted %q", name, in)
+		}
+	}
+	// At the exact capacity the header is honest and must still parse.
+	ok := "mpmb-bigraph 2 2 4\n0 0 1 0.5\n0 1 1 0.5\n1 0 1 0.5\n1 1 1 0.5\n"
+	g, err := Read(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("full bipartite graph rejected: %v", err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("parsed %d edges, want 4", g.NumEdges())
+	}
+}
+
 func TestReadAcceptsCommentsAndBlankLines(t *testing.T) {
 	in := "# a comment\n\nmpmb-bigraph 2 2 1\n# another\n0 1 2.5 0.25\n\n"
 	g, err := Read(strings.NewReader(in))

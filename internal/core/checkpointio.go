@@ -1,0 +1,252 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// CheckpointFS is the filesystem seam the retrying CheckpointStore writes
+// through. The production implementation is the real OS filesystem; tests
+// inject flaky implementations to exercise the retry path without
+// touching real storage. The contract mirrors the atomic-save protocol of
+// SaveCheckpoint: data goes to a temp file which is renamed over the
+// destination only after a successful write+close, so a failure at any
+// step never leaves a torn checkpoint at the destination path.
+type CheckpointFS interface {
+	// CreateTemp creates a scratch file in dir with the given name
+	// pattern (os.CreateTemp semantics).
+	CreateTemp(dir, pattern string) (CheckpointFile, error)
+	// Rename atomically moves the finished temp file over the
+	// destination.
+	Rename(oldpath, newpath string) error
+	// Remove deletes a leftover temp file after a failed attempt.
+	Remove(name string) error
+	// Open opens a checkpoint for reading.
+	Open(name string) (io.ReadCloser, error)
+}
+
+// CheckpointFile is the writable scratch file CreateTemp returns.
+type CheckpointFile interface {
+	io.Writer
+	io.Closer
+	// Name reports the file's path, for the Rename step.
+	Name() string
+}
+
+// osFS is the production CheckpointFS.
+type osFS struct{}
+
+func (osFS) CreateTemp(dir, pattern string) (CheckpointFile, error) {
+	f, err := os.CreateTemp(dir, pattern)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+func (osFS) Rename(oldpath, newpath string) error    { return os.Rename(oldpath, newpath) }
+func (osFS) Remove(name string) error                { return os.Remove(name) }
+func (osFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+
+// ErrRetriesExhausted reports that every attempt of a retried checkpoint
+// operation failed. Match with errors.Is; the concrete
+// *RetryExhaustedError carries the attempt count and the last error.
+var ErrRetriesExhausted = errors.New("core: checkpoint retries exhausted")
+
+// RetryExhaustedError is the typed error behind ErrRetriesExhausted.
+type RetryExhaustedError struct {
+	// Op is "save" or "load"; Path is the checkpoint file.
+	Op   string
+	Path string
+	// Attempts is how many times the operation was tried before giving
+	// up; Last is the final attempt's error (also the Unwrap target, so
+	// the underlying cause stays inspectable).
+	Attempts int
+	Last     error
+}
+
+func (e *RetryExhaustedError) Error() string {
+	return fmt.Sprintf("core: checkpoint %s %s failed after %d attempts: %v", e.Op, e.Path, e.Attempts, e.Last)
+}
+
+// Is makes errors.Is(err, ErrRetriesExhausted) succeed.
+func (e *RetryExhaustedError) Is(target error) bool { return target == ErrRetriesExhausted }
+
+// Unwrap exposes the last attempt's error to errors.Is/As chains.
+func (e *RetryExhaustedError) Unwrap() error { return e.Last }
+
+// RetryPolicy shapes the exponential backoff between checkpoint I/O
+// attempts: attempt k (0-based) sleeps min(BaseDelay·2^k, MaxDelay),
+// scaled by a uniform jitter factor in [0.5, 1) so a fleet of workers
+// hitting the same flaky volume does not retry in lockstep.
+type RetryPolicy struct {
+	// MaxAttempts is the total attempt budget (the first try included).
+	// Values below 1 behave as 1 — a single attempt, no retries.
+	MaxAttempts int
+	// BaseDelay is the pre-jitter sleep after the first failure; it
+	// doubles per attempt up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps the pre-jitter exponential growth. 0 means no cap.
+	MaxDelay time.Duration
+	// Seed makes the jitter sequence deterministic (tests, reproducible
+	// runs). The zero seed is a valid deterministic stream of its own.
+	Seed uint64
+	// Sleep overrides time.Sleep (tests record delays instead of
+	// waiting). Nil means time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// DefaultRetryPolicy matches transient-storage guidance: 4 attempts,
+// 50 ms base, 2 s cap.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 4, BaseDelay: 50 * time.Millisecond, MaxDelay: 2 * time.Second}
+}
+
+// backoff returns the post-jitter sleep before retry attempt k (0-based
+// index of the attempt that just failed).
+func (p RetryPolicy) backoff(k int, rng *randx.RNG) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < k && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	if d <= 0 {
+		return 0
+	}
+	// Jitter in [0.5, 1): enough spread to de-synchronize, never more
+	// than the nominal delay.
+	return time.Duration((0.5 + 0.5*rng.Float64()) * float64(d))
+}
+
+// CheckpointStore saves and loads checkpoints through a CheckpointFS,
+// retrying transient failures with exponential backoff and jitter. The
+// zero value is NOT usable; construct with NewCheckpointStore.
+type CheckpointStore struct {
+	retry RetryPolicy
+	fs    CheckpointFS
+	sleep func(time.Duration)
+}
+
+// NewCheckpointStore builds a store over the real filesystem with the
+// given retry policy (pass DefaultRetryPolicy() for the standard one).
+func NewCheckpointStore(policy RetryPolicy) *CheckpointStore {
+	return NewCheckpointStoreFS(policy, nil)
+}
+
+// NewCheckpointStoreFS is NewCheckpointStore with an injectable
+// filesystem; fs nil means the real one. This is the fault-injection seam
+// the retry tests (and any caller wrapping exotic storage) use.
+func NewCheckpointStoreFS(policy RetryPolicy, fs CheckpointFS) *CheckpointStore {
+	if fs == nil {
+		fs = osFS{}
+	}
+	sleep := policy.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	return &CheckpointStore{retry: policy, fs: fs, sleep: sleep}
+}
+
+// attempts returns the effective attempt budget.
+func (s *CheckpointStore) attempts() int {
+	if s.retry.MaxAttempts < 1 {
+		return 1
+	}
+	return s.retry.MaxAttempts
+}
+
+// Save writes the checkpoint to path with the same atomic
+// temp-file-then-rename protocol as SaveCheckpoint, retrying transient
+// failures per the store's policy. Every attempt starts from a fresh temp
+// file and the destination is only ever replaced by a complete, fsynced
+// rename — an interrupted or failing save never tears an existing
+// checkpoint at path. After the attempt budget the typed
+// *RetryExhaustedError (errors.Is ErrRetriesExhausted) reports the last
+// cause.
+func (s *CheckpointStore) Save(path string, c *Checkpoint) error {
+	// Validation errors are deterministic: retrying cannot fix an invalid
+	// checkpoint, so surface them immediately.
+	if err := c.validate(); err != nil {
+		return fmt.Errorf("core: refusing to save invalid checkpoint: %w", err)
+	}
+	rng := randx.New(s.retry.Seed)
+	var last error
+	n := s.attempts()
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			s.sleep(s.retry.backoff(k-1, rng))
+		}
+		if err := s.saveOnce(path, c); err != nil {
+			last = err
+			continue
+		}
+		return nil
+	}
+	return &RetryExhaustedError{Op: "save", Path: path, Attempts: n, Last: last}
+}
+
+func (s *CheckpointStore) saveOnce(path string, c *Checkpoint) error {
+	dir, base := filepath.Split(path)
+	f, err := s.fs.CreateTemp(dir, base+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := c.Encode(f); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return fmt.Errorf("core: writing checkpoint %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := s.fs.Rename(tmp, path); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// Load reads a checkpoint from path, retrying failures per the store's
+// policy. Decode failures retry too: saves are atomic, so a decode error
+// on a flaky volume is far more likely a transiently failing read than a
+// genuinely torn file, and a truly corrupt file just costs the small
+// retry budget before surfacing its decode error as the Last cause.
+func (s *CheckpointStore) Load(path string) (*Checkpoint, error) {
+	rng := randx.New(s.retry.Seed)
+	var last error
+	n := s.attempts()
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			s.sleep(s.retry.backoff(k-1, rng))
+		}
+		c, err := s.loadOnce(path)
+		if err != nil {
+			last = err
+			continue
+		}
+		return c, nil
+	}
+	return nil, &RetryExhaustedError{Op: "load", Path: path, Attempts: n, Last: last}
+}
+
+func (s *CheckpointStore) loadOnce(path string) (*Checkpoint, error) {
+	f, err := s.fs.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	c, err := DecodeCheckpoint(f)
+	if err != nil {
+		return nil, fmt.Errorf("core: reading checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}

@@ -57,6 +57,10 @@ type Result struct {
 	// Pass it back via the options' Resume field to finish the run
 	// bit-identically to an uninterrupted one.
 	Checkpoint *Checkpoint
+	// Adaptive carries the run supervisor's bookkeeping — stop reason,
+	// achieved half-width, audit escalations and degradation-ladder
+	// transitions. It is nil unless the run went through Supervise.
+	Adaptive *AdaptiveReport
 }
 
 // sortEstimates establishes the canonical result order.

@@ -5,7 +5,7 @@ import (
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
-	"github.com/uncertain-graphs/mpmb/internal/statcheck/interval"
+	"github.com/uncertain-graphs/mpmb/internal/interval"
 )
 
 // statTolAlpha is the per-comparison two-sided error probability the
@@ -16,7 +16,7 @@ const statTolAlpha = 1e-9
 
 // statTol returns the Hoeffding acceptance half-width for a binomial
 // proportion estimated over the given trial count (the derivation lives
-// in internal/statcheck/interval).
+// in internal/interval).
 func statTol(trials int) float64 { return interval.HoeffdingHalfWidth(trials, statTolAlpha) }
 
 // statTolScaled is statTol for an estimate that is an affine transform of

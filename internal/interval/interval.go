@@ -1,6 +1,8 @@
-// Package interval provides the acceptance-interval arithmetic used by
-// the statistical conformance harness (internal/statcheck) and by the
-// estimator-convergence tests in internal/core.
+// Package interval provides the acceptance- and confidence-interval
+// arithmetic shared by the statistical conformance harness
+// (internal/statcheck), the estimator-convergence tests in internal/core,
+// and the run supervisor's accuracy-aware stopping rule
+// (internal/core/supervisor.go).
 //
 // Every sampler in this repository reports binomial proportions (or a
 // fixed affine transform of one), so the two-sided Hoeffding inequality
@@ -14,8 +16,8 @@
 // what makes a corpus-wide failure budget sound: with α = 1e-9 and a few
 // thousand comparisons, the expected number of false alarms is ~1e-6.
 //
-// The package is deliberately dependency-free so that tests inside
-// internal/core can import it without creating an import cycle with
+// The package is deliberately dependency-free so that internal/core and
+// tests inside it can import it without creating an import cycle with
 // internal/statcheck (which imports core).
 package interval
 
@@ -61,6 +63,31 @@ func ScaledHalfWidth(scale float64, n int, alpha float64) float64 {
 		return 0
 	}
 	return scale * HoeffdingHalfWidth(n, alpha)
+}
+
+// NormalHalfWidth returns the normal-approximation confidence half-width
+// for a binomial proportion with x successes over n trials at critical
+// value z (1.96 ≈ 95%, 2.58 ≈ 99%):
+//
+//	t = z · sqrt( p̃(1−p̃) / ñ ),  p̃ = (x + z²/2) / ñ,  ñ = n + z².
+//
+// The Agresti–Coull adjustment (z²/2 pseudo-successes, z² pseudo-trials)
+// keeps the width honest at the extremes: a plain Wald width collapses to
+// zero when x = 0 or x = n, which would let an adaptive run declare an
+// ε-accurate answer after a handful of unanimous trials. Unlike the
+// distribution-free Hoeffding band, this width shrinks with p̃(1−p̃), so
+// confident leaders (p near 0 or 1) stop much earlier — which is exactly
+// what accuracy-aware stopping wants. It panics if n <= 0 or z <= 0.
+func NormalHalfWidth(x int64, n int, z float64) float64 {
+	if n <= 0 {
+		panic("interval: NormalHalfWidth with non-positive trial count")
+	}
+	if z <= 0 {
+		panic("interval: NormalHalfWidth with non-positive z")
+	}
+	nt := float64(n) + z*z
+	pt := (float64(x) + z*z/2) / nt
+	return z * math.Sqrt(pt*(1-pt)/nt)
 }
 
 func checkAlpha(alpha float64) {

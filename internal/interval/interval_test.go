@@ -60,6 +60,35 @@ func TestScaledHalfWidth(t *testing.T) {
 	}
 }
 
+func TestNormalHalfWidth(t *testing.T) {
+	// Hand-computed Agresti–Coull reference: x=50, n=100, z=2.
+	// ñ = 104, p̃ = (50+2)/104 = 0.5, t = 2·sqrt(0.25/104).
+	if got, want := NormalHalfWidth(50, 100, 2), 2*math.Sqrt(0.25/104); math.Abs(got-want) > 1e-12 {
+		t.Errorf("NormalHalfWidth(50, 100, 2) = %v, want %v", got, want)
+	}
+	// Unanimous outcomes must NOT collapse to zero width (the adjustment
+	// is the point: no premature ε-stop after a few certain trials).
+	if got := NormalHalfWidth(0, 10, 1.96); got <= 0 {
+		t.Errorf("width at x=0 is %v, want > 0", got)
+	}
+	if got := NormalHalfWidth(10, 10, 1.96); got <= 0 {
+		t.Errorf("width at x=n is %v, want > 0", got)
+	}
+	// Monotone in n: more trials shrink the width at a fixed proportion.
+	if NormalHalfWidth(500, 1000, 2.58) >= NormalHalfWidth(50, 100, 2.58) {
+		t.Error("width must shrink as trials grow")
+	}
+	// Bounded by the certain-outcome width: p̃(1−p̃) ≤ 1/4.
+	if got, cap := NormalHalfWidth(700, 1000, 2), 2*math.Sqrt(0.25/1004); got > cap+1e-15 {
+		t.Errorf("width %v exceeds the p=1/2 bound %v", got, cap)
+	}
+	// A confident leader stops earlier than Hoeffding would allow: at
+	// p̂ = 0.95 the normal width is far below the distribution-free band.
+	if NormalHalfWidth(950, 1000, 2.58) >= HoeffdingHalfWidth(1000, 1e-2) {
+		t.Error("normal-approximation width is not tighter than Hoeffding for a confident proportion")
+	}
+}
+
 func TestPanicsOnInvalidInput(t *testing.T) {
 	mustPanic := func(name string, fn func()) {
 		t.Helper()
@@ -75,4 +104,6 @@ func TestPanicsOnInvalidInput(t *testing.T) {
 	mustPanic("alpha=1", func() { HoeffdingHalfWidth(10, 1) })
 	mustPanic("eps=0", func() { TrialsForHalfWidth(0, 0.5) })
 	mustPanic("bad alpha", func() { TrialsForHalfWidth(0.1, 2) })
+	mustPanic("normal n=0", func() { NormalHalfWidth(0, 0, 2) })
+	mustPanic("normal z=0", func() { NormalHalfWidth(1, 10, 0) })
 }

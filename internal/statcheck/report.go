@@ -29,9 +29,43 @@ type Report struct {
 	MetamorphicViolations int  `json:"metamorphic_violations"`
 	Pass                  bool `json:"pass"`
 
+	// SelfHealing is the under-prepared OLS demonstration's outcome
+	// (Config.SelfHealing); nil when the check did not run. A run with
+	// SelfHealing.Healed == false fails regardless of FailureBudget — the
+	// check exists precisely to catch an error the budgeted intervals
+	// cannot see.
+	SelfHealing *SelfHealingReport `json:"self_healing,omitempty"`
+
 	// Details lists human-readable descriptions of the first violations
 	// encountered (capped), for debugging a failed run.
 	Details []string `json:"details,omitempty"`
+}
+
+// SelfHealingReport is the outcome of the under-prepared OLS
+// demonstration: how far the exact leader's estimate landed from its true
+// probability, and what the adaptive supervisor did to close the gap.
+type SelfHealingReport struct {
+	Case       string `json:"case"`
+	PrepTrials int    `json:"prep_trials"`
+	AuditEvery int    `json:"audit_every"`
+	// Method is the method that produced the final estimates ("ols", or
+	// "os" after a degradation-ladder fallback).
+	Method string `json:"method"`
+	// ExactP is the leader's true probability; Estimate is what the run
+	// reported for it (0 when it was missing entirely); AbsErr is their
+	// distance, checked against the Hoeffding HalfWidth at Trials.
+	ExactP    float64 `json:"exact_p"`
+	Estimate  float64 `json:"estimate"`
+	AbsErr    float64 `json:"abs_err"`
+	HalfWidth float64 `json:"half_width"`
+	Trials    int     `json:"trials"`
+	// Audits / Escalations / StopReason echo the supervised run's
+	// AdaptiveReport (zero values for the plain, unsupervised run).
+	Audits      int    `json:"audits,omitempty"`
+	Escalations int    `json:"escalations,omitempty"`
+	StopReason  string `json:"stop_reason,omitempty"`
+	// Healed is the verdict: the leader estimate landed inside the band.
+	Healed bool `json:"healed"`
 }
 
 // CaseReport aggregates one corpus graph.

@@ -1,0 +1,133 @@
+package statcheck
+
+import (
+	"testing"
+	"time"
+)
+
+// TestSelfHealingPlainFails: the under-prepared demonstration must FAIL
+// conformance for plain OLS — a one-trial preparing phase on the
+// angle-stressor graph leaves the exact leader (P ≈ 0.08) out of the
+// candidate set, an error the ordinary candidate-restricted oracle and
+// the Lemma VI.1 gate cannot see.
+func TestSelfHealingPlainFails(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 13} {
+		cfg := DefaultConfig(seed)
+		cfg.SelfHealing = true
+		rep, err := Run(cfg, ShortCorpus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := rep.SelfHealing
+		if sh == nil {
+			t.Fatal("self-healing check did not run")
+		}
+		if sh.Healed {
+			t.Errorf("seed %d: plain under-prepared OLS passed (err=%v, band=%v) — the demonstration lost its power",
+				seed, sh.AbsErr, sh.HalfWidth)
+		}
+		if rep.Pass {
+			t.Errorf("seed %d: report passed despite an unhealed run (violations=%d, budget=%d)",
+				seed, rep.Violations, rep.FailureBudget)
+		}
+		if sh.AbsErr <= sh.HalfWidth {
+			t.Errorf("seed %d: verdict inconsistent with its own numbers: err=%v band=%v", seed, sh.AbsErr, sh.HalfWidth)
+		}
+		// The plain run misses the leader entirely: estimate 0, error =
+		// the leader's exact probability.
+		if sh.Estimate != 0 || sh.ExactP < 0.05 {
+			t.Errorf("seed %d: unexpected plain-run numbers: estimate=%v exactP=%v", seed, sh.Estimate, sh.ExactP)
+		}
+	}
+}
+
+// TestSelfHealingAuditsHeal: the same demonstration PASSES when the run
+// goes through the adaptive supervisor — coverage audits escalate the
+// preparing phase until the candidate set covers the leader.
+func TestSelfHealingAuditsHeal(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 13} {
+		cfg := DefaultConfig(seed)
+		cfg.SelfHealing = true
+		cfg.AuditEvery = 100
+		rep, err := Run(cfg, ShortCorpus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := rep.SelfHealing
+		if sh == nil {
+			t.Fatal("self-healing check did not run")
+		}
+		if !sh.Healed {
+			t.Errorf("seed %d: supervised run did not heal: err=%v band=%v (audits=%d, escalations=%d, method=%s)",
+				seed, sh.AbsErr, sh.HalfWidth, sh.Audits, sh.Escalations, sh.Method)
+		}
+		if !rep.Pass {
+			t.Errorf("seed %d: healed run failed conformance (violations=%d, metamorphic=%d)\n%s",
+				seed, rep.Violations, rep.MetamorphicViolations, detailDump(rep))
+		}
+		if sh.Escalations == 0 || sh.Audits == 0 {
+			t.Errorf("seed %d: healing left no trace (audits=%d, escalations=%d) — was the run actually supervised?",
+				seed, sh.Audits, sh.Escalations)
+		}
+		if sh.Method != "ols" {
+			t.Errorf("seed %d: healed run fell back to %q; expected escalation to keep it on ols", seed, sh.Method)
+		}
+	}
+}
+
+// TestSelfHealingDeterministic: same config, same SelfHealingReport.
+func TestSelfHealingDeterministic(t *testing.T) {
+	cfg := DefaultConfig(3)
+	cfg.SelfHealing = true
+	cfg.AuditEvery = 100
+	a, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a.SelfHealing != *b.SelfHealing {
+		t.Errorf("self-healing report not deterministic:\n%+v\n%+v", *a.SelfHealing, *b.SelfHealing)
+	}
+}
+
+// TestSelfHealingDeadline: a deadline already in the past bounds the
+// supervised run — it stops immediately and honestly reports itself
+// unhealed rather than blocking.
+func TestSelfHealingDeadline(t *testing.T) {
+	cfg := DefaultConfig(1)
+	cfg.SelfHealing = true
+	cfg.AuditEvery = 100
+	cfg.Deadline = time.Now().Add(-time.Second)
+	rep, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := rep.SelfHealing
+	if sh == nil {
+		t.Fatal("self-healing check did not run")
+	}
+	if sh.StopReason != "deadline" {
+		t.Errorf("stop reason %q, want deadline", sh.StopReason)
+	}
+	if sh.Healed || rep.Pass {
+		t.Error("a run cut off before any sampling must not report itself healed")
+	}
+}
+
+// TestSelfHealingOffByDefault: the default config does not run the check,
+// so the standard conformance gate is unchanged.
+func TestSelfHealingOffByDefault(t *testing.T) {
+	rep, err := Run(DefaultConfig(1), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SelfHealing != nil {
+		t.Error("self-healing ran without Config.SelfHealing")
+	}
+	if !rep.Pass {
+		t.Error("empty-corpus default run failed")
+	}
+}

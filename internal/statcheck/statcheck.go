@@ -7,7 +7,7 @@
 // The statistical contract: each estimator's per-butterfly estimate is a
 // binomial proportion (or a fixed affine transform of one) over
 // Config.Trials trials, so the Hoeffding half-width of
-// internal/statcheck/interval bounds its deviation from the method's
+// internal/interval bounds its deviation from the method's
 // oracle with per-comparison error probability Config.Alpha. At the
 // default Alpha = 1e-9 the whole corpus (a few thousand comparisons)
 // produces a false alarm with probability ~1e-6, which makes the suite
@@ -28,11 +28,12 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/core"
-	"github.com/uncertain-graphs/mpmb/internal/statcheck/interval"
+	"github.com/uncertain-graphs/mpmb/internal/interval"
 )
 
 // Sabotage injects deliberate estimator faults so the harness's power —
@@ -77,6 +78,30 @@ type Config struct {
 	MissThreshold float64
 	// Sabotage injects deliberate faults (see Sabotage).
 	Sabotage Sabotage
+
+	// SelfHealing enables the under-prepared OLS demonstration: a
+	// deliberately starved preparing phase (a single trial) on the
+	// angle-stressor graph, whose exact leader (P ≈ 0.08) the plain
+	// optimized estimator then misses — an error the ordinary
+	// candidate-restricted oracle and the Lemma VI.1 gate (MissThreshold
+	// 0.15) cannot see, because the truncated candidate set is internally
+	// consistent. The check therefore compares the leader's estimate
+	// against the TRUE exact probability with a plain Hoeffding band.
+	// With AuditEvery == 0 the demonstration runs unsupervised and fails
+	// the report; with AuditEvery > 0 it runs through the adaptive
+	// supervisor, whose coverage audits widen the candidate set until the
+	// leader estimate is admissible again.
+	SelfHealing bool
+	// AuditEvery is the supervised audit cadence of the self-healing
+	// check (0 = plain, unsupervised run).
+	AuditEvery int
+	// Epsilon forwards accuracy-aware stopping to the supervised
+	// self-healing run (0 = off).
+	Epsilon float64
+	// Deadline forwards a wall-clock bound to the supervised self-healing
+	// run (zero = off). A deadline makes the run time-dependent, trading
+	// the harness's pure-function-of-Config property for boundedness.
+	Deadline time.Time
 }
 
 // DefaultConfig returns the configuration used by `go test
@@ -102,6 +127,11 @@ const (
 	// metaTrials is the trial count of the bit-identity metamorphic runs
 	// (any count works — identity does not depend on convergence).
 	metaTrials = 300
+	// selfHealMaxEscalations is the escalation budget of the supervised
+	// self-healing run. The one-trial prep starts so far behind that a
+	// handful of doublings (1 → 2 → 4 → ...) is needed before the
+	// candidate set covers every co-maximal butterfly.
+	selfHealMaxEscalations = 8
 	// reportTolerance is the half-width target that TrialsToTolerance is
 	// quoted for.
 	reportTolerance = 0.01
@@ -161,8 +191,92 @@ func Run(cfg Config, corpus []Case) (*Report, error) {
 			return nil, fmt.Errorf("statcheck: case %q: %w", c.Name, err)
 		}
 	}
+	if cfg.SelfHealing {
+		if err := h.runSelfHealing(); err != nil {
+			return nil, fmt.Errorf("statcheck: self-healing check: %w", err)
+		}
+	}
 	h.summarize()
 	return h.rep, nil
+}
+
+// selfHealPrepTrials is the deliberately starved preparing phase of the
+// self-healing demonstration: one trial lists at most one world's maxima.
+const selfHealPrepTrials = 1
+
+// runSelfHealing executes the under-prepared OLS demonstration (see
+// Config.SelfHealing): plain OLS with a one-trial preparing phase on the
+// angle-stressor graph misses the exact leader, and only the supervised
+// run's coverage audits recover it.
+func (h *harness) runSelfHealing() error {
+	g := angleClasses()
+	exact, err := core.Exact(g)
+	if err != nil {
+		return err
+	}
+	leader, ok := exact.Best()
+	if !ok {
+		return fmt.Errorf("angle-stressor graph has no butterflies")
+	}
+	var res *core.Result
+	if h.cfg.AuditEvery > 0 {
+		res, err = core.Supervise(g, core.SupervisorOptions{
+			Method:         "ols",
+			Trials:         h.cfg.Trials,
+			PrepTrials:     selfHealPrepTrials,
+			Seed:           h.cfg.Seed,
+			AuditEvery:     h.cfg.AuditEvery,
+			MaxEscalations: selfHealMaxEscalations,
+			Epsilon:        h.cfg.Epsilon,
+			Deadline:       h.cfg.Deadline,
+		})
+	} else {
+		res, err = core.OLS(g, core.OLSOptions{
+			PrepTrials: selfHealPrepTrials,
+			Trials:     h.cfg.Trials,
+			Seed:       h.cfg.Seed,
+		})
+	}
+	if err != nil {
+		return err
+	}
+	est := 0.0
+	if e, found := res.Lookup(leader.B); found {
+		est = e.P
+	}
+	n := res.TrialsDone
+	if n <= 0 {
+		n = h.cfg.Trials
+	}
+	// The healed estimate converges to the TRUE P(B*): once the audits
+	// have merged every co-maximal butterfly into the candidate set the
+	// leader's count is Bin(n, P(B*)), so the plain Hoeffding band
+	// applies. An unhealed run leaves the leader out entirely (estimate
+	// 0, error ≈ 0.08 — far outside the band at any realistic n).
+	eps := interval.HoeffdingHalfWidth(n, h.cfg.Alpha)
+	sh := &SelfHealingReport{
+		Case:       "angle-classes",
+		PrepTrials: selfHealPrepTrials,
+		AuditEvery: h.cfg.AuditEvery,
+		Method:     res.Method,
+		ExactP:     leader.P,
+		Estimate:   est,
+		AbsErr:     math.Abs(est - leader.P),
+		HalfWidth:  eps,
+		Trials:     n,
+	}
+	if res.Adaptive != nil {
+		sh.Audits = res.Adaptive.Audits
+		sh.Escalations = res.Adaptive.Escalations
+		sh.StopReason = string(res.Adaptive.StopReason)
+	}
+	sh.Healed = sh.AbsErr <= eps
+	if !sh.Healed {
+		h.detail("self-healing/%s: leader %v estimate %.4g vs exact %.4g: error %.3g exceeds Hoeffding band %.3g (prep trials %d, audit cadence %d)",
+			sh.Case, leader.B, est, leader.P, sh.AbsErr, eps, selfHealPrepTrials, h.cfg.AuditEvery)
+	}
+	h.rep.SelfHealing = sh
+	return nil
 }
 
 // seedFor derives a distinct estimator seed per (case, slot) so no two
@@ -445,5 +559,6 @@ func (h *harness) summarize() {
 		}
 		h.rep.Methods = append(h.rep.Methods, ms)
 	}
-	h.rep.Pass = h.rep.Violations <= h.cfg.FailureBudget && h.rep.MetamorphicViolations == 0
+	h.rep.Pass = h.rep.Violations <= h.cfg.FailureBudget && h.rep.MetamorphicViolations == 0 &&
+		(h.rep.SelfHealing == nil || h.rep.SelfHealing.Healed)
 }

@@ -120,6 +120,9 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 	if err := opt.validateFor(method); err != nil {
 		return nil, err
 	}
+	if opt.adaptive() {
+		return core.Supervise(g, supervisorOptions(opt, method, interrupt, nil))
+	}
 	switch method {
 	case MethodExact:
 		return core.ExactInterruptible(g, interrupt)
@@ -157,6 +160,28 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 		return core.OLS(g, olsOpt)
 	default:
 		return nil, fmt.Errorf("mpmb: unknown method %q", opt.Method)
+	}
+}
+
+// supervisorOptions maps the public adaptive options onto the core
+// supervisor's configuration. prepared threads the Searcher's cached
+// candidate set (nil for one-shot searches).
+func supervisorOptions(opt Options, method Method, interrupt func() bool, prepared *core.Candidates) core.SupervisorOptions {
+	return core.SupervisorOptions{
+		Method:         string(method),
+		Trials:         opt.Trials,
+		PrepTrials:     opt.PrepTrials,
+		Seed:           opt.Seed,
+		Workers:        opt.Workers,
+		AuditEvery:     opt.AuditEvery,
+		MaxEscalations: opt.MaxEscalations,
+		Epsilon:        opt.Epsilon,
+		Deadline:       opt.Deadline,
+		StallTimeout:   opt.StallTimeout,
+		Interrupt:      interrupt,
+		KL:             core.KLOptions{Mu: opt.Mu},
+		Prepared:       prepared,
+		Resume:         opt.Resume,
 	}
 }
 

@@ -1,6 +1,10 @@
 package mpmb
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"time"
+)
 
 // Method selects an MPMB algorithm for Search.
 type Method string
@@ -51,6 +55,43 @@ type Options struct {
 	// checkpointed run; the finished result is bit-identical to an
 	// uninterrupted one. Supported by mc-vp, os, ols and ols-kl.
 	Resume *Checkpoint
+
+	// The adaptive options below route the run through the supervisor
+	// (see Result.Adaptive): setting any of AuditEvery, Epsilon, Deadline
+	// or StallTimeout turns a plain search into a self-healing adaptive
+	// run. None of them apply to the exact method.
+
+	// AuditEvery interleaves one full Ordering Sampling audit trial after
+	// every AuditEvery OLS sampling trials (and tops the schedule up before
+	// declaring the run complete). An audit that finds a maximum butterfly
+	// outside the candidate set heals the run: the preparing phase re-runs
+	// with a doubled trial target and sampling restarts over the wider
+	// candidate list. OLS methods only; 0 disables audits.
+	AuditEvery int
+	// MaxEscalations bounds audit-triggered escalations; when one more
+	// would be needed the run falls down the degradation ladder to OS
+	// instead (recorded in Result.Adaptive.Transitions). 0 means the
+	// supervisor default (2).
+	MaxEscalations int
+	// Epsilon > 0 stops the run early once the leader estimate's
+	// normal-approximation half-width (at 99% confidence) drops to Epsilon
+	// or below — accuracy-aware stopping. Proportion methods only (mc-vp,
+	// os, ols).
+	Epsilon float64
+	// Deadline, when non-zero, stops the run at the first trial boundary
+	// at or past it, returning the partial-but-honest prefix with
+	// Result.Adaptive.StopReason == StopDeadline.
+	Deadline time.Time
+	// StallTimeout > 0 arms a watchdog: if the run goes that long without
+	// making progress, the search returns a *StallError (errors.Is
+	// ErrStalled) instead of hanging.
+	StallTimeout time.Duration
+}
+
+// adaptive reports whether any option routes the run through the
+// supervisor. MaxEscalations alone does not: it only modifies AuditEvery.
+func (o Options) adaptive() bool {
+	return o.AuditEvery > 0 || o.Epsilon > 0 || !o.Deadline.IsZero() || o.StallTimeout > 0
 }
 
 // DefaultOptions returns the paper's Section VIII-B defaults: 2×10⁴
@@ -77,6 +118,28 @@ func (o Options) validateFor(m Method) error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("mpmb: negative Workers (%d)", o.Workers)
+	}
+	if o.AuditEvery < 0 || o.MaxEscalations < 0 {
+		return fmt.Errorf("mpmb: negative audit options (AuditEvery=%d, MaxEscalations=%d)", o.AuditEvery, o.MaxEscalations)
+	}
+	if math.IsNaN(o.Epsilon) || o.Epsilon < 0 {
+		return fmt.Errorf("mpmb: Epsilon=%v must be >= 0", o.Epsilon)
+	}
+	if o.StallTimeout < 0 {
+		return fmt.Errorf("mpmb: negative StallTimeout (%v)", o.StallTimeout)
+	}
+	if m == MethodExact && o.adaptive() {
+		return fmt.Errorf("mpmb: adaptive options (AuditEvery/Epsilon/Deadline/StallTimeout) do not apply to the exact method")
+	}
+	if o.AuditEvery > 0 {
+		switch m {
+		case MethodOLS, MethodOLSKL, Method(""):
+		default:
+			return fmt.Errorf("mpmb: AuditEvery only applies to the OLS methods (method %q has no candidate truncation to audit)", m)
+		}
+	}
+	if o.Epsilon > 0 && m == MethodOLSKL {
+		return fmt.Errorf("mpmb: the Epsilon stopping rule needs per-trial proportions; ols-kl estimates are Karp-Luby transforms (use ols, os or mc-vp)")
 	}
 	switch m {
 	case MethodExact, MethodMCVP:

@@ -68,6 +68,12 @@ func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
+		if opt.adaptive() {
+			// The supervisor seeds from the cached candidate set; an audit
+			// escalation re-prepares past it (the widened set is not cached
+			// back — it depends on audit state, not on (PrepTrials, Seed)).
+			return core.Supervise(s.g, supervisorOptions(opt, method, interrupt, cands))
+		}
 		return core.OLSSamplingPhaseParallel(cands, core.OLSOptions{
 			PrepTrials:  opt.PrepTrials,
 			Trials:      opt.Trials,
