@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench fuzz vet fmt experiments clean
+.PHONY: all build test test-race cover bench microbench fuzz vet fmt experiments clean
 
 all: build test
 
@@ -18,8 +18,14 @@ test-race:
 cover:
 	$(GO) test -cover ./...
 
-# Scaled-down benchmark per paper table/figure plus ablations.
+# Benchmark trajectory: time the flat-memory OS trial kernel against the
+# frozen seed baseline on the pinned corpus and write BENCH_core.json
+# (kernel/seed ns per trial, allocations, prune effectiveness, speedup).
 bench:
+	$(GO) run ./cmd/mpmb-bench perf -bench-out BENCH_core.json
+
+# All go-test micro-benchmarks (per paper table/figure plus ablations).
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # Brief fuzzing sessions over both graph parsers.

@@ -16,6 +16,17 @@
 //	mpmb-bench -exp all                      # full sweep, laptop defaults
 //	mpmb-bench -exp fig7 -trials 20000       # the paper's trial count
 //	mpmb-bench -exp fig9 -datasets abide     # one dataset only
+//
+// The `perf` subcommand runs the kernel benchmark trajectory instead of
+// the figures: it times the flat-memory OS trial kernel against the
+// frozen seed baseline on a pinned corpus and writes BENCH_core.json
+// (see `make bench`):
+//
+//	mpmb-bench perf                          # table + BENCH_core.json
+//	mpmb-bench perf -bench-out /tmp/b.json   # choose the output path
+//
+// Both the figures and perf accept -cpuprofile / -memprofile to capture
+// pprof profiles of the run.
 package main
 
 import (
@@ -27,7 +38,70 @@ import (
 	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bench"
+	"github.com/uncertain-graphs/mpmb/internal/profiling"
 )
+
+// runPerf executes the `perf` subcommand: time the trial kernels on the
+// pinned corpus, print the table, and write the BENCH_core.json report.
+func runPerf(args []string, out io.Writer) (retErr error) {
+	fs := flag.NewFlagSet("mpmb-bench perf", flag.ContinueOnError)
+	def := bench.DefaultPerfCorpus
+	var (
+		benchOut   = fs.String("bench-out", "BENCH_core.json", "write the JSON report here (empty = stdout table only)")
+		rounds     = fs.Int("rounds", bench.DefaultPerfRounds, "interleaved kernel/seed measurement rounds (min is kept)")
+		numL       = fs.Int("corpus-l", def.NumL, "corpus left vertices")
+		numR       = fs.Int("corpus-r", def.NumR, "corpus right vertices")
+		numEdges   = fs.Int("corpus-edges", def.NumEdges, "corpus edges")
+		pLo        = fs.Float64("corpus-plo", def.PLo, "corpus minimum edge probability")
+		pHi        = fs.Float64("corpus-phi", def.PHi, "corpus maximum edge probability")
+		corpusSeed = fs.Uint64("corpus-seed", def.Seed, "corpus generation seed")
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at end of run to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
+
+	// Create the report file before spending minutes measuring, so an
+	// unwritable path fails immediately.
+	var f *os.File
+	if *benchOut != "" {
+		var err error
+		if f, err = os.Create(*benchOut); err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+
+	corpus := bench.PerfCorpus{
+		NumL: *numL, NumR: *numR, NumEdges: *numEdges,
+		PLo: *pLo, PHi: *pHi, Seed: *corpusSeed,
+	}
+	rep, err := bench.RunPerfCorpus(corpus, *rounds)
+	if err != nil {
+		return err
+	}
+	bench.PrintPerf(out, rep)
+	if f != nil {
+		if err := rep.WriteJSON(f); err != nil {
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "wrote %s\n", *benchOut)
+	}
+	return nil
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -38,12 +112,17 @@ func main() {
 
 // run parses args and executes the selected experiments, writing tables
 // to out. Split from main for testability.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	// `mpmb-bench conformance` is sugar for `-exp conformance`: the
 	// statistical conformance check is a gate, not a figure, so it gets a
 	// subcommand spelling.
 	if len(args) > 0 && args[0] == "conformance" {
 		args = append([]string{"-exp", "conformance"}, args[1:]...)
+	}
+	// `mpmb-bench perf` is the kernel benchmark trajectory — a different
+	// report shape from the figures, so it parses its own flags.
+	if len(args) > 0 && args[0] == "perf" {
+		return runPerf(args[1:], out)
 	}
 	fs := flag.NewFlagSet("mpmb-bench", flag.ContinueOnError)
 	var (
@@ -61,10 +140,23 @@ func run(args []string, out io.Writer) error {
 		selfHeal   = fs.Bool("self-healing", false, "conformance: run the self-healing demonstration unsupervised (fails by design)")
 		epsilon    = fs.Float64("epsilon", 0, "conformance: accuracy-aware stop for the supervised run (0 = off)")
 		deadline   = fs.Duration("deadline", 0, "conformance: wall-clock bound for the supervised run (0 = off)")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at end of run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 
 	opt := bench.DefaultOptions()
 	opt.SampleTrials = *trials

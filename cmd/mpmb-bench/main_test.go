@@ -148,3 +148,66 @@ func TestRunJSONExport(t *testing.T) {
 		t.Fatal("unknown experiment accepted for JSON export")
 	}
 }
+
+// TestRunPerfSubcommand: `mpmb-bench perf` on a tiny corpus must print
+// the kernel table and write a parseable BENCH_core.json with both OS
+// rows and a positive speedup. One round keeps the test to a few seconds
+// of benchmark wall clock.
+func TestRunPerfSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	jsonPath := dir + "/bench.json"
+	cpu, mem := dir+"/cpu.out", dir+"/mem.out"
+	var sb strings.Builder
+	err := run([]string{"perf",
+		"-bench-out", jsonPath, "-rounds", "1",
+		"-corpus-l", "60", "-corpus-r", "12", "-corpus-edges", "300",
+		"-cpuprofile", cpu, "-memprofile", mem,
+	}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, marker := range []string{"os_kernel", "os_seed_baseline", "speedup vs seed baseline", "wrote " + jsonPath} {
+		if !strings.Contains(out, marker) {
+			t.Fatalf("perf output missing %q:\n%s", marker, out)
+		}
+	}
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Corpus struct {
+			NumL     int `json:"num_l"`
+			NumEdges int `json:"num_edges"`
+		} `json:"corpus"`
+		Entries []struct {
+			Name       string  `json:"name"`
+			NsPerTrial float64 `json:"ns_per_trial"`
+		} `json:"entries"`
+		Speedup float64 `json:"speedup_os_kernel_vs_seed"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("invalid BENCH json: %v", err)
+	}
+	if rep.Corpus.NumL != 60 || rep.Corpus.NumEdges != 300 {
+		t.Fatalf("corpus flags not honored: %+v", rep.Corpus)
+	}
+	if rep.Speedup <= 0 {
+		t.Fatalf("speedup %v, want > 0", rep.Speedup)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+
+	// Flag errors must surface, not crash.
+	if err := run([]string{"perf", "-badflag"}, &sb); err == nil {
+		t.Fatal("bad perf flag accepted")
+	}
+	if err := run([]string{"perf", "-bench-out", dir + "/no/such/dir/b.json", "-rounds", "1",
+		"-corpus-l", "6", "-corpus-r", "3", "-corpus-edges", "9"}, &sb); err == nil {
+		t.Fatal("unwritable -bench-out accepted")
+	}
+}

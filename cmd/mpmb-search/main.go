@@ -43,6 +43,7 @@ import (
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/profiling"
 )
 
 func main() {
@@ -54,7 +55,7 @@ func main() {
 
 // run parses args and executes the search, writing human-readable results
 // to out. Split from main for testability.
-func run(args []string, out io.Writer) error {
+func run(args []string, out io.Writer) (retErr error) {
 	fs := flag.NewFlagSet("mpmb-search", flag.ContinueOnError)
 	var (
 		path     = fs.String("graph", "", "input graph file (required)")
@@ -77,6 +78,9 @@ func run(args []string, out io.Writer) error {
 		epsilon    = fs.Float64("epsilon", 0, "stop once the leader estimate's half-width is ≤ this (0 = off)")
 		deadline   = fs.Duration("deadline", 0, "wall-clock budget; stop at the trial boundary past it (0 = off)")
 		stall      = fs.Duration("stall-timeout", 0, "fail with a stall error after this long without progress (0 = off)")
+
+		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+		memProfile = fs.String("memprofile", "", "write a pprof heap profile at end of run to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -85,6 +89,15 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
+	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProf(); perr != nil && retErr == nil {
+			retErr = perr
+		}
+	}()
 	g, err := mpmb.LoadGraph(*path)
 	if err != nil {
 		return err

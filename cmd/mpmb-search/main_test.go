@@ -378,3 +378,26 @@ func TestRunJSONOutput(t *testing.T) {
 		t.Fatalf("top butterfly weight %v, want 7", doc.Top[0].Weight)
 	}
 }
+
+// TestRunProfileFlags: -cpuprofile/-memprofile must leave non-empty
+// pprof files behind after a normal search run.
+func TestRunProfileFlags(t *testing.T) {
+	path := writeFigure1(t)
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "2000",
+		"-cpuprofile", cpu, "-memprofile", mem}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if st, err := os.Stat(p); err != nil || st.Size() == 0 {
+			t.Fatalf("profile %s missing or empty (err=%v)", p, err)
+		}
+	}
+	// An unwritable profile path is a startup error, before any search.
+	if err := run([]string{"-graph", path, "-cpuprofile", filepath.Join(dir, "no", "dir", "c.out")}, &sb); err == nil {
+		t.Fatal("unwritable cpuprofile path accepted")
+	}
+}

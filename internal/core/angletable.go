@@ -1,0 +1,171 @@
+package core
+
+// angleTable maps the canonical endpoint-pair key uint64(u1)<<32|u2 to an
+// index into the kernel's angleEntry pool. It replaces the seed
+// implementation's map[uint64]int32 with a generation-stamped
+// open-addressing table (power-of-two capacity, linear probing):
+//
+//   - reset() is a generation bump — O(1) instead of clear(map)'s walk
+//     over every bucket, which dominated short trials;
+//   - a probe is one hash, a masked index and a short linear walk over a
+//     single packed slot array — key, value and generation stamp share a
+//     16-byte slot, so a probe touches one cache line where parallel
+//     arrays would touch three.
+//
+// A slot is live only when its stamp equals the current generation, so
+// stale entries from earlier trials terminate probes exactly like empty
+// slots and never need clearing. The generation counter is 32-bit; on the
+// (practically unreachable) wraparound the stamps are cleared once so a
+// stale slot can never alias the new generation.
+type angleTable struct {
+	slots []atSlot
+	cur   uint32
+	mask  uint64
+	live  int
+
+	// tok, when non-nil, switches the table to Zobrist hashing: the key is
+	// a packed pair of left-vertex ids and its hash is tok[hi]^tok[lo] —
+	// two independent L1 loads and an XOR instead of mix64's serial
+	// multiply chain. The kernel attaches the snapshot's per-vertex tokens
+	// here so its manually inlined probe and the table's own probes (get,
+	// put, grow) agree on slot positions.
+	tok []uint64
+}
+
+// atSlot is one packed table slot: the canonical pair key, the pool index
+// it maps to, and the generation stamp that says whether the mapping is
+// current. 16 bytes, so probes stay within a cache line.
+type atSlot struct {
+	key uint64
+	val int32
+	gen uint32
+}
+
+// minAngleTableCap keeps the table from degenerate tiny sizes; growth is
+// by doubling.
+const minAngleTableCap = 64
+
+func newAngleTable(hint int) angleTable {
+	capacity := minAngleTableCap
+	for capacity < 2*hint {
+		capacity *= 2
+	}
+	return angleTable{
+		slots: make([]atSlot, capacity),
+		cur:   1,
+		mask:  uint64(capacity - 1),
+	}
+}
+
+// mix64 is the splitmix64 finalizer, a full-avalanche hash for the packed
+// endpoint-pair key.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// hash maps a key to its home slot. Every probe in this file (and the
+// kernel's manually inlined copy in os.go) must route through the same
+// function, or grow() would rehash live entries to positions later probes
+// cannot find.
+func (t *angleTable) hash(key uint64) uint64 {
+	if t.tok != nil {
+		return (t.tok[key>>32] ^ t.tok[key&0xffffffff]) & t.mask
+	}
+	return mix64(key) & t.mask
+}
+
+// reset invalidates every entry in O(1) by advancing the generation.
+func (t *angleTable) reset() {
+	t.live = 0
+	t.cur++
+	if t.cur == 0 { // generation wrapped: stale stamps could alias
+		for i := range t.slots {
+			t.slots[i].gen = 0
+		}
+		t.cur = 1
+	}
+}
+
+// get returns the pool index stored under key in the current generation.
+func (t *angleTable) get(key uint64) (int32, bool) {
+	i := t.hash(key)
+	for {
+		s := &t.slots[i]
+		if s.gen != t.cur {
+			return 0, false
+		}
+		if s.key == key {
+			return s.val, true
+		}
+		i = (i + 1) & t.mask
+	}
+}
+
+// getOrPut returns the value stored under key in the current generation,
+// or inserts val and returns it. One probe walk serves both the hit and
+// the miss (the kernel's dominant operation is a miss — each endpoint
+// pair's first angle — so re-probing after a failed get would double the
+// hash work).
+func (t *angleTable) getOrPut(key uint64, val int32) (int32, bool) {
+	i := t.hash(key)
+	for {
+		s := &t.slots[i]
+		if s.gen != t.cur {
+			break
+		}
+		if s.key == key {
+			return s.val, true
+		}
+		i = (i + 1) & t.mask
+	}
+	if (t.live+1)*4 > len(t.slots)*3 {
+		t.grow()
+		i = t.hash(key)
+		for t.slots[i].gen == t.cur {
+			i = (i + 1) & t.mask
+		}
+	}
+	t.slots[i] = atSlot{key: key, val: val, gen: t.cur}
+	t.live++
+	return val, false
+}
+
+// put inserts key→val. The key must not already be present this
+// generation (callers get() first). Growth keeps the load factor below
+// 3/4 so probes stay short.
+func (t *angleTable) put(key uint64, val int32) {
+	if (t.live+1)*4 > len(t.slots)*3 {
+		t.grow()
+	}
+	i := t.hash(key)
+	for t.slots[i].gen == t.cur {
+		i = (i + 1) & t.mask
+	}
+	t.slots[i] = atSlot{key: key, val: val, gen: t.cur}
+	t.live++
+}
+
+// grow doubles the capacity, re-inserting only the current generation's
+// live entries (older generations are dead by construction).
+func (t *angleTable) grow() {
+	old, oldCur := t.slots, t.cur
+	capacity := 2 * len(old)
+	t.slots = make([]atSlot, capacity)
+	t.mask = uint64(capacity - 1)
+	t.cur = 1
+	for _, s := range old {
+		if s.gen != oldCur {
+			continue
+		}
+		i := t.hash(s.key)
+		for t.slots[i].gen == t.cur {
+			i = (i + 1) & t.mask
+		}
+		t.slots[i] = atSlot{key: s.key, val: s.val, gen: t.cur}
+	}
+}

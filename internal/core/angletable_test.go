@@ -66,6 +66,89 @@ func TestAngleTableUpdateCases(t *testing.T) {
 	})
 }
 
+// TestAngleTableOpenAddressing exercises the generation-stamped
+// open-addressing index underneath the kernel: inserts, probes, growth
+// past the load factor, and the O(1) generation-bump reset.
+func TestAngleTableOpenAddressing(t *testing.T) {
+	tab := newAngleTable(0)
+	if len(tab.slots) != minAngleTableCap {
+		t.Fatalf("empty hint capacity = %d, want %d", len(tab.slots), minAngleTableCap)
+	}
+	// Insert enough keys to force several growths.
+	const n = 500
+	key := func(i int) uint64 { return uint64(i)*2654435761 + 1 }
+	for i := 0; i < n; i++ {
+		if _, ok := tab.get(key(i)); ok {
+			t.Fatalf("key %d present before insertion", i)
+		}
+		tab.put(key(i), int32(i))
+	}
+	for i := 0; i < n; i++ {
+		v, ok := tab.get(key(i))
+		if !ok || v != int32(i) {
+			t.Fatalf("get(key %d) = (%d, %v), want (%d, true)", i, v, ok, i)
+		}
+	}
+	if 4*tab.live > 3*len(tab.slots) {
+		t.Fatalf("load factor above 3/4: %d live in %d slots", tab.live, len(tab.slots))
+	}
+
+	// Reset invalidates everything without touching the slot arrays.
+	capBefore := len(tab.slots)
+	tab.reset()
+	if tab.live != 0 || len(tab.slots) != capBefore {
+		t.Fatalf("reset: live=%d cap=%d, want 0 and %d", tab.live, len(tab.slots), capBefore)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := tab.get(key(i)); ok {
+			t.Fatalf("key %d survived reset", i)
+		}
+	}
+
+	// New generation reuses the stale slots transparently.
+	tab.put(key(3), 77)
+	if v, ok := tab.get(key(3)); !ok || v != 77 {
+		t.Fatalf("post-reset get = (%d, %v), want (77, true)", v, ok)
+	}
+}
+
+// TestAngleTableGenerationWraparound forces the 32-bit generation counter
+// to wrap and checks that stale stamps cannot alias the fresh generation.
+func TestAngleTableGenerationWraparound(t *testing.T) {
+	tab := newAngleTable(0)
+	tab.put(42, 1)
+	tab.cur = ^uint32(0) // next reset wraps
+	tab.reset()
+	if tab.cur != 1 {
+		t.Fatalf("wrapped generation = %d, want 1", tab.cur)
+	}
+	// The pre-wrap entry was stamped with generation 1 originally; after
+	// the wrap-clear it must be gone even though cur is 1 again.
+	if _, ok := tab.get(42); ok {
+		t.Fatal("stale entry aliased the wrapped generation")
+	}
+	tab.put(42, 9)
+	if v, ok := tab.get(42); !ok || v != 9 {
+		t.Fatalf("post-wrap insert = (%d, %v), want (9, true)", v, ok)
+	}
+}
+
+// TestAngleTableCollisions drives many keys into the same probe
+// neighborhood (the table hashes, so use enough keys to guarantee
+// clustering at minimum capacity) and checks linear probing resolves them.
+func TestAngleTableCollisions(t *testing.T) {
+	tab := newAngleTable(0)
+	// More keys than minAngleTableCap/2 guarantees probe chains exist.
+	for i := 0; i < minAngleTableCap/2+8; i++ {
+		tab.put(uint64(i), int32(i))
+	}
+	for i := 0; i < minAngleTableCap/2+8; i++ {
+		if v, ok := tab.get(uint64(i)); !ok || v != int32(i) {
+			t.Fatalf("get(%d) = (%d, %v) under collisions", i, v, ok)
+		}
+	}
+}
+
 // TestAngleEntryBestWeight covers the fast-butterfly-creation weight
 // calculus of Section V-D.
 func TestAngleEntryBestWeight(t *testing.T) {

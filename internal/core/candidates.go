@@ -68,10 +68,7 @@ func prepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions
 			interrupted = true
 			break
 		}
-		rng := root.Derive(uint64(trial))
-		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
-			return rng.Bernoulli(g.Edge(id).P)
-		})
+		idx.runTrialSeeded(root, uint64(trial), &sMB)
 		for _, b := range sMB.Set {
 			hits[b]++
 		}

@@ -50,6 +50,7 @@ func TestLemmaV1AngleWorkMatchesTheory(t *testing.T) {
 
 		const trials = 20000
 		idx := newOSIndex(g, OSOptions{DisableEdgePrune: true})
+		idx.instrumented = true
 		root := randx.New(uint64(trial) + 5)
 		var sMB maxSetScratch
 		total := 0
@@ -79,6 +80,7 @@ func TestEdgePruneReducesAngleWork(t *testing.T) {
 	const trials = 2000
 	count := func(disable bool) int {
 		idx := newOSIndex(g, OSOptions{DisableEdgePrune: disable})
+		idx.instrumented = true
 		root := randx.New(7)
 		var sMB maxSetScratch
 		total := 0

@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 	"reflect"
+	"sync/atomic"
 	"testing"
 )
 
@@ -76,6 +77,168 @@ func TestOLSParallelFullResultEquivalence(t *testing.T) {
 				requireSameResult(t, seq.Method, seq, par)
 			}
 		}
+	}
+}
+
+// Kernel-vs-seed equivalence: the flat-memory trial kernel (SoA edge
+// snapshot, threshold Bernoulli, open-addressed angle tables, batched
+// chunk dispatch) is a pure optimization, so seed for seed its FULL
+// Result must be bit-identical to the frozen seed implementation in
+// osref.go — sequentially, under the degenerate workers=1 pool, and
+// under a contended workers=8 pool.
+
+func TestKernelMatchesSeedOS(t *testing.T) {
+	r := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 6; trial++ {
+		g := randGraph(r, 7, 7, 20)
+		opt := OSOptions{Trials: 500, Seed: uint64(trial)*29 + 5}
+		ref, err := OSReference(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq, err := OS(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameResult(t, "os kernel vs seed (sequential)", ref, seq)
+		for _, workers := range []int{1, 8} {
+			par, err := OSParallel(g, opt, workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "os kernel vs seed (parallel)", ref, par)
+		}
+	}
+}
+
+func TestKernelMatchesSeedOSAblations(t *testing.T) {
+	r := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 4; trial++ {
+		g := randGraph(r, 6, 6, 18)
+		for _, opt := range []OSOptions{
+			{Trials: 300, Seed: uint64(trial) + 1, DisableEdgePrune: true},
+			{Trials: 300, Seed: uint64(trial) + 1, DropA2: true},
+			{Trials: 300, Seed: uint64(trial) + 1, KeepAllAngles: true},
+		} {
+			ref, err := OSReference(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := OS(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "os ablation kernel vs seed", ref, seq)
+		}
+	}
+}
+
+func TestKernelMatchesSeedOLS(t *testing.T) {
+	r := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 4; trial++ {
+		g := randGraph(r, 6, 6, 18)
+		for _, useKL := range []bool{false, true} {
+			opt := OLSOptions{
+				PrepTrials:  30,
+				Trials:      300,
+				Seed:        uint64(trial)*19 + 2,
+				UseKarpLuby: useKL,
+			}
+			ref, err := OLSReference(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq, err := OLS(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, ref.Method+" kernel vs seed (sequential)", ref, seq)
+			for _, workers := range []int{1, 8} {
+				par, err := OLSParallel(g, opt, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResult(t, ref.Method+" kernel vs seed (parallel)", ref, par)
+			}
+		}
+	}
+}
+
+// TestKernelMatchesSeedAfterResume cuts a kernel run mid-flight, resumes
+// it from the checkpoint, and requires the stitched Result to remain
+// bit-identical to the seed implementation's uninterrupted run — the
+// strongest form of the completed-prefix invariant surviving the batched
+// chunk dispatch.
+func TestKernelMatchesSeedAfterResume(t *testing.T) {
+	r := rand.New(rand.NewSource(67))
+	g := randGraph(r, 7, 7, 20)
+
+	t.Run("os", func(t *testing.T) {
+		opt := OSOptions{Trials: 400, Seed: 9}
+		ref, err := OSReference(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Cut the parallel run after ~the first few chunks; the interrupt
+		// is polled concurrently, so count atomically.
+		var polls atomic.Int64
+		cut := opt
+		cut.Interrupt = func() bool { return polls.Add(1) > 6 }
+		part, err := OSParallel(g, cut, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !part.Partial || part.Checkpoint == nil {
+			t.Skip("interrupt did not cut the run mid-flight on this machine")
+		}
+		res := opt
+		res.Resume = part.Checkpoint
+		for label, finish := range map[string]func() (*Result, error){
+			"sequential": func() (*Result, error) { return OS(g, res) },
+			"parallel":   func() (*Result, error) { return OSParallel(g, res, 4) },
+		} {
+			got, err := finish()
+			if err != nil {
+				t.Fatal(err)
+			}
+			requireSameResult(t, "os resume "+label, ref, got)
+		}
+	})
+
+	for _, useKL := range []bool{false, true} {
+		opt := OLSOptions{PrepTrials: 30, Trials: 300, Seed: 9, UseKarpLuby: useKL}
+		t.Run(opt.method(), func(t *testing.T) {
+			ref, err := OLSReference(g, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(ref.Estimates) == 0 {
+				t.Skip("graph produced no candidates")
+			}
+			// Let the preparing phase through, cut the sampling phase.
+			var polls atomic.Int64
+			cut := opt
+			cut.Interrupt = func() bool { return polls.Add(1) > int64(opt.PrepTrials)+4 }
+			part, err := OLSParallel(g, cut, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !part.Partial || part.Checkpoint == nil {
+				t.Skip("interrupt did not cut the sampling phase mid-flight")
+			}
+			res := opt
+			res.Resume = part.Checkpoint
+			for label, finish := range map[string]func() (*Result, error){
+				"sequential": func() (*Result, error) { return OLS(g, res) },
+				"parallel":   func() (*Result, error) { return OLSParallel(g, res, 4) },
+			} {
+				got, err := finish()
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameResult(t, opt.method()+" resume "+label, ref, got)
+			}
+		})
 	}
 }
 

@@ -63,15 +63,19 @@ type KLOptions struct {
 }
 
 // klScratch is the reusable lazy edge-sampling state shared by all trials
-// of all candidates priced by one goroutine.
+// of all candidates priced by one goroutine: stamp/val lazy sampling
+// slices, the id-indexed Bernoulli threshold table (shared read-only
+// across goroutines), and an in-place derived per-candidate stream.
 type klScratch struct {
-	stamp []int32
-	val   []bool
-	cur   int32
+	stamp  []int32
+	val    []bool
+	cur    int32
+	thresh []uint64
+	rng    randx.RNG
 }
 
-func newKLScratch(numE int) *klScratch {
-	return &klScratch{stamp: make([]int32, numE), val: make([]bool, numE)}
+func newKLScratch(numE int, thresh []uint64) *klScratch {
+	return &klScratch{stamp: make([]int32, numE), val: make([]bool, numE), thresh: thresh}
 }
 
 // EstimateKarpLuby runs Algorithm 4 over a weight-sorted candidate set and
@@ -106,7 +110,7 @@ func EstimateKarpLuby(c *Candidates, opt KLOptions) ([]float64, error) {
 		return nil, err
 	}
 
-	scratch := newKLScratch(c.G.NumEdges())
+	scratch := newKLScratch(c.G.NumEdges(), edgeThresholds(c.G))
 	root := randx.New(opt.Seed)
 	partial := false
 	done := n
@@ -215,7 +219,8 @@ func klPrice(c *Candidates, i int, opt KLOptions, root *randx.RNG, scratch *klSc
 
 	stamp, val := scratch.stamp, scratch.val
 	alias := randx.NewAlias(diffProbs)
-	rng := root.Derive(uint64(i) + 1)
+	root.DeriveInto(uint64(i)+1, &scratch.rng)
+	rng := &scratch.rng
 	cnt := 0
 	for t := 0; t < nTrials; t++ {
 		scratch.cur++
@@ -233,7 +238,7 @@ func klPrice(c *Candidates, i int, opt KLOptions, root *randx.RNG, scratch *klSc
 			for _, id := range diffs[k] {
 				if stamp[id] != cur {
 					stamp[id] = cur
-					val[id] = rng.Bernoulli(g.Edge(id).P)
+					val[id] = rng.BernoulliThresholded(scratch.thresh[id])
 				}
 				if !val[id] {
 					allPresent = false

@@ -81,11 +81,17 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 		return nil, err
 	}
 	g := c.G
-	// Per-trial lazy sampling state over backbone edge ids.
+	// Per-trial lazy sampling state over backbone edge ids. Presence draws
+	// go through precomputed Bernoulli thresholds (one raw generator word
+	// compared against thresh[id], draw-for-draw identical to
+	// randx.Bernoulli) and the per-trial stream is derived in place, so the
+	// steady-state trial allocates nothing.
 	numE := g.NumEdges()
 	stamp := make([]int32, numE)
 	val := make([]bool, numE)
+	thresh := edgeThresholds(g)
 	var cur int32
+	var rng randx.RNG
 
 	// Union of candidate edges, for the eager ablation.
 	var relevant []int
@@ -107,12 +113,12 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 		if opt.Interrupt != nil && opt.Interrupt() {
 			return optimizedFinish(counts, trial-1, opt, true), nil
 		}
-		rng := root.Derive(uint64(trial))
+		root.DeriveInto(uint64(trial), &rng)
 		cur++
 		if opt.EagerSampling {
 			for _, id := range relevant {
 				stamp[id] = cur
-				val[id] = rng.Bernoulli(g.Edge(uint32(id)).P)
+				val[id] = rng.BernoulliThresholded(thresh[id])
 			}
 		}
 		wMax := math.Inf(-1)
@@ -129,7 +135,7 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 			for _, id := range cand.Edges { // line 7: lazy sampling
 				if stamp[id] != cur {
 					stamp[id] = cur
-					val[id] = rng.Bernoulli(g.Edge(id).P)
+					val[id] = rng.BernoulliThresholded(thresh[id])
 				}
 				if !val[id] {
 					exists = false

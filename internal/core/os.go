@@ -67,6 +67,12 @@ type OSOptions struct {
 // Edges are Bernoulli-sampled lazily in weight order, which draws from
 // exactly the same distribution as sampling the whole world up front
 // (edges are independent) while never touching edges behind the prune.
+//
+// The trial loop runs on the flat-memory kernel (see osIndex): a SoA edge
+// snapshot with precomputed Bernoulli thresholds, a generation-stamped
+// open-addressing angle table, and a worker-local derived stream — all
+// draw-for-draw identical to the frozen seed implementation in osref.go,
+// which the equivalence tests compare against bit for bit.
 func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: OS requires Trials > 0, got %d", opt.Trials)
@@ -87,10 +93,7 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 		if opt.Interrupt != nil && opt.Interrupt() {
 			return acc.partialResult("os", g, opt.Seed, opt.Trials, trial-1), nil
 		}
-		rng := root.Derive(uint64(trial))
-		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
-			return rng.Bernoulli(g.Edge(id).P)
-		})
+		idx.runTrialSeeded(root, uint64(trial), &sMB)
 		if !sMB.Empty() {
 			acc.addMaxSet(&sMB)
 		}
@@ -113,28 +116,62 @@ func OSOnWorld(g *bigraph.Graph, w *possible.World, opt OSOptions) butterfly.Max
 	return sMB
 }
 
-// osIndex holds the per-graph precomputation (sorted edges, w̄) and the
-// per-trial scratch buffers of Ordering Sampling, so repeated trials do
-// not reallocate.
+// osIndex is the flat-memory Ordering Sampling trial kernel: the
+// per-graph precomputation (SoA edge snapshot, w̄) plus per-trial scratch
+// laid out so a steady-state trial performs zero allocations.
+//
+//   - Edge presence is decided by comparing one raw generator word
+//     against the snapshot's precomputed threshold (runTrialRNG), or by
+//     an arbitrary oracle (runTrial) for the per-world variant and the
+//     supervisor's audit trials.
+//   - N̂_E(v) lives in one flat slice partitioned by the snapshot's CSR
+//     offsets, each right vertex owning a region of capacity deg(v).
+//   - The angle tables A1/A2 are pool entries indexed through a
+//     generation-stamped open-addressing table, so per-trial reset is a
+//     generation bump.
 type osIndex struct {
-	g      *bigraph.Graph
-	opt    OSOptions
-	sorted []bigraph.EdgeID // edge ids by descending weight (line 1)
-	wBar   float64          // w(e1)+w(e2)+w(e3) (line 2)
+	g    *bigraph.Graph
+	opt  OSOptions
+	snap *edgeSnapshot
 
-	// nE[v] is N̂_E(v): live, already-processed edges incident to right
-	// vertex v, as (left endpoint, edge id) pairs.
-	nE        [][]bigraph.Half
-	nETouched []bigraph.VertexID
+	// Flat N̂_E: right vertex v's live processed edges are
+	// liveFlat[snap.liveOff[v] : snap.liveOff[v]+n] where n is live[v].n if
+	// live[v].gen matches liveCur and 0 otherwise — the same
+	// generation-stamp trick as the angle table, so per-trial reset of
+	// every live list is one counter bump instead of a touched-vertex walk.
+	liveFlat []liveEdge
+	live     []liveMeta
+	liveCur  uint32
 
-	// Angle tables A1/A2 keyed by the canonical left endpoint pair.
-	entries map[uint64]int32
-	pool    []angleEntry
-	poolN   int
+	// Angle entry pool, indexed through tab. Callers hold POOL INDICES,
+	// never *angleEntry pointers, across entryFor calls: the pool grows by
+	// append, and a reallocation would leave an in-flight pointer aiming
+	// at the stale backing array (the seed implementation returned
+	// pointers and was safe only because no caller held one across a
+	// call — a hazard, not a guarantee).
+	tab   angleTable
+	pool  []angleEntry
+	poolN int
+
+	// rng is the worker-local per-trial stream runTrialSeeded derives
+	// into, so deriving costs no allocation.
+	rng randx.RNG
+
+	// maxList tracks the pool indices whose bestWeight equals the running
+	// w_max, in ascending pool order, so the specialized path materializes
+	// only those entries instead of rewalking the whole pool. maxGen
+	// invalidates stale angleEntry.mark stamps in O(1) whenever w_max
+	// rises (and across trials); it is monotone, so a stamp can never
+	// alias a later generation.
+	maxList []int32
+	maxGen  uint64
 
 	// anglesGenerated counts the angles produced by the last runTrial —
 	// instrumentation for verifying the Lemma V.1 per-trial complexity
-	// (O(min(Σ_L d̄², Σ_R d̄²)) angle work) in tests.
+	// (O(min(Σ_L d̄², Σ_R d̄²)) angle work) in tests. It is maintained only
+	// while instrumented is set (the complexity tests set it), so the hot
+	// loop pays nothing for it in production runs.
+	instrumented    bool
 	anglesGenerated int
 }
 
@@ -148,6 +185,9 @@ type angleEntry struct {
 	w2     float64
 	mids2  []bigraph.VertexID
 	all    []midW // only with KeepAllAngles
+	// mark stamps membership in osIndex.maxList for the current maxGen;
+	// stale stamps are dead by monotonicity and never need clearing.
+	mark uint64
 }
 
 type midW struct {
@@ -155,52 +195,68 @@ type midW struct {
 	w   float64
 }
 
+// liveMeta is one right vertex's live-list length, valid only when its
+// generation stamp matches osIndex.liveCur. Packed into 8 bytes so the
+// hot path reads length and validity in a single load.
+type liveMeta struct {
+	n   int32
+	gen uint32
+}
+
 func newOSIndex(g *bigraph.Graph, opt OSOptions) *osIndex {
-	return &osIndex{
-		g:       g,
-		opt:     opt,
-		sorted:  g.EdgesByWeightDesc(),
-		wBar:    g.TopWeightSum(3),
-		nE:      make([][]bigraph.Half, g.NumR()),
-		entries: make(map[uint64]int32),
+	snap := newEdgeSnapshot(g)
+	x := &osIndex{
+		g:        g,
+		opt:      opt,
+		snap:     snap,
+		liveFlat: make([]liveEdge, snap.numEdges()),
+		live:     make([]liveMeta, g.NumR()),
+		liveCur:  1,
+		tab:      newAngleTable(minAngleTableCap),
 	}
+	x.tab.tok = snap.tok // Zobrist pair hashing, shared with the inlined probe
+	return x
 }
 
 func (x *osIndex) resetTrial() {
-	for _, v := range x.nETouched {
-		x.nE[v] = x.nE[v][:0]
+	x.liveCur++
+	if x.liveCur == 0 { // generation wrapped: stale stamps could alias
+		for i := range x.live {
+			x.live[i].gen = 0
+		}
+		x.liveCur = 1
 	}
-	x.nETouched = x.nETouched[:0]
-	clear(x.entries)
+	x.tab.reset()
 	x.poolN = 0
 	x.anglesGenerated = 0
+	x.maxList = x.maxList[:0]
+	x.maxGen++
 }
 
-// entryFor returns the (possibly new) angle entry for endpoint pair
-// {a, b}, reusing pooled storage across trials.
-func (x *osIndex) entryFor(a, b bigraph.VertexID) *angleEntry {
+// entryFor returns the pool index of the (possibly new) angle entry for
+// endpoint pair {a, b}, reusing pooled storage across trials. It returns
+// an index rather than a pointer: the pool may reallocate on growth, and
+// an index stays valid where a pointer would dangle.
+func (x *osIndex) entryFor(a, b bigraph.VertexID) int32 {
 	if a > b {
 		a, b = b, a
 	}
 	key := uint64(a)<<32 | uint64(b)
-	if i, ok := x.entries[key]; ok {
-		return &x.pool[i]
+	i, found := x.tab.getOrPut(key, int32(x.poolN))
+	if found {
+		return i
 	}
-	var e *angleEntry
-	if x.poolN < len(x.pool) {
-		e = &x.pool[x.poolN]
-		e.mids1 = e.mids1[:0]
-		e.mids2 = e.mids2[:0]
-		e.all = e.all[:0]
-	} else {
+	if x.poolN == len(x.pool) {
 		x.pool = append(x.pool, angleEntry{})
-		e = &x.pool[len(x.pool)-1]
 	}
-	x.entries[key] = int32(x.poolN)
-	x.poolN++
+	e := &x.pool[i]
+	e.mids1 = e.mids1[:0]
+	e.mids2 = e.mids2[:0]
+	e.all = e.all[:0]
 	e.u1, e.u2 = a, b
 	e.w1, e.w2 = math.Inf(-1), math.Inf(-1)
-	return e
+	x.poolN++
+	return i
 }
 
 // update applies the Table II cases for a new angle of weight w with
@@ -254,56 +310,291 @@ func (e *angleEntry) bestWeight() float64 {
 	return math.Inf(-1)
 }
 
-// runTrial executes lines 4–20 of Algorithm 2 against the edge presence
-// oracle (a lazy Bernoulli sampler for OS proper, or World.Has for the
-// deterministic per-world variant), leaving the trial's maximum weighted
-// butterfly set in sMB.
-func (x *osIndex) runTrial(sMB *butterfly.MaxSet, present func(bigraph.EdgeID) bool) {
+// runTrialSeeded derives the trial's stream from (root, id) into the
+// kernel-local generator and runs the threshold-sampling trial. This is
+// the production hot path: it performs zero allocations at steady state
+// and its Result contribution is bit-identical to the seed
+// implementation's rng.Bernoulli closure over a Derive(id) stream.
+func (x *osIndex) runTrialSeeded(root *randx.RNG, id uint64, sMB *butterfly.MaxSet) (scanned int) {
+	root.DeriveInto(id, &x.rng)
+	return x.runTrialRNG(sMB, &x.rng)
+}
+
+// runTrialRNG executes lines 4–20 of Algorithm 2 with edge presence
+// decided by the snapshot's precomputed thresholds against rng's raw
+// words: one shift-and-compare per undetermined edge, no draw for edges
+// with p ∈ {0, 1} — the exact stream consumption of randx.Bernoulli. It
+// returns how many snapshot positions were scanned before the Section
+// V-B prune stopped the trial (the benchmark harness reports the
+// remainder as pruned).
+//
+// The production configuration (no ablations, no instrumentation) runs a
+// specialized loop with the angle admission inlined: the generator is
+// copied into a local so its state lives in registers for the whole
+// trial, and each angle costs one getOrPut probe plus the Table II
+// update, with no per-edge function calls. The ablation and
+// instrumentation paths share the generic admitEdge walk instead — both
+// produce identical Results; only the instruction stream differs.
+func (x *osIndex) runTrialRNG(sMB *butterfly.MaxSet, rng *randx.RNG) (scanned int) {
+	if x.opt.KeepAllAngles || x.opt.DropA2 || x.instrumented {
+		return x.runTrialRNGGeneric(sMB, rng)
+	}
 	x.resetTrial()
 	sMB.Reset()
-	g := x.g
+	snap := x.snap
+	prune := !x.opt.DisableEdgePrune
+	wBar := snap.wBar
 	wMax := math.Inf(-1)
 
-	for _, eid := range x.sorted {
-		e := g.Edge(eid)
-		if !x.opt.DisableEdgePrune && e.W+x.wBar < wMax { // line 9
+	// Local generator copy: every draw is inlined register arithmetic.
+	// The stream position after the trial is irrelevant (each trial
+	// re-derives), so the copy never needs writing back. Pool and touched
+	// bookkeeping likewise run on locals and are stored back once after
+	// the scan.
+	lr := *rng
+	thresh := snap.thresh
+	ws, uvs := snap.w, snap.uv
+	liveFlat, live, liveOff := x.liveFlat, x.live, snap.liveOff
+	liveCur := x.liveCur
+	toks := snap.tok
+	tb := &x.tab
+	pool, poolN := x.pool, x.poolN
+	negInf := math.Inf(-1)
+
+	i := 0
+	for ; i < len(thresh); i++ {
+		if prune && ws[i]+wBar < wMax { // line 9
 			break
 		}
-		if !present(eid) {
+		th := thresh[i]
+		if th == randx.BernoulliNever {
 			continue
 		}
-		ui, vj := e.U, e.V
-		for _, hb := range x.nE[vj] { // line 10: e_b = (v_j, u_k)
-			uk := hb.To
+		if th != randx.BernoulliAlways && lr.Uint64()>>11 >= th {
+			continue
+		}
+		// Lines 10–14, inlined from admitEdge/entryFor.
+		uvp := uvs[i]
+		ui, vj := bigraph.VertexID(uvp>>32), bigraph.VertexID(uvp&0xffffffff)
+		w := ws[i]
+		base := liveOff[vj]
+		lm := live[vj]
+		n := lm.n
+		if lm.gen != liveCur {
+			n = 0
+		}
+		tu := toks[ui]
+		for s := base; s < base+n; s++ {
+			hb := &liveFlat[s]
+			uk := hb.to
 			if uk == ui {
-				continue // cannot happen for simple graphs, but be safe
+				continue
 			}
-			angleW := e.W + g.Edge(hb.E).W // line 11: ∠_new = e_a ⊕ e_b
-			x.anglesGenerated++
-			ent := x.entryFor(ui, uk)
-			if x.opt.KeepAllAngles {
-				ent.all = append(ent.all, midW{mid: vj, w: angleW})
+			angleW := w + hb.w // line 11: ∠_new = e_a ⊕ e_b
+			a, b := ui, uk
+			if a > b {
+				a, b = b, a
 			}
-			if x.opt.DropA2 {
-				ent.updateDropA2(angleW, vj) // fault injection: A2 lost
-			} else {
-				ent.update(angleW, vj) // line 12, Table II
+			key := uint64(a)<<32 | uint64(b)
+			// angleTable.getOrPut, manually inlined with the Zobrist
+			// hash (symmetric in the pair, so it skips the canonical
+			// ordering and the multiply chain of mix64; the partner's
+			// token rides in the liveEdge). Must stay
+			// position-compatible with angleTable.hash — grow() re-probes
+			// through it.
+			h := (tu ^ hb.tok) & tb.mask
+			var ei int32
+			for {
+				sl := &tb.slots[h]
+				if sl.gen != tb.cur {
+					// Miss: claim the slot and a pool entry.
+					ei = int32(poolN)
+					if (tb.live+1)*4 > len(tb.slots)*3 {
+						tb.grow()
+						tb.put(key, ei)
+					} else {
+						*sl = atSlot{key: key, val: ei, gen: tb.cur}
+						tb.live++
+					}
+					if poolN == len(pool) {
+						pool = append(pool, angleEntry{})
+					}
+					e := &pool[ei]
+					e.mids1 = e.mids1[:0]
+					e.mids2 = e.mids2[:0]
+					e.all = e.all[:0]
+					e.u1, e.u2 = a, b
+					e.w1, e.w2 = negInf, negInf
+					poolN++
+					break
+				}
+				if sl.key == key {
+					ei = sl.val
+					break
+				}
+				h = (h + 1) & tb.mask
 			}
+			ent := &pool[ei]
+			ent.update(angleW, vj) // line 12, Table II
 			if bw := ent.bestWeight(); bw > wMax {
 				wMax = bw // line 13
+				x.maxGen++
+				x.maxList = append(x.maxList[:0], ei)
+				ent.mark = x.maxGen
+			} else if bw == wMax && bw != negInf && ent.mark != x.maxGen {
+				// This pair ties the running maximum: record it once,
+				// keeping maxList in ascending pool order so the
+				// materialization order matches the seed's pool walk.
+				ent.mark = x.maxGen
+				ml := x.maxList
+				j := len(ml)
+				ml = append(ml, ei)
+				for j > 0 && ml[j-1] > ei {
+					ml[j] = ml[j-1]
+					j--
+				}
+				ml[j] = ei
+				x.maxList = ml
 			}
 		}
-		if len(x.nE[vj]) == 0 {
-			x.nETouched = append(x.nETouched, vj)
-		}
-		x.nE[vj] = append(x.nE[vj], bigraph.Half{To: ui, E: eid}) // line 14
+		liveFlat[base+n] = liveEdge{to: ui, w: w, tok: tu} // line 14
+		live[vj] = liveMeta{n: n + 1, gen: liveCur}
 	}
+	x.pool, x.poolN = pool, poolN
+	x.materializeList(sMB, wMax)
+	return i
+}
 
+// runTrialRNGGeneric is the unspecialized threshold trial: same
+// algorithm, same Results, with angle admission routed through admitEdge
+// so the ablation branches and the anglesGenerated instrumentation stay
+// in one place.
+func (x *osIndex) runTrialRNGGeneric(sMB *butterfly.MaxSet, rng *randx.RNG) (scanned int) {
+	x.resetTrial()
+	sMB.Reset()
+	snap := x.snap
+	prune := !x.opt.DisableEdgePrune
+	wMax := math.Inf(-1)
+
+	i := 0
+	for ; i < len(snap.id); i++ {
+		if prune && snap.w[i]+snap.wBar < wMax { // line 9
+			break
+		}
+		th := snap.thresh[i]
+		if th == randx.BernoulliNever {
+			continue
+		}
+		if th != randx.BernoulliAlways && rng.Uint64()>>11 >= th {
+			continue
+		}
+		wMax = x.admitEdge(i, wMax)
+	}
+	x.materialize(sMB, wMax)
+	return i
+}
+
+// runTrial executes the same trial against an arbitrary edge presence
+// oracle — World.Has for the deterministic per-world variant, or a
+// Bernoulli closure for callers that manage their own streams (the
+// supervisor's audit trials).
+func (x *osIndex) runTrial(sMB *butterfly.MaxSet, present func(bigraph.EdgeID) bool) (scanned int) {
+	x.resetTrial()
+	sMB.Reset()
+	snap := x.snap
+	prune := !x.opt.DisableEdgePrune
+	wMax := math.Inf(-1)
+
+	i := 0
+	for ; i < len(snap.id); i++ {
+		if prune && snap.w[i]+snap.wBar < wMax { // line 9
+			break
+		}
+		if !present(snap.id[i]) {
+			continue
+		}
+		wMax = x.admitEdge(i, wMax)
+	}
+	x.materialize(sMB, wMax)
+	return i
+}
+
+// admitEdge processes the live edge at snapshot position i (lines 10–14):
+// form an angle with every live edge already recorded at its right
+// endpoint, push each through the Table II update, lift w_max, and append
+// the edge to its right vertex's flat N̂_E region.
+func (x *osIndex) admitEdge(i int, wMax float64) float64 {
+	snap := x.snap
+	ui, vj, w := snap.u[i], snap.v[i], snap.w[i]
+	base := snap.liveOff[vj]
+	lm := x.live[vj]
+	n := lm.n
+	if lm.gen != x.liveCur {
+		n = 0
+	}
+	for _, hb := range x.liveFlat[base : base+n] { // line 10: e_b = (v_j, u_k)
+		uk := hb.to
+		if uk == ui {
+			continue // cannot happen for simple graphs, but be safe
+		}
+		angleW := w + hb.w // line 11: ∠_new = e_a ⊕ e_b
+		if x.instrumented {
+			x.anglesGenerated++
+		}
+		ei := x.entryFor(ui, uk)
+		ent := &x.pool[ei] // taken AFTER entryFor: the pool may have grown
+		if x.opt.KeepAllAngles {
+			ent.all = append(ent.all, midW{mid: vj, w: angleW})
+		}
+		if x.opt.DropA2 {
+			ent.updateDropA2(angleW, vj) // fault injection: A2 lost
+		} else {
+			ent.update(angleW, vj) // line 12, Table II
+		}
+		if bw := ent.bestWeight(); bw > wMax {
+			wMax = bw // line 13
+		}
+	}
+	x.liveFlat[base+n] = liveEdge{to: ui, w: w, tok: snap.tok[ui]} // line 14
+	x.live[vj] = liveMeta{n: n + 1, gen: x.liveCur}
+	return wMax
+}
+
+// materializeList emits the butterflies of weight w_max from the
+// specialized path's candidate list instead of rewalking the whole pool:
+// maxList holds, in ascending pool order, exactly the entries whose
+// bestWeight equals the final w_max (entries join when they set or tie
+// the running maximum; the list is cleared whenever the maximum rises, so
+// no stale entry survives). Emission per entry is identical to
+// materialize, so the butterflies come out in the same order as the
+// seed's pool walk.
+func (x *osIndex) materializeList(sMB *butterfly.MaxSet, wMax float64) {
 	if math.IsInf(wMax, -1) {
 		return // no butterfly in this world
 	}
+	for _, ei := range x.maxList {
+		ent := &x.pool[ei]
+		switch {
+		case len(ent.mids1) >= 2 && 2*ent.w1 == wMax: // line 16
+			for a := 0; a < len(ent.mids1); a++ {
+				for b := a + 1; b < len(ent.mids1); b++ {
+					sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[a], ent.mids1[b]), wMax)
+				}
+			}
+		case len(ent.mids1) == 1 && len(ent.mids2) >= 1 && ent.w1+ent.w2 == wMax: // line 18
+			for _, m2 := range ent.mids2 {
+				sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[0], m2), wMax)
+			}
+		}
+	}
+}
 
-	// Lines 15–20: materialize exactly the butterflies of weight w_max.
+// materialize emits exactly the butterflies of weight w_max (lines
+// 15–20).
+func (x *osIndex) materialize(sMB *butterfly.MaxSet, wMax float64) {
+	if math.IsInf(wMax, -1) {
+		return // no butterfly in this world
+	}
 	for i := 0; i < x.poolN; i++ {
 		ent := &x.pool[i]
 		if x.opt.KeepAllAngles {

@@ -1,0 +1,383 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// This file freezes the SEED implementations of the OS trial loop and the
+// two OLS estimators, exactly as they ran before the flat-memory kernel
+// rewrite: map-keyed angle tables cleared per trial, per-trial Derive
+// allocations, float-math Bernoulli per edge, per-right-vertex slice
+// adjacency. They exist for two referees:
+//
+//   - the equivalence tests, which assert that the kernel's Results are
+//     bit-identical to these references seed for seed; and
+//   - the benchmark trajectory harness (internal/bench, `mpmb-bench
+//     perf`), which records the reference's ns/trial as the pre-rewrite
+//     baseline inside BENCH_core.json so every future PR can diff the
+//     kernel against where it started.
+//
+// Do not "optimize" anything here — the whole point is that this code
+// stays what the seed was.
+
+// OSReference is the frozen seed implementation of Ordering Sampling. It
+// supports only plain complete runs (no Interrupt/Resume/OnTrial); its
+// Result must be bit-identical to OS with the same graph and options.
+func OSReference(g *bigraph.Graph, opt OSOptions) (*Result, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: OSReference requires Trials > 0, got %d", opt.Trials)
+	}
+	idx := newOSRefIndex(g, opt)
+	acc := newProbAccumulator()
+	root := randx.New(opt.Seed)
+	var sMB butterfly.MaxSet
+	for trial := 1; trial <= opt.Trials; trial++ {
+		rng := root.Derive(uint64(trial))
+		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
+			return rng.Bernoulli(g.Edge(id).P)
+		})
+		if !sMB.Empty() {
+			acc.addMaxSet(&sMB)
+		}
+	}
+	return acc.result("os", opt.Trials), nil
+}
+
+// OLSReference is the frozen seed implementation of Ordering-Listing
+// Sampling: seed preparing phase over the reference OS index, then the
+// reference optimized (or, with opt.UseKarpLuby, Karp-Luby) estimator.
+// Plain complete runs only; bit-identical to OLS with the same options.
+func OLSReference(g *bigraph.Graph, opt OLSOptions) (*Result, error) {
+	method := opt.method()
+	idx := newOSRefIndex(g, opt.OS)
+	root := randx.New(opt.Seed)
+	hits := make(map[butterfly.Butterfly]int)
+	var sMB butterfly.MaxSet
+	for trial := 1; trial <= opt.PrepTrials; trial++ {
+		rng := root.Derive(uint64(trial))
+		idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
+			return rng.Bernoulli(g.Edge(id).P)
+		})
+		for _, b := range sMB.Set {
+			hits[b]++
+		}
+	}
+	cands, err := NewCandidates(g, hits)
+	if err != nil {
+		return nil, err
+	}
+	cands.PrepDone = opt.PrepTrials
+	if cands.Len() == 0 {
+		return &Result{Method: method, Trials: opt.Trials, TrialsDone: opt.Trials, PrepTrials: opt.PrepTrials}, nil
+	}
+	sampleSeed := opt.Seed ^ 0xa5a5a5a5deadbeef
+	var probs []float64
+	if opt.UseKarpLuby {
+		kl := opt.KL
+		kl.BaseTrials = opt.Trials
+		kl.Seed = sampleSeed
+		probs, err = ReferenceEstimateKarpLuby(cands, kl)
+	} else {
+		op := opt.Optimized
+		op.Trials = opt.Trials
+		op.Seed = sampleSeed
+		probs, err = ReferenceEstimateOptimized(cands, op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	res := cands.result(method, probs, opt.Trials, opt.PrepTrials)
+	res.TrialsDone = opt.Trials
+	return res, nil
+}
+
+// ReferenceEstimateOptimized is the frozen seed implementation of the
+// optimized estimator's trial loop (Algorithm 5): per-trial Derive, lazy
+// float-math Bernoulli per edge. Plain complete runs only.
+func ReferenceEstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
+	if opt.Trials <= 0 {
+		return nil, fmt.Errorf("core: reference optimized estimator requires Trials > 0, got %d", opt.Trials)
+	}
+	n := len(c.List)
+	counts := make([]int64, n)
+	g := c.G
+	numE := g.NumEdges()
+	stamp := make([]int32, numE)
+	val := make([]bool, numE)
+	var cur int32
+	root := randx.New(opt.Seed)
+	for trial := 1; trial <= opt.Trials; trial++ {
+		rng := root.Derive(uint64(trial))
+		cur++
+		wMax := math.Inf(-1)
+		for k := 0; k < n; k++ {
+			cand := &c.List[k]
+			if cand.Weight < wMax {
+				break
+			}
+			exists := true
+			for _, id := range cand.Edges {
+				if stamp[id] != cur {
+					stamp[id] = cur
+					val[id] = rng.Bernoulli(g.Edge(id).P)
+				}
+				if !val[id] {
+					exists = false
+					break
+				}
+			}
+			if exists {
+				counts[k]++
+				wMax = cand.Weight
+			}
+		}
+	}
+	probs := make([]float64, n)
+	for i, cnt := range counts {
+		probs[i] = float64(cnt) / float64(opt.Trials)
+	}
+	return probs, nil
+}
+
+// ReferenceEstimateKarpLuby is the frozen seed implementation of the
+// Karp-Luby estimator loop (Algorithm 4): per-candidate Derive, float-math
+// Bernoulli per relevant edge. Plain complete runs only.
+func ReferenceEstimateKarpLuby(c *Candidates, opt KLOptions) ([]float64, error) {
+	if err := validateKL(opt); err != nil {
+		return nil, err
+	}
+	n := len(c.List)
+	g := c.G
+	probs := make([]float64, n)
+	numE := g.NumEdges()
+	stamp := make([]int32, numE)
+	val := make([]bool, numE)
+	var cur int32
+	maxTrials := opt.MaxTrials
+	if maxTrials <= 0 {
+		maxTrials = 50 * opt.BaseTrials
+	}
+	root := randx.New(opt.Seed)
+	for i := 0; i < n; i++ {
+		cand := &c.List[i]
+		li := c.LargerCount(i)
+		if li == 0 {
+			probs[i] = cand.ExistProb
+			continue
+		}
+		diffs := make([][]bigraph.EdgeID, li)
+		diffProbs := make([]float64, li)
+		sI := 0.0
+		for j := 0; j < li; j++ {
+			diffs[j] = c.DiffEdges(j, i)
+			diffProbs[j] = 1.0
+			for _, id := range diffs[j] {
+				diffProbs[j] *= g.Edge(id).P
+			}
+			sI += diffProbs[j]
+		}
+		if sI == 0 {
+			probs[i] = cand.ExistProb
+			continue
+		}
+		nTrials := opt.BaseTrials
+		if opt.Mu > 0 {
+			ratio := KLOpRatio(cand.ExistProb, sI, opt.Mu)
+			nTrials = int(ratio*float64(opt.BaseTrials)) + 1
+			if nTrials > maxTrials {
+				nTrials = maxTrials
+			}
+		}
+		alias := randx.NewAlias(diffProbs)
+		rng := root.Derive(uint64(i) + 1)
+		cnt := 0
+		for t := 0; t < nTrials; t++ {
+			cur++
+			j := alias.Sample(rng)
+			for _, id := range diffs[j] {
+				stamp[id] = cur
+				val[id] = true
+			}
+			minimal := true
+			for k := 0; k < j && minimal; k++ {
+				allPresent := true
+				for _, id := range diffs[k] {
+					if stamp[id] != cur {
+						stamp[id] = cur
+						val[id] = rng.Bernoulli(g.Edge(id).P)
+					}
+					if !val[id] {
+						allPresent = false
+						break
+					}
+				}
+				if allPresent {
+					minimal = false
+				}
+			}
+			if minimal {
+				cnt++
+			}
+		}
+		p := (1 - float64(cnt)/float64(nTrials)*sI) * cand.ExistProb
+		if p < 0 {
+			p = 0
+		}
+		if p > cand.ExistProb {
+			p = cand.ExistProb
+		}
+		probs[i] = p
+	}
+	return probs, nil
+}
+
+// osRefIndex is the seed implementation's per-graph state: sorted edge
+// ids resolved through the AoS edge table, a map-keyed angle-entry index
+// cleared per trial, and per-right-vertex adjacency slices.
+type osRefIndex struct {
+	g      *bigraph.Graph
+	opt    OSOptions
+	sorted []bigraph.EdgeID // edge ids by descending weight (line 1)
+	wBar   float64          // w(e1)+w(e2)+w(e3) (line 2)
+
+	// nE[v] is N̂_E(v): live, already-processed edges incident to right
+	// vertex v, as (left endpoint, edge id) pairs.
+	nE        [][]bigraph.Half
+	nETouched []bigraph.VertexID
+
+	// Angle tables A1/A2 keyed by the canonical left endpoint pair.
+	entries map[uint64]int32
+	pool    []angleEntry
+	poolN   int
+}
+
+func newOSRefIndex(g *bigraph.Graph, opt OSOptions) *osRefIndex {
+	return &osRefIndex{
+		g:       g,
+		opt:     opt,
+		sorted:  g.EdgesByWeightDesc(),
+		wBar:    g.TopWeightSum(3),
+		nE:      make([][]bigraph.Half, g.NumR()),
+		entries: make(map[uint64]int32),
+	}
+}
+
+func (x *osRefIndex) resetTrial() {
+	for _, v := range x.nETouched {
+		x.nE[v] = x.nE[v][:0]
+	}
+	x.nETouched = x.nETouched[:0]
+	clear(x.entries)
+	x.poolN = 0
+}
+
+// entryFor returns the pool index of the (possibly new) angle entry for
+// endpoint pair {a, b}. Like the kernel it hands out an index, not a
+// pointer: the pool grows by append, and a pointer held across a call
+// would dangle after a reallocation (the original seed returned pointers
+// and survived only because no caller kept one across calls).
+func (x *osRefIndex) entryFor(a, b bigraph.VertexID) int32 {
+	if a > b {
+		a, b = b, a
+	}
+	key := uint64(a)<<32 | uint64(b)
+	if i, ok := x.entries[key]; ok {
+		return i
+	}
+	i := int32(x.poolN)
+	if x.poolN == len(x.pool) {
+		x.pool = append(x.pool, angleEntry{})
+	}
+	e := &x.pool[i]
+	e.mids1 = e.mids1[:0]
+	e.mids2 = e.mids2[:0]
+	e.all = e.all[:0]
+	e.u1, e.u2 = a, b
+	e.w1, e.w2 = math.Inf(-1), math.Inf(-1)
+	x.entries[key] = i
+	x.poolN++
+	return i
+}
+
+// runTrial is the seed trial loop, verbatim: AoS edge loads, map probes
+// per angle, oracle call per edge.
+func (x *osRefIndex) runTrial(sMB *butterfly.MaxSet, present func(bigraph.EdgeID) bool) {
+	x.resetTrial()
+	sMB.Reset()
+	g := x.g
+	wMax := math.Inf(-1)
+
+	for _, eid := range x.sorted {
+		e := g.Edge(eid)
+		if !x.opt.DisableEdgePrune && e.W+x.wBar < wMax { // line 9
+			break
+		}
+		if !present(eid) {
+			continue
+		}
+		ui, vj := e.U, e.V
+		for _, hb := range x.nE[vj] { // line 10: e_b = (v_j, u_k)
+			uk := hb.To
+			if uk == ui {
+				continue
+			}
+			angleW := e.W + g.Edge(hb.E).W // line 11: ∠_new = e_a ⊕ e_b
+			ei := x.entryFor(ui, uk)
+			ent := &x.pool[ei]
+			if x.opt.KeepAllAngles {
+				ent.all = append(ent.all, midW{mid: vj, w: angleW})
+			}
+			if x.opt.DropA2 {
+				ent.updateDropA2(angleW, vj)
+			} else {
+				ent.update(angleW, vj) // line 12, Table II
+			}
+			if bw := ent.bestWeight(); bw > wMax {
+				wMax = bw // line 13
+			}
+		}
+		if len(x.nE[vj]) == 0 {
+			x.nETouched = append(x.nETouched, vj)
+		}
+		x.nE[vj] = append(x.nE[vj], bigraph.Half{To: ui, E: eid}) // line 14
+	}
+
+	if math.IsInf(wMax, -1) {
+		return // no butterfly in this world
+	}
+
+	// Lines 15–20: materialize exactly the butterflies of weight w_max.
+	for i := 0; i < x.poolN; i++ {
+		ent := &x.pool[i]
+		if x.opt.KeepAllAngles {
+			for a := 0; a < len(ent.all); a++ {
+				for b := a + 1; b < len(ent.all); b++ {
+					if ent.all[a].mid == ent.all[b].mid {
+						continue
+					}
+					if w := ent.all[a].w + ent.all[b].w; w == wMax {
+						sMB.Add(butterfly.New(ent.u1, ent.u2, ent.all[a].mid, ent.all[b].mid), wMax)
+					}
+				}
+			}
+			continue
+		}
+		switch {
+		case len(ent.mids1) >= 2 && 2*ent.w1 == wMax: // line 16
+			for a := 0; a < len(ent.mids1); a++ {
+				for b := a + 1; b < len(ent.mids1); b++ {
+					sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[a], ent.mids1[b]), wMax)
+				}
+			}
+		case len(ent.mids1) == 1 && len(ent.mids2) >= 1 && ent.w1+ent.w2 == wMax: // line 18
+			for _, m2 := range ent.mids2 {
+				sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[0], m2), wMax)
+			}
+		}
+	}
+}

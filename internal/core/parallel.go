@@ -32,7 +32,10 @@ func parDefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 
 // parLoop runs trials start+1..end distributed over workers goroutines.
 // newBody runs once on each worker's goroutine to set up worker-local
-// scratch and returns the per-trial function.
+// scratch and returns the chunk function, which must execute trials
+// lo..hi inclusive. Handing bodies a whole chunk (rather than one trial)
+// lets them keep kernel state hot across the chunk and costs one indirect
+// call per parChunkTrials trials instead of one per trial.
 //
 // Dispatch is chunked: a monotonic counter hands out chunks of
 // parChunkTrials consecutive trials. Workers poll stop/interrupt only
@@ -42,7 +45,7 @@ func parDefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // cancels the siblings, and surfaces as an ErrWorkerPanic-wrapped error;
 // done is meaningless in that case because the panicking worker abandoned
 // its chunk mid-flight.
-func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int) func(trial int)) (done int, err error) {
+func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int) func(lo, hi int)) (done int, err error) {
 	total := end - start
 	nChunks := (total + parChunkTrials - 1) / parChunkTrials
 	var next atomic.Int64
@@ -83,9 +86,7 @@ func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int)
 				}
 				lo := start + int(c)*parChunkTrials + 1
 				hi := min(start+(int(c)+1)*parChunkTrials, end)
-				for t := lo; t <= hi; t++ {
-					body(t)
-				}
+				body(lo, hi)
 			}
 		}(w)
 	}
@@ -137,21 +138,23 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 	}
 
 	root := randx.New(opt.Seed)
-	// Worker-local accumulators, merged at the end; no shared mutable
-	// state during the run.
+	// Worker-local accumulators and kernels, merged at the end; no shared
+	// mutable state during the run (DeriveInto only reads root). Each
+	// worker builds one flat kernel and reuses it for every trial of every
+	// chunk it claims, so the steady-state per-trial cost is the kernel
+	// scan alone — no per-trial closures, derives, or allocations.
 	accs := make([]*probAccumulator, workers)
-	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int) {
+	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int, int) {
 		acc := newProbAccumulator()
 		accs[w] = acc
 		idx := newOSIndex(g, opt)
 		var sMB butterfly.MaxSet
-		return func(trial int) {
-			rng := root.Derive(uint64(trial))
-			idx.runTrial(&sMB, func(id bigraph.EdgeID) bool {
-				return rng.Bernoulli(g.Edge(id).P)
-			})
-			if !sMB.Empty() {
-				acc.addMaxSet(&sMB)
+		return func(lo, hi int) {
+			for trial := lo; trial <= hi; trial++ {
+				idx.runTrialSeeded(root, uint64(trial), &sMB)
+				if !sMB.Empty() {
+					acc.addMaxSet(&sMB)
+				}
 			}
 		}
 	})
@@ -207,37 +210,42 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 
 	g := c.G
 	numE := g.NumEdges()
+	// One id-indexed threshold table, shared read-only by all workers.
+	thresh := edgeThresholds(g)
 	root := randx.New(opt.Seed)
 	countsPer := make([][]int64, workers)
-	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int) {
+	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int, int) {
 		cw := make([]int64, n)
 		countsPer[w] = cw
 		stamp := make([]int32, numE)
 		val := make([]bool, numE)
 		var cur int32
-		return func(trial int) {
-			rng := root.Derive(uint64(trial))
-			cur++
-			wMax := math.Inf(-1)
-			for k := 0; k < n; k++ {
-				cand := &c.List[k]
-				if cand.Weight < wMax {
-					break
-				}
-				exists := true
-				for _, id := range cand.Edges {
-					if stamp[id] != cur {
-						stamp[id] = cur
-						val[id] = rng.Bernoulli(g.Edge(id).P)
-					}
-					if !val[id] {
-						exists = false
+		var rng randx.RNG
+		return func(lo, hi int) {
+			for trial := lo; trial <= hi; trial++ {
+				root.DeriveInto(uint64(trial), &rng)
+				cur++
+				wMax := math.Inf(-1)
+				for k := 0; k < n; k++ {
+					cand := &c.List[k]
+					if cand.Weight < wMax {
 						break
 					}
-				}
-				if exists {
-					cw[k]++
-					wMax = cand.Weight
+					exists := true
+					for _, id := range cand.Edges {
+						if stamp[id] != cur {
+							stamp[id] = cur
+							val[id] = rng.BernoulliThresholded(thresh[id])
+						}
+						if !val[id] {
+							exists = false
+							break
+						}
+					}
+					if exists {
+						cw[k]++
+						wMax = cand.Weight
+					}
 				}
 			}
 		}
@@ -290,14 +298,17 @@ func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]floa
 	}
 
 	numE := c.G.NumEdges()
+	thresh := edgeThresholds(c.G) // shared read-only by all workers
 	root := randx.New(opt.Seed)
 	// parLoop's 1-based "trials" start+1..n map to candidate indices
 	// start..n-1. Writes into probs/trialsUsed are per-index disjoint.
-	done, err := parLoop(start, n, workers, opt.Interrupt, func(w int) func(int) {
-		scratch := newKLScratch(numE)
-		return func(trial int) {
-			i := trial - 1
-			probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
+	done, err := parLoop(start, n, workers, opt.Interrupt, func(w int) func(int, int) {
+		scratch := newKLScratch(numE, thresh)
+		return func(lo, hi int) {
+			for trial := lo; trial <= hi; trial++ {
+				i := trial - 1
+				probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
+			}
 		}
 	})
 	if err != nil {

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// edgeSnapshot is the struct-of-arrays view of a graph the flat OS trial
+// kernel scans: one parallel slice per field, in descending-weight order
+// (Algorithm 2 line 1), so a trial walks contiguous memory instead of
+// chasing edge ids through the AoS edge table. The Bernoulli threshold of
+// every edge is precomputed once per snapshot (randx.BernoulliThreshold),
+// turning per-edge presence into a shift-and-compare against one raw
+// generator word — with draw-for-draw identical semantics to
+// randx.Bernoulli, so Results stay bit-identical to the seed
+// implementation.
+//
+// The snapshot also carries the flat N̂_E layout: right vertex v's live
+// already-processed edges occupy liveFlat[liveOff[v] : liveOff[v]+len],
+// where the region capacity is deg(v) — the most live edges v can ever
+// accumulate in one trial — so per-trial bookkeeping never allocates.
+type edgeSnapshot struct {
+	w      []float64          // edge weight, descending
+	u      []bigraph.VertexID // left endpoint
+	v      []bigraph.VertexID // right endpoint
+	uv     []uint64           // uint64(u)<<32 | uint64(v): both endpoints in one load
+	id     []bigraph.EdgeID   // original edge id (oracle path, butterflies)
+	thresh []uint64           // randx.BernoulliThreshold of the edge's p
+
+	wBar float64 // w(e1)+w(e2)+w(e3), the Section V-B prune budget
+
+	liveOff []int32 // per right vertex offset into liveFlat, len numR+1
+
+	// tok holds one fixed random 64-bit token per left vertex. The angle
+	// table hashes an endpoint pair as tok[u1]^tok[u2] (Zobrist hashing):
+	// two L1 loads and an XOR, symmetric in the pair so the kernel needs
+	// no canonical ordering before hashing, and cheaper than running the
+	// packed key through a multiply-based finalizer on every angle.
+	tok []uint64
+}
+
+// liveEdge is one flat N̂_E entry: a live, already-processed edge incident
+// to the region's right vertex. The weight and the left endpoint's Zobrist
+// token ride along so angle formation (∠ = e_a ⊕ e_b) and the angle-table
+// hash read everything from the same cache line instead of re-fetching the
+// AoS edge record and the token array.
+type liveEdge struct {
+	to  bigraph.VertexID // left endpoint
+	w   float64
+	tok uint64 // snap.tok[to]
+}
+
+func newEdgeSnapshot(g *bigraph.Graph) *edgeSnapshot {
+	sorted := g.EdgesByWeightDesc()
+	n := len(sorted)
+	s := &edgeSnapshot{
+		w:       make([]float64, n),
+		u:       make([]bigraph.VertexID, n),
+		v:       make([]bigraph.VertexID, n),
+		id:      make([]bigraph.EdgeID, n),
+		thresh:  make([]uint64, n),
+		wBar:    g.TopWeightSum(3),
+		liveOff: make([]int32, g.NumR()+1),
+	}
+	s.uv = make([]uint64, n)
+	for i, eid := range sorted {
+		e := g.Edge(eid)
+		s.w[i] = e.W
+		s.u[i] = e.U
+		s.v[i] = e.V
+		s.uv[i] = uint64(e.U)<<32 | uint64(e.V)
+		s.id[i] = eid
+		s.thresh[i] = randx.BernoulliThreshold(e.P)
+	}
+	for v := 0; v < g.NumR(); v++ {
+		s.liveOff[v+1] = s.liveOff[v] + int32(g.DegreeR(bigraph.VertexID(v)))
+	}
+	s.tok = make([]uint64, g.NumL())
+	for u := range s.tok {
+		sm := uint64(u) ^ 0x6a09e667f3bcc908 // fixed salt; any constant works
+		s.tok[u] = randx.SplitMix64(&sm)
+	}
+	return s
+}
+
+// numEdges returns the snapshot length.
+func (s *edgeSnapshot) numEdges() int { return len(s.id) }
+
+// edgeThresholds precomputes the Bernoulli threshold of every backbone
+// edge, indexed by edge id. The candidate estimators (Algorithms 4 and 5)
+// sample edges by id rather than in weight order, so they share this
+// id-indexed table instead of the weight-ordered snapshot.
+func edgeThresholds(g *bigraph.Graph) []uint64 {
+	th := make([]uint64, g.NumEdges())
+	for i := range th {
+		th[i] = randx.BernoulliThreshold(g.Edge(bigraph.EdgeID(i)).P)
+	}
+	return th
+}

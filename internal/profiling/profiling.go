@@ -1,0 +1,63 @@
+// Package profiling wires the standard runtime/pprof CPU and heap
+// profiles into the command-line tools. Both mpmb-search and mpmb-bench
+// accept -cpuprofile / -memprofile flags and route them here, so a slow
+// search or benchmark run can be inspected with `go tool pprof` without
+// rebuilding anything.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins profiling according to the two flag values (either may be
+// empty) and returns a stop function that must be called exactly once at
+// process end: it stops the CPU profile and writes the heap profile.
+//
+// The heap profile is captured at stop time after a forced GC, so it
+// reflects live allocations at the end of the run — the number that
+// matters for "does the kernel hold onto memory" questions — rather than
+// a mid-run transient.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("profiling: create cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("profiling: start cpu profile: %w", err)
+		}
+		cpuFile = f
+	}
+	stop = func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: close cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				if first == nil {
+					first = fmt.Errorf("profiling: create mem profile: %w", err)
+				}
+				return first
+			}
+			runtime.GC() // materialize the live set before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = fmt.Errorf("profiling: write mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = fmt.Errorf("profiling: close mem profile: %w", err)
+			}
+		}
+		return first
+	}
+	return stop, nil
+}

@@ -1,0 +1,64 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartDisabled: with both paths empty Start is a no-op whose stop
+// function succeeds — the common case for every un-profiled CLI run.
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStartWritesProfiles: both profile files must exist and be
+// non-empty after stop. The heap profile is written at stop time, so a
+// zero-length file would mean the deferred half never ran.
+func TestStartWritesProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu, mem := filepath.Join(dir, "cpu.out"), filepath.Join(dir, "mem.out")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to sample.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i * i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
+	}
+}
+
+// TestStartErrors: unwritable profile paths fail up front, not at stop.
+func TestStartErrors(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.out"), ""); err == nil {
+		t.Fatal("want error for unwritable cpu profile path")
+	}
+	// A bad mem path surfaces from stop (the file is only created then).
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.out"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Fatal("want error for unwritable mem profile path")
+	}
+}

@@ -31,22 +31,26 @@ func SplitMix64(state *uint64) uint64 {
 }
 
 // RNG is a xoshiro256** generator. The zero value is not valid; construct
-// with New or NewFromState.
+// with New or seed through DeriveInto. The four state words are named
+// fields rather than an array so Uint64's state updates are plain field
+// selectors — cheap enough for the compiler to inline the generator into
+// sampling loops.
 type RNG struct {
-	s [4]uint64
+	s0, s1, s2, s3 uint64
 }
 
 // New returns a generator deterministically seeded from seed.
 func New(seed uint64) *RNG {
 	r := &RNG{}
 	sm := seed
-	for i := range r.s {
-		r.s[i] = SplitMix64(&sm)
-	}
+	r.s0 = SplitMix64(&sm)
+	r.s1 = SplitMix64(&sm)
+	r.s2 = SplitMix64(&sm)
+	r.s3 = SplitMix64(&sm)
 	// xoshiro must not start from the all-zero state; splitmix64 output
 	// of four consecutive values is never all zero, but guard anyway.
-	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
-		r.s[0] = 0x9e3779b97f4a7c15
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 0x9e3779b97f4a7c15
 	}
 	return r
 }
@@ -55,28 +59,42 @@ func New(seed uint64) *RNG {
 // all practical purposes, identified by id. It does not disturb r's state,
 // so deriving per-trial generators is safe while r keeps producing values.
 func (r *RNG) Derive(id uint64) *RNG {
-	// Mix the current state with the id through splitmix64.
-	sm := r.s[0] ^ (r.s[1] * 0x9e3779b97f4a7c15) ^ (id+1)*0xd1342543de82ef95
 	d := &RNG{}
-	for i := range d.s {
-		d.s[i] = SplitMix64(&sm)
-	}
+	r.DeriveInto(id, d)
 	return d
+}
+
+// DeriveInto seeds dst with exactly the state Derive(id) would return,
+// without allocating. Trial kernels that derive one stream per trial reuse
+// a single worker-local RNG through this method, so the per-trial setup is
+// a few register operations instead of a heap allocation.
+func (r *RNG) DeriveInto(id uint64, dst *RNG) {
+	// Mix the current state with the id through splitmix64.
+	sm := r.s0 ^ (r.s1 * 0x9e3779b97f4a7c15) ^ (id+1)*0xd1342543de82ef95
+	dst.s0 = SplitMix64(&sm)
+	dst.s1 = SplitMix64(&sm)
+	dst.s2 = SplitMix64(&sm)
+	dst.s3 = SplitMix64(&sm)
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
 
-// Uint64 returns the next 64 uniformly random bits.
+// Uint64 returns the next 64 uniformly random bits. The rotations are
+// spelled out with constant shifts (rather than through rotl) to keep the
+// function within the compiler's inlining budget — sampling kernels call
+// this once per undetermined edge, where a function call would dominate
+// the draw itself.
 func (r *RNG) Uint64() uint64 {
-	result := rotl(r.s[1]*5, 7) * 9
-	t := r.s[1] << 17
-	r.s[2] ^= r.s[0]
-	r.s[3] ^= r.s[1]
-	r.s[1] ^= r.s[2]
-	r.s[0] ^= r.s[3]
-	r.s[2] ^= t
-	r.s[3] = rotl(r.s[3], 45)
-	return result
+	s1 := r.s1
+	x := s1 * 5
+	x = (x<<7 | x>>57) * 9
+	s2 := r.s2 ^ r.s0
+	s3 := r.s3 ^ s1
+	r.s1 = s1 ^ s2
+	r.s0 ^= s3
+	r.s2 = s2 ^ s1<<17
+	r.s3 = s3<<45 | s3>>19
+	return x
 }
 
 // Float64 returns a uniform value in [0, 1) with 53 bits of precision.
@@ -95,6 +113,54 @@ func (r *RNG) Bernoulli(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// Bernoulli threshold sentinels. BernoulliThreshold maps the
+// deterministic probabilities to them; BernoulliThresholded consumes no
+// random word for either, mirroring Bernoulli's p <= 0 / p >= 1 fast
+// paths draw for draw.
+const (
+	// BernoulliNever is the threshold of p <= 0: always false, no draw.
+	BernoulliNever uint64 = 0
+	// BernoulliAlways is the threshold of p >= 1: always true, no draw.
+	// It is unreachable for p in (0, 1), whose thresholds lie in
+	// [1, 2^53].
+	BernoulliAlways uint64 = ^uint64(0)
+)
+
+// BernoulliThreshold precomputes Bernoulli(p) as an integer threshold T
+// such that, for one raw generator word u,
+//
+//	u>>11 < T  ⇔  Float64() < p
+//
+// bit for bit: Float64 is exactly (u>>11)·2⁻⁵³ (the shift keeps 53 bits
+// and both the int→float conversion and the power-of-two division are
+// exact), and p·2⁵³ is likewise exact for p in (0, 1), so the integer
+// comparison against T = ⌈p·2⁵³⌉ reproduces the float comparison for
+// every u. Sampling kernels precompute T once per edge and replace a
+// float multiply-compare per draw with a shift and an integer compare —
+// with a stream position identical to calling Bernoulli.
+func BernoulliThreshold(p float64) uint64 {
+	if p <= 0 {
+		return BernoulliNever
+	}
+	if p >= 1 {
+		return BernoulliAlways
+	}
+	return uint64(math.Ceil(p * (1 << 53)))
+}
+
+// BernoulliThresholded reports true with the probability encoded by a
+// BernoulliThreshold value, consuming exactly the random words Bernoulli
+// would for the same probability: none for the sentinels, one otherwise.
+func (r *RNG) BernoulliThresholded(t uint64) bool {
+	if t == BernoulliNever {
+		return false
+	}
+	if t == BernoulliAlways {
+		return true
+	}
+	return r.Uint64()>>11 < t
 }
 
 // Intn returns a uniform integer in [0, n). It panics if n <= 0.

@@ -1,0 +1,105 @@
+package randx
+
+import (
+	"math"
+	"testing"
+)
+
+// TestBernoulliThresholdMatchesBernoulli is the load-bearing equivalence
+// behind the flat sampling kernels: for every probability, a threshold
+// comparison against one raw word must reproduce Bernoulli's decision AND
+// its stream consumption exactly, so kernels that precompute thresholds
+// stay bit-identical to the seed implementation.
+func TestBernoulliThresholdMatchesBernoulli(t *testing.T) {
+	probs := []float64{
+		0, 1, -0.5, 1.5, // deterministic endpoints: no draw
+		math.SmallestNonzeroFloat64,
+		1e-300, 1e-18, 1e-9,
+		0.1, 0.25, 0.3333333333333333, 0.5, 0.5000000000000001,
+		0.75, 0.9, 0.999999, 1 - 1e-16,
+		// Values whose p·2⁵³ is an exact integer (ceil boundary cases).
+		0.5, 0.25, 0.125, 1.0 / (1 << 53),
+	}
+	for _, p := range probs {
+		th := BernoulliThreshold(p)
+		a, b := New(12345), New(12345)
+		for i := 0; i < 20000; i++ {
+			want := a.Bernoulli(p)
+			got := b.BernoulliThresholded(th)
+			if want != got {
+				t.Fatalf("p=%v: decision diverged at draw %d: Bernoulli=%v thresholded=%v", p, i, want, got)
+			}
+			// Stream positions must stay in lockstep: the next raw words
+			// agree only if both paths consumed the same count.
+			if *a != *b {
+				t.Fatalf("p=%v: stream positions diverged at draw %d", p, i)
+			}
+		}
+	}
+}
+
+// TestBernoulliThresholdRandomProbs fuzzes the equivalence over random
+// probabilities drawn from the generator itself.
+func TestBernoulliThresholdRandomProbs(t *testing.T) {
+	src := New(99)
+	for trial := 0; trial < 200; trial++ {
+		p := src.Float64()
+		th := BernoulliThreshold(p)
+		a, b := New(uint64(trial)*7+1), New(uint64(trial)*7+1)
+		for i := 0; i < 500; i++ {
+			if a.Bernoulli(p) != b.BernoulliThresholded(th) {
+				t.Fatalf("p=%v: diverged at draw %d", p, i)
+			}
+		}
+	}
+}
+
+// TestBernoulliThresholdSentinels pins the sentinel encoding the kernels
+// branch on: deterministic probabilities map to the reserved values and
+// every genuine probability stays strictly inside them.
+func TestBernoulliThresholdSentinels(t *testing.T) {
+	if BernoulliThreshold(0) != BernoulliNever || BernoulliThreshold(-1) != BernoulliNever {
+		t.Fatal("p <= 0 must map to BernoulliNever")
+	}
+	if BernoulliThreshold(1) != BernoulliAlways || BernoulliThreshold(2) != BernoulliAlways {
+		t.Fatal("p >= 1 must map to BernoulliAlways")
+	}
+	for _, p := range []float64{math.SmallestNonzeroFloat64, 1e-300, 0.5, 1 - 1e-16} {
+		th := BernoulliThreshold(p)
+		if th == BernoulliNever || th == BernoulliAlways {
+			t.Fatalf("p=%v mapped to a sentinel threshold %d", p, th)
+		}
+		if th > 1<<53 {
+			t.Fatalf("p=%v: threshold %d above 2^53", p, th)
+		}
+	}
+}
+
+// TestDeriveIntoMatchesDerive pins DeriveInto as an allocation-free alias
+// of Derive: same id, same parent state, same child stream.
+func TestDeriveIntoMatchesDerive(t *testing.T) {
+	root := New(31)
+	var dst RNG
+	for id := uint64(0); id < 100; id++ {
+		want := root.Derive(id)
+		root.DeriveInto(id, &dst)
+		for i := 0; i < 50; i++ {
+			if want.Uint64() != dst.Uint64() {
+				t.Fatalf("id=%d: DeriveInto diverged from Derive at step %d", id, i)
+			}
+		}
+	}
+}
+
+// TestDeriveIntoDoesNotAllocate backs the flat kernels' zero-allocation
+// budget at its source.
+func TestDeriveIntoDoesNotAllocate(t *testing.T) {
+	root := New(5)
+	var dst RNG
+	allocs := testing.AllocsPerRun(1000, func() {
+		root.DeriveInto(7, &dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("DeriveInto allocates %v times per call, want 0", allocs)
+	}
+}
