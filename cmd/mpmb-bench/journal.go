@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+)
+
+// runJournal executes the `journal` subcommand: replay a JSONL run log
+// written by `mpmb-search -journal` and print a run summary — event
+// totals per kind, trial throughput over the journal's time span, the
+// estimate trajectory, and any supervisor transitions.
+func runJournal(args []string, out io.Writer) error {
+	fs := cliflags.New("mpmb-bench journal")
+	var (
+		in     = fs.String("in", "", "JSONL journal file written by mpmb-search -journal (required; also accepted as a positional argument)")
+		events = fs.Bool("events", false, "also re-print every event one per line")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" && fs.NArg() > 0 {
+		*in = fs.Arg(0)
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("journal: -in is required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return replayJournal(f, out, *events)
+}
+
+// journalStats accumulates the replay aggregates.
+type journalStats struct {
+	kinds        map[string]int64
+	total        int64
+	trials       int64 // sum of trial_done batch sizes
+	first, last  time.Time
+	lastEstimate *mpmb.Event
+	transitions  []mpmb.Event
+	methods      map[string]bool
+}
+
+func replayJournal(r io.Reader, out io.Writer, echo bool) error {
+	st := journalStats{kinds: make(map[string]int64), methods: make(map[string]bool)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var e mpmb.Event
+		if err := json.Unmarshal(raw, &e); err != nil {
+			return fmt.Errorf("journal line %d: %w", line, err)
+		}
+		if echo {
+			fmt.Fprintf(out, "%s %-20s method=%s phase=%s worker=%d trial=%d n=%d\n",
+				e.Time.Format(time.RFC3339Nano), e.Kind, e.Method, e.Phase, e.Worker, e.Trial, e.N)
+		}
+		st.observe(e)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if st.total == 0 {
+		return fmt.Errorf("journal: no events found")
+	}
+	st.print(out)
+	return nil
+}
+
+func (st *journalStats) observe(e mpmb.Event) {
+	st.total++
+	st.kinds[e.Kind.String()]++
+	if e.Method != "" {
+		st.methods[e.Method] = true
+	}
+	if st.first.IsZero() || e.Time.Before(st.first) {
+		st.first = e.Time
+	}
+	if e.Time.After(st.last) {
+		st.last = e.Time
+	}
+	switch e.Kind {
+	case mpmb.EventTrialDone:
+		st.trials += e.N
+	case mpmb.EventEstimateUpdated:
+		c := e
+		st.lastEstimate = &c
+	case mpmb.EventEscalation:
+		st.transitions = append(st.transitions, e)
+	}
+}
+
+func (st *journalStats) print(out io.Writer) {
+	span := st.last.Sub(st.first)
+	fmt.Fprintf(out, "journal: %d events over %v\n", st.total, span.Round(time.Millisecond))
+	for _, k := range []string{"trial_done", "candidate_promoted", "audit_miss", "escalation", "checkpoint_saved", "checkpoint_retried", "estimate_updated"} {
+		if n := st.kinds[k]; n > 0 {
+			fmt.Fprintf(out, "  %-20s %d\n", k, n)
+		}
+	}
+	if st.trials > 0 {
+		rate := ""
+		if sec := span.Seconds(); sec > 0 {
+			rate = fmt.Sprintf(" (%.0f/s over the journal span)", float64(st.trials)/sec)
+		}
+		fmt.Fprintf(out, "trials replayed: %d%s\n", st.trials, rate)
+	}
+	if st.lastEstimate != nil {
+		e := st.lastEstimate
+		fmt.Fprintf(out, "final estimate: B(%d,%d|%d,%d) P̂=%.4f", e.B[0], e.B[1], e.B[2], e.B[3], e.P)
+		if e.HalfWidth > 0 {
+			fmt.Fprintf(out, " ±%.4f", e.HalfWidth)
+		}
+		fmt.Fprintf(out, " after %d trials\n", e.Trial)
+	}
+	for _, tr := range st.transitions {
+		fmt.Fprintf(out, "transition: %s -> %s (%s, at trial %d)\n", tr.From, tr.To, tr.Detail, tr.Trial)
+	}
+}

@@ -1,0 +1,69 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A handwritten three-event journal: prep promotion, a trial batch, and
+// a final estimate. Timestamps are 2s apart so the throughput line has
+// a deterministic denominator.
+const sampleJournal = `{"kind":"candidate_promoted","time":"2026-08-06T10:00:00Z","method":"ols","phase":"prep","worker":0,"trial":3,"n":0,"b":[0,1,1,2],"weight":8}
+{"kind":"trial_done","time":"2026-08-06T10:00:01Z","method":"ols","phase":"sampling","worker":0,"trial":1000,"n":1000}
+
+{"kind":"trial_done","time":"2026-08-06T10:00:02Z","method":"ols","phase":"sampling","worker":0,"trial":2000,"n":1000}
+{"kind":"estimate_updated","time":"2026-08-06T10:00:02Z","method":"ols","phase":"sampling","worker":0,"trial":2000,"n":0,"b":[0,1,1,2],"p":0.25,"half_width":0.01}
+`
+
+func TestJournalReplay(t *testing.T) {
+	var sb strings.Builder
+	if err := replayJournal(strings.NewReader(sampleJournal), &sb, false); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"journal: 4 events over 2s",
+		"trial_done           2",
+		"candidate_promoted   1",
+		"trials replayed: 2000 (1000/s over the journal span)",
+		"final estimate: B(0,1|1,2) P̂=0.2500 ±0.0100 after 2000 trials",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("replay output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestJournalReplayEcho(t *testing.T) {
+	var sb strings.Builder
+	if err := replayJournal(strings.NewReader(sampleJournal), &sb, true); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(sb.String(), "trial_done"); got < 3 {
+		// 2 echoed lines + 1 summary row.
+		t.Errorf("echo mode printed %d trial_done lines, want at least 3:\n%s", got, sb.String())
+	}
+}
+
+func TestJournalReplayErrors(t *testing.T) {
+	var sb strings.Builder
+	err := replayJournal(strings.NewReader("{not json}\n"), &sb, false)
+	if err == nil || !strings.Contains(err.Error(), "journal line 1") {
+		t.Errorf("malformed line error = %v, want a line-numbered error", err)
+	}
+	err = replayJournal(strings.NewReader("\n\n"), &sb, false)
+	if err == nil || !strings.Contains(err.Error(), "no events") {
+		t.Errorf("empty journal error = %v, want a no-events error", err)
+	}
+	err = replayJournal(strings.NewReader(`{"kind":"warp_drive_engaged","time":"2026-08-06T10:00:00Z"}`+"\n"), &sb, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown event kind") {
+		t.Errorf("unknown kind error = %v, want the telemetry unmarshal error", err)
+	}
+}
+
+func TestJournalSubcommandRequiresInput(t *testing.T) {
+	var sb strings.Builder
+	if err := runJournal(nil, &sb); err == nil {
+		t.Error("journal with no input did not error")
+	}
+}

@@ -25,12 +25,18 @@
 //	mpmb-bench perf                          # table + BENCH_core.json
 //	mpmb-bench perf -bench-out /tmp/b.json   # choose the output path
 //
+// The `journal` subcommand replays a JSONL run log written by
+// `mpmb-search -journal` and summarizes it (event totals, trial
+// throughput, the estimate trajectory, supervisor transitions):
+//
+//	mpmb-bench journal run.jsonl
+//	mpmb-bench journal -events -in run.jsonl # re-print every event
+//
 // Both the figures and perf accept -cpuprofile / -memprofile to capture
 // pprof profiles of the run.
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -38,13 +44,14 @@ import (
 	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bench"
+	"github.com/uncertain-graphs/mpmb/internal/cliflags"
 	"github.com/uncertain-graphs/mpmb/internal/profiling"
 )
 
 // runPerf executes the `perf` subcommand: time the trial kernels on the
 // pinned corpus, print the table, and write the BENCH_core.json report.
 func runPerf(args []string, out io.Writer) (retErr error) {
-	fs := flag.NewFlagSet("mpmb-bench perf", flag.ContinueOnError)
+	fs := cliflags.New("mpmb-bench perf")
 	def := bench.DefaultPerfCorpus
 	var (
 		benchOut   = fs.String("bench-out", "BENCH_core.json", "write the JSON report here (empty = stdout table only)")
@@ -55,9 +62,8 @@ func runPerf(args []string, out io.Writer) (retErr error) {
 		pLo        = fs.Float64("corpus-plo", def.PLo, "corpus minimum edge probability")
 		pHi        = fs.Float64("corpus-phi", def.PHi, "corpus maximum edge probability")
 		corpusSeed = fs.Uint64("corpus-seed", def.Seed, "corpus generation seed")
-		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = fs.String("memprofile", "", "write a pprof heap profile at end of run to this file")
 	)
+	cpuProfile, memProfile := fs.Profiling()
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -124,11 +130,16 @@ func run(args []string, out io.Writer) (retErr error) {
 	if len(args) > 0 && args[0] == "perf" {
 		return runPerf(args[1:], out)
 	}
-	fs := flag.NewFlagSet("mpmb-bench", flag.ContinueOnError)
+	// `mpmb-bench journal` replays a JSONL run log written by
+	// `mpmb-search -journal`.
+	if len(args) > 0 && args[0] == "journal" {
+		return runJournal(args[1:], out)
+	}
+	fs := cliflags.New("mpmb-bench")
 	var (
 		exp      = fs.String("exp", "all", "experiment to run: table3,table4,fig6..fig13,ablation,topk,conformance,summary,all")
 		trials   = fs.Int("trials", 2000, "sampling-phase trials N (paper: 20000)")
-		prep     = fs.Int("prep", 100, "OLS preparing-phase trials N_os")
+		prep     = fs.Int("prep-trials", 100, "OLS preparing-phase trials N_os")
 		seed     = fs.Uint64("seed", 1, "random seed for datasets and samplers")
 		scale    = fs.Float64("scale", 1, "dataset scale multiplier")
 		budget   = fs.Duration("budget", 30*time.Second, "per-cell time budget before extrapolation")
@@ -140,10 +151,9 @@ func run(args []string, out io.Writer) (retErr error) {
 		selfHeal   = fs.Bool("self-healing", false, "conformance: run the self-healing demonstration unsupervised (fails by design)")
 		epsilon    = fs.Float64("epsilon", 0, "conformance: accuracy-aware stop for the supervised run (0 = off)")
 		deadline   = fs.Duration("deadline", 0, "conformance: wall-clock bound for the supervised run (0 = off)")
-
-		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = fs.String("memprofile", "", "write a pprof heap profile at end of run to this file")
 	)
+	cpuProfile, memProfile := fs.Profiling()
+	fs.Alias("prep", "prep-trials")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

@@ -10,12 +10,12 @@
 package main
 
 import (
-	"flag"
 	"fmt"
 	"io"
 	"os"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/cliflags"
 )
 
 func main() {
@@ -28,7 +28,7 @@ func main() {
 // run parses args and generates the requested dataset, writing progress
 // to out. Split from main for testability.
 func run(args []string, out io.Writer) error {
-	fs := flag.NewFlagSet("mpmb-gen", flag.ContinueOnError)
+	fs := cliflags.New("mpmb-gen")
 	var (
 		name   = fs.String("dataset", "", "dataset to generate: abide, movielens, jester, protein, synthetic")
 		outArg = fs.String("out", "", "output file (default: <dataset>.graph)")
@@ -38,14 +38,18 @@ func run(args []string, out io.Writer) error {
 		list   = fs.Bool("list", false, "list available datasets and exit")
 
 		// synthetic-only knobs
-		numL  = fs.Int("numl", 100, "synthetic: |L|")
-		numR  = fs.Int("numr", 100, "synthetic: |R|")
-		edges = fs.Int("edges", 1000, "synthetic: edge count")
+		numL  = fs.Int("num-l", 100, "synthetic: |L|")
+		numR  = fs.Int("num-r", 100, "synthetic: |R|")
+		edges = fs.Int("num-edges", 1000, "synthetic: edge count")
 		skew  = fs.Float64("skew", 0, "synthetic: Zipf degree-skew exponent (0 = uniform)")
 		wdist = fs.String("wdist", "uniform", "synthetic: weight distribution (uniform, halfstep, normal)")
 		pdist = fs.String("pdist", "uniform", "synthetic: probability distribution (uniform, normal, fixed)")
 		pmean = fs.Float64("pmean", 0.5, "synthetic: probability mean (normal/fixed)")
 	)
+	// Old spellings keep parsing, hidden from -help.
+	fs.Alias("numl", "num-l")
+	fs.Alias("numr", "num-r")
+	fs.Alias("edges", "num-edges")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

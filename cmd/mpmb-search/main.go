@@ -29,12 +29,21 @@
 //	mpmb-search -graph big.graph -method ols -audit-every 1000
 //	mpmb-search -graph big.graph -method os -trials 10000000 -epsilon 0.005
 //	mpmb-search -graph big.graph -deadline 5m -checkpoint run.ckpt
+//
+// Observability: -progress repaints a live stderr line (trial rate,
+// prune split, leading estimate), -metrics-addr serves Prometheus
+// /metrics, expvar /debug/vars and /debug/pprof/ while the run lasts
+// (-metrics-hold keeps it up afterwards for a final scrape), and
+// -journal appends the run's typed telemetry events as JSON lines,
+// replayable with `mpmb-bench journal`:
+//
+//	mpmb-search -graph big.graph -progress -metrics-addr :9090
+//	mpmb-search -graph big.graph -journal run.jsonl
 package main
 
 import (
 	"context"
 	"encoding/json"
-	"flag"
 	"fmt"
 	"io"
 	"os"
@@ -43,6 +52,7 @@ import (
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/cliflags"
 	"github.com/uncertain-graphs/mpmb/internal/profiling"
 )
 
@@ -56,14 +66,14 @@ func main() {
 // run parses args and executes the search, writing human-readable results
 // to out. Split from main for testability.
 func run(args []string, out io.Writer) (retErr error) {
-	fs := flag.NewFlagSet("mpmb-search", flag.ContinueOnError)
+	fs := cliflags.New("mpmb-search")
 	var (
 		path     = fs.String("graph", "", "input graph file (required)")
 		method   = fs.String("method", "ols", "search method: exact, mc-vp, os, ols-kl, ols")
 		trials   = fs.Int("trials", 20000, "sampling trials N")
-		prep     = fs.Int("prep", 100, "OLS preparing-phase trials")
+		prep     = fs.Int("prep-trials", 100, "OLS preparing-phase trials")
 		seed     = fs.Uint64("seed", 1, "random seed")
-		topk     = fs.Int("topk", 5, "how many butterflies to report")
+		topk     = fs.Int("top-k", 5, "how many butterflies to report")
 		mu       = fs.Float64("mu", 0.05, "Equation 8 target probability (ols-kl)")
 		disjoint = fs.Bool("disjoint", false, "report vertex-disjoint butterflies (scattered view)")
 		stats    = fs.Bool("stats", false, "also print butterfly-count statistics")
@@ -79,9 +89,22 @@ func run(args []string, out io.Writer) (retErr error) {
 		deadline   = fs.Duration("deadline", 0, "wall-clock budget; stop at the trial boundary past it (0 = off)")
 		stall      = fs.Duration("stall-timeout", 0, "fail with a stall error after this long without progress (0 = off)")
 
-		cpuProfile = fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
-		memProfile = fs.String("memprofile", "", "write a pprof heap profile at end of run to this file")
+		tele = fs.TelemetryFlags()
 	)
+	cpuProfile, memProfile := fs.Profiling()
+	// Old spellings keep parsing, hidden from -help.
+	fs.Alias("prep", "prep-trials")
+	fs.Alias("topk", "top-k")
+	// Map Options fields back to the flags that set them, so validation
+	// errors name a flag.
+	for field, fl := range map[string]string{
+		"Method": "method", "Trials": "trials", "PrepTrials": "prep-trials",
+		"Mu": "mu", "Workers": "workers", "AuditEvery": "audit-every",
+		"MaxEscalations": "max-escalations", "Epsilon": "epsilon",
+		"Deadline": "deadline", "StallTimeout": "stall-timeout",
+	} {
+		fs.Field(field, fl)
+	}
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -102,6 +125,15 @@ func run(args []string, out io.Writer) (retErr error) {
 	if err != nil {
 		return err
 	}
+	tr, err := startTelemetry(tele, telemetryStatusW)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if terr := tr.finish(); terr != nil && retErr == nil {
+			retErr = terr
+		}
+	}()
 	fmt.Fprintf(out, "loaded %s: |L|=%d |R|=%d |E|=%d\n", *path, g.NumL(), g.NumR(), g.NumEdges())
 	if *stats {
 		fmt.Fprintf(out, "backbone butterflies: %d; expected per world: %.2f\n",
@@ -119,6 +151,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		MaxEscalations: *maxEsc,
 		Epsilon:        *epsilon,
 		StallTimeout:   *stall,
+		Observer:       tr.Observer(),
 	}
 	if *deadline > 0 {
 		opt.Deadline = time.Now().Add(*deadline)
@@ -126,6 +159,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	// Checkpoint I/O goes through the retrying store: transient failures
 	// on flaky volumes back off and retry instead of losing the run.
 	store := mpmb.NewCheckpointStore(mpmb.DefaultRetryPolicy())
+	tr.Observer().InstrumentStore(store)
 	if *resume != "" {
 		ck, err := store.Load(*resume)
 		if err != nil {
@@ -148,7 +182,7 @@ func run(args []string, out io.Writer) (retErr error) {
 	t0 := time.Now()
 	res, err := mpmb.SearchContext(ctx, g, opt)
 	if err != nil {
-		return err
+		return fs.DecorateError(err)
 	}
 	elapsed := time.Since(t0)
 
@@ -224,8 +258,9 @@ func writeJSON(path string, res *mpmb.Result, top []mpmb.Estimate) error {
 		Partial    bool                 `json:"partial,omitempty"`
 		TrialsDone int                  `json:"trials_done,omitempty"`
 		Adaptive   *mpmb.AdaptiveReport `json:"adaptive,omitempty"`
+		Metrics    *mpmb.Metrics        `json:"metrics,omitempty"`
 		Top        []jsonButterfly      `json:"top"`
-	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial, Adaptive: res.Adaptive}
+	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial, Adaptive: res.Adaptive, Metrics: res.Metrics}
 	if res.Partial {
 		doc.TrialsDone = res.TrialsDone
 	}

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+)
+
+// progressEvery is the cadence of the live -progress line.
+const progressEvery = 500 * time.Millisecond
+
+// telemetryStatusW receives the telemetry status output (the progress
+// line, the metrics address, the final summary). Stderr so stdout stays
+// machine-readable; tests redirect it.
+var telemetryStatusW io.Writer = os.Stderr
+
+// telemetryRun owns the Observer and the outputs the telemetry flags
+// asked for: the live progress line, the metrics HTTP server, and the
+// JSONL event journal.
+type telemetryRun struct {
+	obs  *mpmb.Observer
+	errw io.Writer
+
+	journal *os.File
+
+	srv  *http.Server
+	ln   net.Listener
+	hold time.Duration
+
+	progressQuit chan struct{}
+	progressDone chan struct{}
+	start        time.Time
+}
+
+// startTelemetry builds an Observer per the flags, or returns nil when
+// no telemetry flag is set (the search then runs uninstrumented).
+// Status lines (progress, the metrics address) go to errw so stdout
+// stays machine-readable.
+func startTelemetry(t *cliflags.Telemetry, errw io.Writer) (*telemetryRun, error) {
+	if !t.Enabled() {
+		return nil, nil
+	}
+	tr := &telemetryRun{errw: errw, hold: *t.MetricsHold, start: time.Now()}
+
+	var onEvent func(mpmb.Event)
+	if *t.Journal != "" {
+		f, err := os.Create(*t.Journal)
+		if err != nil {
+			return nil, fmt.Errorf("opening journal: %w", err)
+		}
+		tr.journal = f
+		enc := json.NewEncoder(f)
+		// The hub delivers events from one goroutine, so the encoder
+		// needs no locking.
+		onEvent = func(e mpmb.Event) { _ = enc.Encode(e) }
+	}
+	tr.obs = mpmb.NewObserver(mpmb.ObserverConfig{OnEvent: onEvent})
+
+	if *t.MetricsAddr != "" {
+		ln, err := net.Listen("tcp", *t.MetricsAddr)
+		if err != nil {
+			tr.closeJournal()
+			return nil, fmt.Errorf("metrics listener: %w", err)
+		}
+		tr.ln = ln
+		tr.srv = &http.Server{Handler: tr.obs.HTTPHandler()}
+		go func() { _ = tr.srv.Serve(ln) }()
+		fmt.Fprintf(errw, "metrics: http://%s/metrics\n", ln.Addr())
+	}
+
+	if *t.Progress {
+		tr.progressQuit = make(chan struct{})
+		tr.progressDone = make(chan struct{})
+		go tr.progressLoop()
+	}
+	return tr, nil
+}
+
+// Observer returns the run's observer (nil-safe: a nil telemetryRun
+// means telemetry is off and the nil Observer disables instrumentation).
+func (tr *telemetryRun) Observer() *mpmb.Observer {
+	if tr == nil {
+		return nil
+	}
+	return tr.obs
+}
+
+// progressLoop repaints one stderr line with the live snapshot.
+func (tr *telemetryRun) progressLoop() {
+	defer close(tr.progressDone)
+	tick := time.NewTicker(progressEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tr.progressQuit:
+			return
+		case <-tick.C:
+			fmt.Fprintf(tr.errw, "\r%s", progressLine(tr.obs.Metrics(), time.Since(tr.start)))
+		}
+	}
+}
+
+// progressLine renders the live progress summary from a snapshot.
+func progressLine(m mpmb.Metrics, elapsed time.Duration) string {
+	sec := elapsed.Seconds()
+	rate := 0.0
+	if sec > 0 {
+		rate = float64(m.Trials+m.PrepTrials) / sec
+	}
+	s := fmt.Sprintf("trials=%d", m.Trials)
+	if m.PrepTrials > 0 {
+		s += fmt.Sprintf(" prep=%d", m.PrepTrials)
+	}
+	s += fmt.Sprintf(" (%.0f/s)", rate)
+	if r := m.EdgePruneRate(); r > 0 {
+		s += fmt.Sprintf(" edge-prune=%.0f%%", 100*r)
+	}
+	if r := m.CandPruneRate(); r > 0 {
+		s += fmt.Sprintf(" cand-prune=%.0f%%", 100*r)
+	}
+	if m.LeaderP > 0 {
+		s += fmt.Sprintf(" P̂=%.4f", m.LeaderP)
+		if m.LeaderHalfWidth > 0 {
+			s += fmt.Sprintf("±%.4f", m.LeaderHalfWidth)
+		}
+	}
+	return s
+}
+
+func (tr *telemetryRun) closeJournal() {
+	if tr.journal != nil {
+		_ = tr.journal.Close()
+		tr.journal = nil
+	}
+}
+
+// finish tears the telemetry down in dependency order: stop the progress
+// repaints, drain buffered events into the journal (Observer.Close),
+// close the journal file, print the final summary, and keep the metrics
+// server up for -metrics-hold before shutting it down.
+func (tr *telemetryRun) finish() error {
+	if tr == nil {
+		return nil
+	}
+	if tr.progressQuit != nil {
+		close(tr.progressQuit)
+		<-tr.progressDone
+		fmt.Fprintf(tr.errw, "\r%s\n", progressLine(tr.obs.Metrics(), time.Since(tr.start)))
+	}
+	tr.obs.Close()
+	var err error
+	if tr.journal != nil {
+		err = tr.journal.Close()
+		tr.journal = nil
+	}
+	m := tr.obs.Metrics()
+	fmt.Fprintf(tr.errw, "telemetry: trials=%d hits=%d prep=%d edge-prune=%.1f%% cand-prune=%.1f%% events-dropped=%d\n",
+		m.Trials, m.TrialHits, m.PrepTrials, 100*m.EdgePruneRate(), 100*m.CandPruneRate(), m.EventsDropped)
+	if tr.srv != nil {
+		if tr.hold > 0 {
+			time.Sleep(tr.hold)
+		}
+		_ = tr.srv.Close()
+	}
+	return err
+}

@@ -1,0 +1,138 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// TestRunTelemetryJournalAndProgress runs an instrumented search and
+// checks the three CLI surfaces: the stderr summary line, the JSONL
+// journal (valid events whose trial batches sum to -trials), and the
+// metrics block in the -json export.
+func TestRunTelemetryJournalAndProgress(t *testing.T) {
+	path := writeFigure1(t)
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "run.jsonl")
+	jsonOut := filepath.Join(dir, "out.json")
+
+	var errBuf bytes.Buffer
+	old := telemetryStatusW
+	telemetryStatusW = &errBuf
+	defer func() { telemetryStatusW = old }()
+
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "20000",
+		"-progress", "-journal", journal, "-json", jsonOut}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#1  B(0,1|1,2)") {
+		t.Fatalf("wrong MPMB:\n%s", sb.String())
+	}
+
+	stderr := errBuf.String()
+	if !strings.Contains(stderr, "telemetry: trials=20000") {
+		t.Errorf("stderr missing the telemetry summary:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "events-dropped=") {
+		t.Errorf("stderr missing the drop counter:\n%s", stderr)
+	}
+
+	// Every journal line is a well-formed event; trial batches add up.
+	f, err := os.Open(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var trialN int64
+	var lines int
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+		var e mpmb.Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("journal line %d: %v", lines, err)
+		}
+		if e.Kind == mpmb.EventTrialDone {
+			trialN += e.N
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("journal is empty")
+	}
+	if trialN != 20000 {
+		t.Errorf("journal trial_done batches sum to %d, want 20000", trialN)
+	}
+
+	// The JSON export carries the metrics snapshot.
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Metrics *mpmb.Metrics `json:"metrics"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Metrics == nil {
+		t.Fatal("JSON export has no metrics block despite telemetry being on")
+	}
+	if doc.Metrics.Trials != 20000 {
+		t.Errorf("exported metrics trials = %d, want 20000", doc.Metrics.Trials)
+	}
+}
+
+// TestRunWithoutTelemetryOmitsMetrics: no telemetry flags, no metrics in
+// the JSON export and nothing on the status writer.
+func TestRunWithoutTelemetryOmitsMetrics(t *testing.T) {
+	path := writeFigure1(t)
+	jsonOut := filepath.Join(t.TempDir(), "out.json")
+
+	var errBuf bytes.Buffer
+	old := telemetryStatusW
+	telemetryStatusW = &errBuf
+	defer func() { telemetryStatusW = old }()
+
+	var sb strings.Builder
+	if err := run([]string{"-graph", path, "-method", "os", "-trials", "2000", "-json", jsonOut}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	if errBuf.Len() != 0 {
+		t.Errorf("status writer got output without telemetry flags:\n%s", errBuf.String())
+	}
+	raw, err := os.ReadFile(jsonOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(raw), `"metrics"`) {
+		t.Error("JSON export contains a metrics block without an observer")
+	}
+}
+
+// TestRunOptionErrorNamesFlag: validation failures surface the flag
+// spelling, not just the Options field.
+func TestRunOptionErrorNamesFlag(t *testing.T) {
+	path := writeFigure1(t)
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "-5"}, &sb)
+	if err == nil {
+		t.Fatal("negative -trials accepted")
+	}
+	if !strings.Contains(err.Error(), "flag -trials") {
+		t.Errorf("error %q does not name the -trials flag", err)
+	}
+	if !strings.Contains(err.Error(), "Options.Trials") {
+		t.Errorf("error %q lost the underlying OptionError", err)
+	}
+}

@@ -1,0 +1,270 @@
+// Package apicheck renders a Go package's exported API surface as a
+// sorted list of one-line declarations, so a committed baseline file can
+// gate incompatible changes to the public mpmb package in CI. It uses
+// only the standard library (go/parser, go/ast) — no external tooling.
+//
+// The rendering is deliberately textual and type-syntactic: a line
+// changes exactly when a declaration's spelling changes, which is the
+// granularity an API-compatibility gate needs. Lines look like:
+//
+//	func Search(*Graph, Options) (*Result, error)
+//	method (*Observer) Metrics() Metrics
+//	type Options struct { Method Method; Trials int; ... }
+//	const MethodOLS Method
+//	var Methods []Method
+package apicheck
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"sort"
+	"strings"
+)
+
+// Surface parses the Go package in dir (test files excluded) and
+// returns its exported declarations, one line each, sorted.
+func Surface(dir string) ([]string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, pkg := range pkgs {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				lines = append(lines, declLines(decl)...)
+			}
+		}
+	}
+	sort.Strings(lines)
+	return lines, nil
+}
+
+// declLines renders one top-level declaration's exported surface.
+func declLines(decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() {
+			return nil
+		}
+		if d.Recv != nil {
+			recv := typeString(d.Recv.List[0].Type)
+			if !exportedBase(d.Recv.List[0].Type) {
+				return nil
+			}
+			return []string{fmt.Sprintf("method (%s) %s%s", recv, d.Name.Name, signature(d.Type))}
+		}
+		return []string{fmt.Sprintf("func %s%s", d.Name.Name, signature(d.Type))}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			switch s := spec.(type) {
+			case *ast.TypeSpec:
+				if s.Name.IsExported() {
+					out = append(out, typeLine(s))
+				}
+			case *ast.ValueSpec:
+				kind := "var"
+				if d.Tok == token.CONST {
+					kind = "const"
+				}
+				for _, n := range s.Names {
+					if !n.IsExported() {
+						continue
+					}
+					line := kind + " " + n.Name
+					if s.Type != nil {
+						line += " " + typeString(s.Type)
+					}
+					out = append(out, line)
+				}
+			}
+		}
+		return out
+	}
+	return nil
+}
+
+// exportedBase reports whether a receiver type's base identifier is
+// exported (methods on unexported types are not API surface).
+func exportedBase(expr ast.Expr) bool {
+	for {
+		switch t := expr.(type) {
+		case *ast.StarExpr:
+			expr = t.X
+		case *ast.IndexExpr:
+			expr = t.X
+		case *ast.Ident:
+			return t.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+// typeLine renders one exported type declaration.
+func typeLine(s *ast.TypeSpec) string {
+	name := s.Name.Name
+	if s.Assign.IsValid() {
+		return fmt.Sprintf("type %s = %s", name, typeString(s.Type))
+	}
+	switch t := s.Type.(type) {
+	case *ast.StructType:
+		var fields []string
+		for _, f := range t.Fields.List {
+			ft := typeString(f.Type)
+			if len(f.Names) == 0 {
+				fields = append(fields, ft) // embedded
+				continue
+			}
+			for _, n := range f.Names {
+				if n.IsExported() {
+					fields = append(fields, n.Name+" "+ft)
+				}
+			}
+		}
+		return fmt.Sprintf("type %s struct { %s }", name, strings.Join(fields, "; "))
+	case *ast.InterfaceType:
+		var methods []string
+		for _, m := range t.Methods.List {
+			if len(m.Names) == 0 {
+				methods = append(methods, typeString(m.Type)) // embedded
+				continue
+			}
+			for _, n := range m.Names {
+				if n.IsExported() {
+					if ft, ok := m.Type.(*ast.FuncType); ok {
+						methods = append(methods, n.Name+signature(ft))
+					}
+				}
+			}
+		}
+		return fmt.Sprintf("type %s interface { %s }", name, strings.Join(methods, "; "))
+	default:
+		return fmt.Sprintf("type %s %s", name, typeString(s.Type))
+	}
+}
+
+// signature renders a function type as "(T1, T2) (R1, R2)" — parameter
+// names dropped, types only, so renames stay compatible.
+func signature(ft *ast.FuncType) string {
+	s := "(" + strings.Join(fieldTypes(ft.Params), ", ") + ")"
+	res := fieldTypes(ft.Results)
+	switch len(res) {
+	case 0:
+	case 1:
+		s += " " + res[0]
+	default:
+		s += " (" + strings.Join(res, ", ") + ")"
+	}
+	return s
+}
+
+// fieldTypes expands a field list into one type string per declared
+// name (or per anonymous field).
+func fieldTypes(fl *ast.FieldList) []string {
+	if fl == nil {
+		return nil
+	}
+	var out []string
+	for _, f := range fl.List {
+		t := typeString(f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// typeString renders a type expression in source syntax.
+func typeString(expr ast.Expr) string {
+	switch t := expr.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.SelectorExpr:
+		return typeString(t.X) + "." + t.Sel.Name
+	case *ast.StarExpr:
+		return "*" + typeString(t.X)
+	case *ast.ArrayType:
+		if t.Len == nil {
+			return "[]" + typeString(t.Elt)
+		}
+		return "[" + exprString(t.Len) + "]" + typeString(t.Elt)
+	case *ast.MapType:
+		return "map[" + typeString(t.Key) + "]" + typeString(t.Value)
+	case *ast.ChanType:
+		switch t.Dir {
+		case ast.RECV:
+			return "<-chan " + typeString(t.Value)
+		case ast.SEND:
+			return "chan<- " + typeString(t.Value)
+		default:
+			return "chan " + typeString(t.Value)
+		}
+	case *ast.FuncType:
+		return "func" + signature(t)
+	case *ast.Ellipsis:
+		return "..." + typeString(t.Elt)
+	case *ast.InterfaceType:
+		if len(t.Methods.List) == 0 {
+			return "interface{}"
+		}
+		return "interface{...}"
+	case *ast.StructType:
+		if len(t.Fields.List) == 0 {
+			return "struct{}"
+		}
+		return "struct{...}"
+	case *ast.IndexExpr:
+		return typeString(t.X) + "[" + typeString(t.Index) + "]"
+	case *ast.ParenExpr:
+		return "(" + typeString(t.X) + ")"
+	default:
+		return fmt.Sprintf("<%T>", expr)
+	}
+}
+
+// exprString renders the few non-type expressions that appear inside
+// types (array lengths).
+func exprString(expr ast.Expr) string {
+	switch e := expr.(type) {
+	case *ast.BasicLit:
+		return e.Value
+	case *ast.Ident:
+		return e.Name
+	default:
+		return fmt.Sprintf("<%T>", expr)
+	}
+}
+
+// Diff compares a computed surface against a baseline and reports the
+// incompatible (removed or changed) and new lines.
+func Diff(baseline, surface []string) (removed, added []string) {
+	have := make(map[string]bool, len(surface))
+	for _, l := range surface {
+		have[l] = true
+	}
+	want := make(map[string]bool, len(baseline))
+	for _, l := range baseline {
+		want[l] = true
+		if !have[l] {
+			removed = append(removed, l)
+		}
+	}
+	for _, l := range surface {
+		if !want[l] {
+			added = append(added, l)
+		}
+	}
+	return removed, added
+}

@@ -1,0 +1,131 @@
+package apicheck
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the committed baseline from the current surface:
+//
+//	go test ./internal/apicheck/ -run TestRootAPISurface -update
+var update = flag.Bool("update", false, "rewrite api/mpmb.txt from the current API surface")
+
+const baselinePath = "../../api/mpmb.txt"
+
+// TestRootAPISurface is the API-compatibility gate: the exported surface
+// of the root mpmb package must match the committed baseline exactly.
+// Removed or re-spelled lines are incompatible changes; additions are
+// compatible but must be recorded (re-run with -update) so reviewers see
+// every surface change in the diff.
+func TestRootAPISurface(t *testing.T) {
+	surface, err := Surface("../..")
+	if err != nil {
+		t.Fatalf("computing API surface: %v", err)
+	}
+	if len(surface) == 0 {
+		t.Fatal("empty API surface — parser found no exported declarations")
+	}
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(baselinePath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		const header = "# Exported API surface of package mpmb — the CI apidiff gate.\n" +
+			"# Regenerate: go test ./internal/apicheck/ -run TestRootAPISurface -update\n"
+		data := header + strings.Join(surface, "\n") + "\n"
+		if err := os.WriteFile(baselinePath, []byte(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d lines)", baselinePath, len(surface))
+		return
+	}
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		t.Fatalf("reading baseline (regenerate with -update): %v", err)
+	}
+	var baseline []string
+	for _, l := range strings.Split(string(raw), "\n") {
+		if l = strings.TrimSpace(l); l != "" && !strings.HasPrefix(l, "#") {
+			baseline = append(baseline, l)
+		}
+	}
+	removed, added := Diff(baseline, surface)
+	for _, l := range removed {
+		t.Errorf("INCOMPATIBLE: removed or changed: %s", l)
+	}
+	for _, l := range added {
+		t.Errorf("new API (run `go test ./internal/apicheck/ -run TestRootAPISurface -update` to record): %s", l)
+	}
+}
+
+// TestSurfaceRendering pins the renderer's own behaviour on a synthetic
+// package, so baseline churn can be told apart from renderer changes.
+func TestSurfaceRendering(t *testing.T) {
+	dir := t.TempDir()
+	src := `package fake
+
+type Public struct {
+	Exported   int
+	unexported string
+	Fn         func(int) error
+}
+
+type hidden struct{ X int }
+
+type Alias = Public
+
+type Num int
+
+const DefaultNum Num = 3
+
+var Registry map[string][]*Public
+
+func New(n int, opts ...string) (*Public, error) { return nil, nil }
+
+func (p *Public) Get(key string) int { return 0 }
+
+func (h hidden) Method() {}
+
+func internal() {}
+`
+	if err := os.WriteFile(filepath.Join(dir, "fake.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Surface(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"const DefaultNum Num",
+		"func New(int, ...string) (*Public, error)",
+		"method (*Public) Get(string) int",
+		"type Alias = Public",
+		"type Num int",
+		"type Public struct { Exported int; Fn func(int) error }",
+		"var Registry map[string][]*Public",
+	}
+	if len(got) != len(want) {
+		t.Fatalf("surface lines = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiff pins the removed/added split.
+func TestDiff(t *testing.T) {
+	removed, added := Diff(
+		[]string{"func A()", "func B() int"},
+		[]string{"func B() int", "func C()"},
+	)
+	if len(removed) != 1 || removed[0] != "func A()" {
+		t.Errorf("removed = %q", removed)
+	}
+	if len(added) != 1 || added[0] != "func C()" {
+		t.Errorf("added = %q", added)
+	}
+}

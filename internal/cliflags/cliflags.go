@@ -1,0 +1,140 @@
+// Package cliflags is the shared flag plumbing of the mpmb commands:
+// one registration helper so the three CLIs spell common options the
+// same way, hidden aliases that keep old flag spellings parsing without
+// advertising them, and attribution of Options validation errors back
+// to the flag that caused them.
+package cliflags
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// Group wraps a flag.FlagSet with alias and error-attribution support.
+// Register flags through the embedded FlagSet as usual, then declare
+// alternate spellings with Alias and field attributions with Field.
+type Group struct {
+	*flag.FlagSet
+	// aliases maps a hidden alternate spelling to its canonical flag.
+	aliases map[string]string
+	// fields maps an Options field name to the flag that sets it.
+	fields map[string]string
+}
+
+// New returns a group over a ContinueOnError flag set whose usage output
+// hides alias spellings.
+func New(name string) *Group {
+	g := &Group{
+		FlagSet: flag.NewFlagSet(name, flag.ContinueOnError),
+		aliases: make(map[string]string),
+		fields:  make(map[string]string),
+	}
+	g.FlagSet.Usage = g.usage
+	return g
+}
+
+// Alias registers alias as a hidden alternate spelling of the already
+// registered canonical flag. Both spellings share one flag.Value, so
+// whichever the user passes sets the same variable; only the canonical
+// spelling appears in -help output.
+func (g *Group) Alias(alias, canonical string) {
+	f := g.Lookup(canonical)
+	if f == nil {
+		panic(fmt.Sprintf("cliflags: alias %q of unregistered flag %q", alias, canonical))
+	}
+	g.Var(f.Value, alias, f.Usage)
+	g.aliases[alias] = canonical
+}
+
+// Field records that the named Options field is set by flagName, for
+// DecorateError attribution.
+func (g *Group) Field(field, flagName string) {
+	g.fields[field] = flagName
+}
+
+// DecorateError prefixes a *mpmb.OptionError with the flag that set the
+// offending field, so a CLI user sees the spelling they typed rather
+// than a Go struct field. Errors of any other type pass through
+// unchanged.
+func (g *Group) DecorateError(err error) error {
+	var oe *mpmb.OptionError
+	if err == nil || !errors.As(err, &oe) {
+		return err
+	}
+	if fl, ok := g.fields[oe.Field]; ok {
+		return fmt.Errorf("flag -%s: %w", fl, err)
+	}
+	return err
+}
+
+// usage is PrintDefaults with alias spellings suppressed.
+func (g *Group) usage() {
+	w := g.Output()
+	fmt.Fprintf(w, "Usage of %s:\n", g.Name())
+	g.VisitAll(func(f *flag.Flag) {
+		if _, isAlias := g.aliases[f.Name]; isAlias {
+			return
+		}
+		var b strings.Builder
+		fmt.Fprintf(&b, "  -%s", f.Name)
+		name, usage := flag.UnquoteUsage(f)
+		if len(name) > 0 {
+			b.WriteString(" ")
+			b.WriteString(name)
+		}
+		// One-letter flags fit on one line; everything else wraps like
+		// flag.PrintDefaults.
+		if b.Len() <= 4 {
+			b.WriteString("\t")
+		} else {
+			b.WriteString("\n    \t")
+		}
+		b.WriteString(strings.ReplaceAll(usage, "\n", "\n    \t"))
+		if f.DefValue != "" && f.DefValue != "false" && f.DefValue != "0" && f.DefValue != "0s" {
+			fmt.Fprintf(&b, " (default %v)", f.DefValue)
+		}
+		fmt.Fprint(w, b.String(), "\n")
+	})
+}
+
+// Profiling registers the pprof capture flags every command shares.
+func (g *Group) Profiling() (cpuProfile, memProfile *string) {
+	cpuProfile = g.String("cpuprofile", "", "write a pprof CPU profile of the run to this file")
+	memProfile = g.String("memprofile", "", "write a pprof heap profile at end of run to this file")
+	return cpuProfile, memProfile
+}
+
+// Telemetry holds the parsed observability flag block of a
+// search-running command.
+type Telemetry struct {
+	// Progress enables a live one-line progress report on stderr.
+	Progress *bool
+	// MetricsAddr serves /metrics, /debug/vars and /debug/pprof/ on this
+	// address for the duration of the run.
+	MetricsAddr *string
+	// MetricsHold keeps the metrics server (and its final snapshot) up
+	// this long after the run finishes, so scrapers can collect it.
+	MetricsHold *time.Duration
+	// Journal streams the run's events as JSON lines to this file.
+	Journal *string
+}
+
+// TelemetryFlags registers the observability flags.
+func (g *Group) TelemetryFlags() *Telemetry {
+	return &Telemetry{
+		Progress:    g.Bool("progress", false, "print a live progress line to stderr while searching"),
+		MetricsAddr: g.String("metrics-addr", "", "serve Prometheus /metrics, expvar and pprof on this address (e.g. :9090) during the run"),
+		MetricsHold: g.Duration("metrics-hold", 0, "keep the metrics server up this long after the run finishes"),
+		Journal:     g.String("journal", "", "append the run's telemetry events as JSON lines to this file"),
+	}
+}
+
+// Enabled reports whether any telemetry flag asks for an Observer.
+func (t *Telemetry) Enabled() bool {
+	return *t.Progress || *t.MetricsAddr != "" || *t.Journal != ""
+}

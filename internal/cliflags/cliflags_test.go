@@ -1,0 +1,121 @@
+package cliflags
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// TestAliasSharesValue: both spellings set the same variable, in either
+// order, and the last one parsed wins like any repeated flag.
+func TestAliasSharesValue(t *testing.T) {
+	for _, args := range [][]string{
+		{"-prep-trials", "42"},
+		{"-prep", "42"},
+		{"-prep", "7", "-prep-trials", "42"},
+	} {
+		g := New("test")
+		prep := g.Int("prep-trials", 1000, "preparing-phase trials")
+		g.Alias("prep", "prep-trials")
+		if err := g.Parse(args); err != nil {
+			t.Fatalf("Parse(%q): %v", args, err)
+		}
+		if *prep != 42 {
+			t.Errorf("Parse(%q): prep-trials = %d, want 42", args, *prep)
+		}
+	}
+}
+
+// TestAliasOfUnregisteredFlagPanics pins the registration-order
+// contract: Alias must follow the canonical flag.
+func TestAliasOfUnregisteredFlagPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Alias of an unregistered flag did not panic")
+		}
+	}()
+	New("test").Alias("prep", "prep-trials")
+}
+
+// TestUsageHidesAliases: -help advertises only canonical spellings.
+func TestUsageHidesAliases(t *testing.T) {
+	g := New("test")
+	g.Int("prep-trials", 1000, "preparing-phase trials")
+	g.Alias("prep", "prep-trials")
+	g.Bool("progress", false, "live progress")
+	var sb strings.Builder
+	g.SetOutput(&sb)
+	g.Usage()
+	out := sb.String()
+	if !strings.Contains(out, "-prep-trials") {
+		t.Errorf("usage omits the canonical flag:\n%s", out)
+	}
+	if strings.Contains(out, "-prep ") || strings.Contains(out, "-prep\n") {
+		t.Errorf("usage advertises the hidden alias:\n%s", out)
+	}
+	if !strings.Contains(out, "(default 1000)") {
+		t.Errorf("usage omits a non-zero default:\n%s", out)
+	}
+	if strings.Contains(out, "(default false)") {
+		t.Errorf("usage prints a zero-value default:\n%s", out)
+	}
+}
+
+// TestDecorateError maps an OptionError's field back to the flag the
+// user typed, and leaves everything else untouched.
+func TestDecorateError(t *testing.T) {
+	g := New("test")
+	g.Int("trials", 0, "sampling trials")
+	g.Field("Trials", "trials")
+
+	oe := &mpmb.OptionError{Field: "Trials", Value: -1, Reason: "must be non-negative"}
+	got := g.DecorateError(oe)
+	if !strings.HasPrefix(got.Error(), "flag -trials: ") {
+		t.Errorf("decorated error = %q, want a \"flag -trials:\" prefix", got)
+	}
+	var unwrapped *mpmb.OptionError
+	if !errors.As(got, &unwrapped) || unwrapped != oe {
+		t.Error("decoration lost the underlying *OptionError")
+	}
+
+	// Unattributed field: pass through.
+	other := &mpmb.OptionError{Field: "Mu", Value: 2.0, Reason: "out of range"}
+	if got := g.DecorateError(other); got != error(other) {
+		t.Errorf("unattributed OptionError changed: %v", got)
+	}
+	// Non-OptionError and nil: pass through.
+	plain := errors.New("disk on fire")
+	if got := g.DecorateError(plain); got != plain {
+		t.Errorf("plain error changed: %v", got)
+	}
+	if got := g.DecorateError(nil); got != nil {
+		t.Errorf("nil error changed: %v", got)
+	}
+}
+
+// TestTelemetryEnabled: any of -progress/-metrics-addr/-journal turns
+// telemetry on; -metrics-hold alone does not.
+func TestTelemetryEnabled(t *testing.T) {
+	cases := []struct {
+		args []string
+		want bool
+	}{
+		{nil, false},
+		{[]string{"-metrics-hold", "5s"}, false},
+		{[]string{"-progress"}, true},
+		{[]string{"-metrics-addr", ":9090"}, true},
+		{[]string{"-journal", "run.jsonl"}, true},
+	}
+	for _, tc := range cases {
+		g := New("test")
+		tele := g.TelemetryFlags()
+		if err := g.Parse(tc.args); err != nil {
+			t.Fatalf("Parse(%q): %v", tc.args, err)
+		}
+		if got := tele.Enabled(); got != tc.want {
+			t.Errorf("Enabled() after %q = %v, want %v", tc.args, got, tc.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // Candidate is one member of the candidate maximum butterfly set C_MB.
@@ -63,17 +64,30 @@ func prepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions
 	done := start
 	interrupted := false
 	var sMB butterfly.MaxSet
+	probe := osOpt.Probe.WithPhase(telemetry.PhasePrep)
+	meter := newTrialMeter(probe, 0, idx.snap.numEdges(), false)
 	for trial := start + 1; trial <= nPrep; trial++ {
 		if osOpt.Interrupt != nil && osOpt.Interrupt() {
 			interrupted = true
 			break
 		}
-		idx.runTrialSeeded(root, uint64(trial), &sMB)
+		scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
 		for _, b := range sMB.Set {
+			if probe != nil {
+				if _, seen := hits[b]; !seen {
+					probe.Add(0, telemetry.CounterCandidates, 1)
+					probe.Emit(telemetry.Event{
+						Kind: telemetry.EventCandidatePromoted, Trial: trial,
+						B: probeButterfly(b), Weight: sMB.W,
+					})
+				}
+			}
 			hits[b]++
 		}
+		meter.observe(trial, scanned, !sMB.Empty())
 		done = trial
 	}
+	meter.flush(done)
 	c, err := NewCandidates(g, hits)
 	if err != nil {
 		return nil, false, err

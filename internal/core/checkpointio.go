@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // CheckpointFS is the filesystem seam the retrying CheckpointStore writes
@@ -132,7 +133,13 @@ type CheckpointStore struct {
 	retry RetryPolicy
 	fs    CheckpointFS
 	sleep func(time.Duration)
+	probe *telemetry.Probe
 }
+
+// SetProbe attaches run telemetry to the store: successful saves,
+// retried attempts of either operation, and the corresponding events.
+// A nil probe (the default) disables instrumentation.
+func (s *CheckpointStore) SetProbe(p *telemetry.Probe) { s.probe = p }
 
 // NewCheckpointStore builds a store over the real filesystem with the
 // given retry policy (pass DefaultRetryPolicy() for the standard one).
@@ -185,8 +192,17 @@ func (s *CheckpointStore) Save(path string, c *Checkpoint) error {
 		}
 		if err := s.saveOnce(path, c); err != nil {
 			last = err
+			s.probe.Add(0, telemetry.CounterCheckpointRetries, 1)
+			s.probe.Emit(telemetry.Event{
+				Kind: telemetry.EventCheckpointRetried, N: int64(k + 1),
+				Detail: "save " + path + ": " + err.Error(),
+			})
 			continue
 		}
+		s.probe.Add(0, telemetry.CounterCheckpointSaves, 1)
+		s.probe.Emit(telemetry.Event{
+			Kind: telemetry.EventCheckpointSaved, Trial: c.Done, Detail: path,
+		})
 		return nil
 	}
 	return &RetryExhaustedError{Op: "save", Path: path, Attempts: n, Last: last}
@@ -231,6 +247,11 @@ func (s *CheckpointStore) Load(path string) (*Checkpoint, error) {
 		c, err := s.loadOnce(path)
 		if err != nil {
 			last = err
+			s.probe.Add(0, telemetry.CounterCheckpointRetries, 1)
+			s.probe.Emit(telemetry.Event{
+				Kind: telemetry.EventCheckpointRetried, N: int64(k + 1),
+				Detail: "load " + path + ": " + err.Error(),
+			})
 			continue
 		}
 		return c, nil

@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // KLOptions configures the Karp-Luby probability estimator (Algorithm 4),
@@ -60,6 +62,10 @@ type KLOptions struct {
 	ResumeProbs  []float64
 	ResumeTrials []int64
 	ResumeDone   int
+	// Probe, if non-nil, receives run telemetry: the per-candidate trial
+	// counts actually executed, flushed once per priced candidate. Nil
+	// costs one predictable branch per candidate.
+	Probe *telemetry.Probe
 }
 
 // klScratch is the reusable lazy edge-sampling state shared by all trials
@@ -114,6 +120,10 @@ func EstimateKarpLuby(c *Candidates, opt KLOptions) ([]float64, error) {
 	root := randx.New(opt.Seed)
 	partial := false
 	done := n
+	var lastT time.Time
+	if opt.Probe != nil {
+		lastT = time.Now()
+	}
 	for i := start; i < n; i++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
 			partial = true
@@ -124,6 +134,7 @@ func EstimateKarpLuby(c *Candidates, opt KLOptions) ([]float64, error) {
 			continue
 		}
 		probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
+		probeKLCandidate(opt.Probe, 0, i, trialsUsed[i], &lastT)
 	}
 	if opt.TrialsUsed != nil {
 		*opt.TrialsUsed = trialsUsed

@@ -7,6 +7,7 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/possible"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // MCVPOptions configures the Monte-Carlo with Vertex Priority baseline.
@@ -39,6 +40,10 @@ type MCVPOptions struct {
 	// trials (useful to extrapolate a per-trial lower bound after an
 	// interrupt).
 	CompletedTrials *int
+	// Probe, if non-nil, receives run telemetry (trial counts and running
+	// leader estimates; MC-VP has no ordered scan, so no prune split). Nil
+	// costs one predictable branch per trial.
+	Probe *telemetry.Probe
 }
 
 // MCVP is the baseline of Section IV (Algorithm 1): in each trial it
@@ -69,9 +74,13 @@ func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
 		}
 	}
 	setCompleted(start - 1)
+	meter := newTrialMeter(opt.Probe, 0, 0, false)
 	for trial := start; trial <= opt.Trials; trial++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
-			return acc.partialResult("mc-vp", g, opt.Seed, opt.Trials, trial-1), nil
+			meter.flush(trial - 1)
+			res := acc.partialResult("mc-vp", g, opt.Seed, opt.Trials, trial-1)
+			probeFinish(opt.Probe, res)
+			return res, nil
 		}
 		rng := root.Derive(uint64(trial))
 		possible.SampleInto(world, g, rng) // line 4
@@ -90,15 +99,25 @@ func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
 		if interrupted {
 			// The half-enumerated trial is discarded; the accumulator only
 			// holds fully completed trials, so the prefix stays exact.
-			return acc.partialResult("mc-vp", g, opt.Seed, opt.Trials, trial-1), nil
+			meter.flush(trial - 1)
+			res := acc.partialResult("mc-vp", g, opt.Seed, opt.Trials, trial-1)
+			probeFinish(opt.Probe, res)
+			return res, nil
 		}
-		if !sMB.Empty() {
+		hit := !sMB.Empty()
+		if hit {
 			acc.addMaxSet(&sMB) // lines 18–19
 		}
 		setCompleted(trial)
 		if opt.OnTrial != nil {
 			opt.OnTrial(trial, &sMB)
 		}
+		if meter.observe(trial, 0, hit) {
+			probeEstimate(opt.Probe, 0, int64(acc.leadCount), trial, acc.leadB, acc.leadW)
+		}
 	}
-	return acc.result("mc-vp", opt.Trials), nil
+	meter.flush(opt.Trials)
+	res := acc.result("mc-vp", opt.Trials)
+	probeFinish(opt.Probe, res)
+	return res, nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // OLSOptions configures Ordering-Listing Sampling (Algorithm 3).
@@ -43,6 +44,10 @@ type OLSOptions struct {
 	// run. Note the checkpoint does not record ablation knobs (the OS
 	// pruning flags, KL.MaxTrials): resume them with the same values.
 	Resume *Checkpoint
+	// Probe, if non-nil, receives run telemetry from both phases: the
+	// preparing phase flushes under the "prep" phase label (with candidate
+	// promotions), the sampling phase under "sample". Nil is free.
+	Probe *telemetry.Probe
 }
 
 // DefaultOLSOptions mirrors the paper's experimental defaults (Section
@@ -102,6 +107,7 @@ func olsRun(g *bigraph.Graph, opt OLSOptions, workers int) (*Result, error) {
 	}
 	prepOpt := opt.OS
 	prepOpt.Interrupt = opt.Interrupt
+	prepOpt.Probe = opt.Probe // prepareCandidates rebinds it to the prep phase
 	var resumeCounts []ButterflyCount
 	start := 0
 	if opt.Resume != nil && opt.Resume.Prepare {
@@ -192,6 +198,7 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 		kl.Seed = sampleSeed
 		kl.Interrupt = opt.Interrupt
 		kl.State = &st
+		kl.Probe = opt.Probe
 		if resume != nil {
 			if len(resume.CandProbs) != cands.Len() {
 				return nil, fmt.Errorf("core: checkpoint has %d candidates, preparing phase produced %d (options mismatch?)", len(resume.CandProbs), cands.Len())
@@ -211,6 +218,7 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 		op.Seed = sampleSeed
 		op.Interrupt = opt.Interrupt
 		op.State = &st
+		op.Probe = opt.Probe
 		if resume != nil {
 			if len(resume.CandCounts) != cands.Len() {
 				return nil, fmt.Errorf("core: checkpoint has %d candidates, preparing phase produced %d (options mismatch?)", len(resume.CandCounts), cands.Len())
@@ -252,5 +260,6 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 		}
 		res.Checkpoint = ck
 	}
+	probeFinish(opt.Probe, res)
 	return res, nil
 }

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // EstimatorState reports how far an estimator ran, for partial results and
@@ -59,6 +60,11 @@ type OptimizedOptions struct {
 	// ResumeDone+1 and finishes bit-identically to an uninterrupted one.
 	ResumeCounts []int64
 	ResumeDone   int
+	// Probe, if non-nil, receives run telemetry: trial counts, the
+	// candidate scanned/pruned split of the early break (Algorithm 3
+	// lines 5-6), and running leader estimates. Nil costs one predictable
+	// branch per trial.
+	Probe *telemetry.Probe
 }
 
 // EstimateOptimized runs Algorithm 5 over a weight-sorted candidate set
@@ -109,8 +115,10 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 
 	root := randx.New(opt.Seed)
 	var hits []int
+	meter := newTrialMeter(opt.Probe, 0, n, true)
 	for trial := start; trial <= opt.Trials; trial++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
+			meter.flush(trial - 1)
 			return optimizedFinish(counts, trial-1, opt, true), nil
 		}
 		root.DeriveInto(uint64(trial), &rng)
@@ -123,12 +131,14 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 		}
 		wMax := math.Inf(-1)
 		hits = hits[:0]
+		examined := n
 		for k := 0; k < n; k++ { // line 4: B_k in weight order
 			cand := &c.List[k]
 			if cand.Weight < wMax { // line 5
 				if opt.DisableEarlyBreak {
 					continue
 				}
+				examined = k
 				break // line 6
 			}
 			exists := true
@@ -151,8 +161,28 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 		if opt.OnTrial != nil {
 			opt.OnTrial(trial, hits)
 		}
+		if meter.observe(trial, examined, len(hits) > 0) {
+			probeOptimizedLeader(opt.Probe, c, counts, trial)
+		}
 	}
+	meter.flush(opt.Trials)
 	return optimizedFinish(counts, opt.Trials, opt, false), nil
+}
+
+// probeOptimizedLeader publishes the running argmax of the optimized
+// estimator's count vector. Called at flush cadence only, so the O(n)
+// scan is amortized over probeFlushEvery trials.
+func probeOptimizedLeader(p *telemetry.Probe, c *Candidates, counts []int64, trial int) {
+	if p == nil || len(counts) == 0 {
+		return
+	}
+	lead := 0
+	for k := 1; k < len(counts); k++ {
+		if counts[k] > counts[lead] {
+			lead = k
+		}
+	}
+	probeEstimate(p, 0, counts[lead], trial, c.List[lead].B, c.List[lead].Weight)
 }
 
 // optimizedResumeCounts validates resume options and returns the starting

@@ -8,6 +8,7 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/possible"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // OSOptions configures Ordering Sampling (Algorithm 2).
@@ -47,6 +48,12 @@ type OSOptions struct {
 	// trial Resume.Done+1 and the final Result is bit-identical to an
 	// uninterrupted run.
 	Resume *Checkpoint
+	// Probe, if non-nil, receives run telemetry: trial counts, the edge
+	// scanned/pruned split of the Section V-B prune, and running leader
+	// estimates, batched at probeFlushEvery-trial (or per-chunk) cadence.
+	// A nil Probe costs one predictable branch per trial and changes no
+	// Result bit.
+	Probe *telemetry.Probe
 }
 
 // OS is Ordering Sampling (Section V, Algorithm 2). Like MC-VP it samples
@@ -89,19 +96,30 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 	}
 	root := randx.New(opt.Seed)
 	var sMB butterfly.MaxSet
+	meter := newTrialMeter(opt.Probe, 0, idx.snap.numEdges(), false)
 	for trial := start; trial <= opt.Trials; trial++ {
 		if opt.Interrupt != nil && opt.Interrupt() {
-			return acc.partialResult("os", g, opt.Seed, opt.Trials, trial-1), nil
+			meter.flush(trial - 1)
+			res := acc.partialResult("os", g, opt.Seed, opt.Trials, trial-1)
+			probeFinish(opt.Probe, res)
+			return res, nil
 		}
-		idx.runTrialSeeded(root, uint64(trial), &sMB)
-		if !sMB.Empty() {
+		scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
+		hit := !sMB.Empty()
+		if hit {
 			acc.addMaxSet(&sMB)
 		}
 		if opt.OnTrial != nil {
 			opt.OnTrial(trial, &sMB)
 		}
+		if meter.observe(trial, scanned, hit) {
+			probeEstimate(opt.Probe, 0, int64(acc.leadCount), trial, acc.leadB, acc.leadW)
+		}
 	}
-	return acc.result("os", opt.Trials), nil
+	meter.flush(opt.Trials)
+	res := acc.result("os", opt.Trials)
+	probeFinish(opt.Probe, res)
+	return res, nil
 }
 
 // OSOnWorld runs one deterministic Ordering Sampling pass over a concrete

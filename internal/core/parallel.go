@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
@@ -136,6 +137,7 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 	if workers <= 1 {
 		return OS(g, opt)
 	}
+	opt.Probe.EnsureWorkers(workers)
 
 	root := randx.New(opt.Seed)
 	// Worker-local accumulators and kernels, merged at the end; no shared
@@ -149,13 +151,21 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 		accs[w] = acc
 		idx := newOSIndex(g, opt)
 		var sMB butterfly.MaxSet
+		opt.Probe.LabelWorker(w)
+		meter := newTrialMeter(opt.Probe, w, idx.snap.numEdges(), false)
 		return func(lo, hi int) {
 			for trial := lo; trial <= hi; trial++ {
-				idx.runTrialSeeded(root, uint64(trial), &sMB)
-				if !sMB.Empty() {
+				scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
+				hit := !sMB.Empty()
+				if hit {
 					acc.addMaxSet(&sMB)
 				}
+				meter.observe(trial, scanned, hit)
 			}
+			// Chunks are always fully executed, so flushing per chunk keeps
+			// the registry's counters an exact function of the done-prefix —
+			// identical totals to the sequential run over the same trials.
+			meter.flush(hi)
 		}
 	})
 	if err != nil {
@@ -167,10 +177,14 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 			merged.merge(a)
 		}
 	}
+	var res *Result
 	if done < opt.Trials {
-		return merged.partialResult("os", g, opt.Seed, opt.Trials, done), nil
+		res = merged.partialResult("os", g, opt.Seed, opt.Trials, done)
+	} else {
+		res = merged.result("os", opt.Trials)
 	}
-	return merged.result("os", opt.Trials), nil
+	probeFinish(opt.Probe, res)
+	return res, nil
 }
 
 // EstimateOptimizedParallel runs the Algorithm 5 estimator with trials
@@ -207,6 +221,7 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 	if workers <= 1 {
 		return EstimateOptimized(c, opt)
 	}
+	opt.Probe.EnsureWorkers(workers)
 
 	g := c.G
 	numE := g.NumEdges()
@@ -221,14 +236,18 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 		val := make([]bool, numE)
 		var cur int32
 		var rng randx.RNG
+		opt.Probe.LabelWorker(w)
+		meter := newTrialMeter(opt.Probe, w, n, true)
 		return func(lo, hi int) {
 			for trial := lo; trial <= hi; trial++ {
 				root.DeriveInto(uint64(trial), &rng)
 				cur++
 				wMax := math.Inf(-1)
+				examined := n
 				for k := 0; k < n; k++ {
 					cand := &c.List[k]
 					if cand.Weight < wMax {
+						examined = k
 						break
 					}
 					exists := true
@@ -247,7 +266,9 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 						wMax = cand.Weight
 					}
 				}
+				meter.observe(trial, examined, !math.IsInf(wMax, -1))
 			}
+			meter.flush(hi)
 		}
 	})
 	if err != nil {
@@ -297,6 +318,7 @@ func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]floa
 		return EstimateKarpLuby(c, opt)
 	}
 
+	opt.Probe.EnsureWorkers(workers)
 	numE := c.G.NumEdges()
 	thresh := edgeThresholds(c.G) // shared read-only by all workers
 	root := randx.New(opt.Seed)
@@ -304,10 +326,13 @@ func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]floa
 	// start..n-1. Writes into probs/trialsUsed are per-index disjoint.
 	done, err := parLoop(start, n, workers, opt.Interrupt, func(w int) func(int, int) {
 		scratch := newKLScratch(numE, thresh)
+		opt.Probe.LabelWorker(w)
+		lastT := time.Now()
 		return func(lo, hi int) {
 			for trial := lo; trial <= hi; trial++ {
 				i := trial - 1
 				probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
+				probeKLCandidate(opt.Probe, w, i, trialsUsed[i], &lastT)
 			}
 		}
 	})

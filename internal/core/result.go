@@ -12,6 +12,7 @@ import (
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // Estimate is one butterfly's estimated probability of being the maximum
@@ -61,6 +62,11 @@ type Result struct {
 	// achieved half-width, audit escalations and degradation-ladder
 	// transitions. It is nil unless the run went through Supervise.
 	Adaptive *AdaptiveReport
+	// Metrics is the observer's merged telemetry snapshot taken when the
+	// run returned: trial counts, prune splits, supervisor health and the
+	// terminal leader estimate. It is nil unless the run was invoked with
+	// an observer attached.
+	Metrics *telemetry.Metrics
 }
 
 // sortEstimates establishes the canonical result order.
@@ -201,6 +207,13 @@ func (r *Result) Lookup(b butterfly.Butterfly) (Estimate, bool) {
 type probAccumulator struct {
 	counts  map[butterfly.Butterfly]int
 	weights map[butterfly.Butterfly]float64
+	// Running leader (argmax of counts), maintained incrementally so
+	// instrumented runners can publish a live estimate at each flush
+	// without rescanning the maps. Telemetry-only: the Result order is
+	// still established by sortEstimates.
+	leadCount int
+	leadB     butterfly.Butterfly
+	leadW     float64
 }
 
 func newProbAccumulator() *probAccumulator {
@@ -215,6 +228,9 @@ func (a *probAccumulator) addMaxSet(m *butterfly.MaxSet) {
 	for _, b := range m.Set {
 		a.counts[b]++
 		a.weights[b] = m.W
+		if c := a.counts[b]; c > a.leadCount {
+			a.leadCount, a.leadB, a.leadW = c, b, m.W
+		}
 	}
 }
 
@@ -224,6 +240,9 @@ func (a *probAccumulator) merge(b *probAccumulator) {
 	for bf, c := range b.counts {
 		a.counts[bf] += c
 		a.weights[bf] = b.weights[bf]
+		if n := a.counts[bf]; n > a.leadCount {
+			a.leadCount, a.leadB, a.leadW = n, bf, b.weights[bf]
+		}
 	}
 }
 
@@ -238,6 +257,9 @@ func accumulatorFromCounts(entries []ButterflyCount) *probAccumulator {
 	for _, e := range entries {
 		a.counts[e.B] = int(e.Count)
 		a.weights[e.B] = e.Weight
+		if c := int(e.Count); c > a.leadCount {
+			a.leadCount, a.leadB, a.leadW = c, e.B, e.Weight
+		}
 	}
 	return a
 }

@@ -11,6 +11,7 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/interval"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // StopReason classifies why a supervised run ended.
@@ -156,6 +157,12 @@ type SupervisorOptions struct {
 	// polling its interrupt hook, Supervise returns a *StallError instead
 	// of hanging. The stuck goroutine is abandoned (see StallError).
 	StallTimeout time.Duration
+
+	// Probe, if non-nil, receives run telemetry from every phase the
+	// supervisor drives: the underlying runners' trial flushes, audit
+	// outcomes (under the "audit" phase label), and escalation /
+	// degradation-ladder transitions as events.
+	Probe *telemetry.Probe
 
 	// Now overrides the clock (tests); nil means time.Now.
 	Now func() time.Time
@@ -344,6 +351,10 @@ func (s *supervisor) segmentPolls(audits bool) int64 {
 
 func (s *supervisor) transition(from, to, reason string, atTrial int) {
 	s.rep.Transitions = append(s.rep.Transitions, Transition{From: from, To: to, Reason: reason, AtTrial: atTrial})
+	s.opt.Probe.Emit(telemetry.Event{
+		Kind: telemetry.EventEscalation, Trial: atTrial,
+		From: from, To: to, Detail: reason,
+	})
 }
 
 // finish stamps the adaptive report onto the result.
@@ -430,6 +441,7 @@ func (s *supervisor) countingStep(method string, ck *Checkpoint) (*Result, error
 				Seed:      s.opt.Seed,
 				Interrupt: s.gate.poll,
 				Resume:    ck,
+				Probe:     s.opt.Probe,
 			})
 		default: // "os"
 			o := s.opt.OS
@@ -437,6 +449,7 @@ func (s *supervisor) countingStep(method string, ck *Checkpoint) (*Result, error
 			o.Seed = s.opt.Seed
 			o.Interrupt = s.gate.poll
 			o.Resume = ck
+			o.Probe = s.opt.Probe
 			if s.opt.Workers > 0 {
 				o.OnTrial = nil // unsupported by the parallel runner
 				return OSParallel(s.g, o, s.opt.Workers)
@@ -527,6 +540,7 @@ func (s *supervisor) runOLS() (*Result, error) {
 				}
 				escalations++
 				s.rep.Escalations++
+				s.opt.Probe.Add(0, telemetry.CounterEscalations, 1)
 				s.transition(method, method, "escalate-prep", res.TrialsDone)
 				// Merge the audit's missed butterflies into the prep
 				// tallies (at zero hits — honest: prep never saw them)
@@ -561,6 +575,7 @@ func (s *supervisor) prepOS() OSOptions {
 	o.OnTrial = nil
 	o.Resume = nil
 	o.Interrupt = s.gate.passive
+	o.Probe = s.opt.Probe // prepareCandidates rebinds it to the prep phase
 	return o
 }
 
@@ -575,6 +590,7 @@ func (s *supervisor) olsOpts(prepTarget int, ck *Checkpoint) OLSOptions {
 		OS:          s.opt.OS,
 		Interrupt:   s.gate.poll,
 		Resume:      ck,
+		Probe:       s.opt.Probe,
 	}
 }
 
@@ -591,6 +607,8 @@ func (s *supervisor) olsStep(cands *Candidates, prepTarget int, ck *Checkpoint) 
 // pristine OS configuration — no ablation or fault-injection knobs.
 func (s *supervisor) audit(cands *Candidates) []ButterflyCount {
 	s.rep.Audits++
+	probe := s.opt.Probe.WithPhase(telemetry.PhaseAudit)
+	probe.Add(0, telemetry.CounterAudits, 1)
 	if s.auditIdx == nil {
 		s.auditIdx = newOSIndex(s.g, OSOptions{})
 		s.auditRoot = randx.New(s.opt.Seed ^ auditSeedSalt)
@@ -612,6 +630,11 @@ func (s *supervisor) audit(cands *Candidates) []ButterflyCount {
 	for _, b := range sMB.Set {
 		if !in[b] {
 			missed = append(missed, ButterflyCount{B: b, Count: 0, Weight: sMB.W})
+			probe.Add(0, telemetry.CounterAuditMisses, 1)
+			probe.Emit(telemetry.Event{
+				Kind: telemetry.EventAuditMiss, Trial: s.auditN,
+				B: probeButterfly(b), Weight: sMB.W,
+			})
 		}
 	}
 	return missed

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"fmt"
+	"time"
+)
+
+// EventKind identifies the type of an Event.
+type EventKind uint8
+
+const (
+	// EventTrialDone reports a batch of completed sampling trials:
+	// Trial is the last completed trial index, N the batch size.
+	EventTrialDone EventKind = iota + 1
+	// EventCandidatePromoted reports a butterfly entering the candidate
+	// set C_MB during the preparing phase (B, Weight, Trial).
+	EventCandidatePromoted
+	// EventAuditMiss reports a maximum butterfly a supervisor coverage
+	// audit found missing from C_MB (B, Weight, Trial = audit trial).
+	EventAuditMiss
+	// EventEscalation reports a supervisor method/prep transition
+	// (From, To, Detail = reason, Trial = transition trial).
+	EventEscalation
+	// EventCheckpointSaved reports a successful checkpoint save
+	// (Detail = path, N = attempts used).
+	EventCheckpointSaved
+	// EventCheckpointRetried reports a failed checkpoint save/load
+	// attempt that will be retried (Detail = error, N = attempt number).
+	EventCheckpointRetried
+	// EventEstimateUpdated reports the running leading estimate: P is
+	// the estimated probability, HalfWidth its Agresti-Coull half-width,
+	// Trial the number of estimation trials it is based on.
+	EventEstimateUpdated
+)
+
+var eventKindNames = map[EventKind]string{
+	EventTrialDone:         "trial_done",
+	EventCandidatePromoted: "candidate_promoted",
+	EventAuditMiss:         "audit_miss",
+	EventEscalation:        "escalation",
+	EventCheckpointSaved:   "checkpoint_saved",
+	EventCheckpointRetried: "checkpoint_retried",
+	EventEstimateUpdated:   "estimate_updated",
+}
+
+// String returns the snake_case name used in journals and logs.
+func (k EventKind) String() string {
+	if s, ok := eventKindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("event(%d)", uint8(k))
+}
+
+// MarshalText encodes the kind as its snake_case name (JSONL journals).
+func (k EventKind) MarshalText() ([]byte, error) {
+	return []byte(k.String()), nil
+}
+
+// UnmarshalText decodes a snake_case kind name (journal replay).
+func (k *EventKind) UnmarshalText(b []byte) error {
+	s := string(b)
+	for kind, name := range eventKindNames {
+		if name == s {
+			*k = kind
+			return nil
+		}
+	}
+	return fmt.Errorf("telemetry: unknown event kind %q", s)
+}
+
+// Event is one typed record on the observability stream. It is a plain
+// value — emitting one performs no allocation beyond the ring slot. The
+// butterfly is carried as raw vertex ids ([U1, U2, V1, V2]) so this
+// package stays import-free of the graph types.
+type Event struct {
+	Kind   EventKind `json:"kind"`
+	Time   time.Time `json:"time"`
+	Method string    `json:"method,omitempty"`
+	Phase  string    `json:"phase,omitempty"`
+	Worker int       `json:"worker"`
+
+	// Trial is the trial index the event is anchored to; N is a count
+	// whose meaning depends on Kind (batch size, attempt number, ...).
+	Trial int   `json:"trial,omitempty"`
+	N     int64 `json:"n,omitempty"`
+
+	// B is the butterfly [U1, U2, V1, V2] for candidate/audit/estimate
+	// events; Weight its total edge weight.
+	B      [4]uint32 `json:"b,omitempty"`
+	Weight float64   `json:"weight,omitempty"`
+
+	// P and HalfWidth carry the running estimate for EstimateUpdated.
+	P         float64 `json:"p,omitempty"`
+	HalfWidth float64 `json:"half_width,omitempty"`
+
+	// From/To name supervisor transitions; Detail is free-form context
+	// (escalation reason, checkpoint path or error text).
+	From   string `json:"from,omitempty"`
+	To     string `json:"to,omitempty"`
+	Detail string `json:"detail,omitempty"`
+}

@@ -1,0 +1,61 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// expvarSnap backs the process-wide "mpmb" expvar. expvar.Publish panics
+// on duplicate names, so the variable is published once and re-pointed
+// at the latest snapshot function on each HTTPHandler call.
+var expvarSnap struct {
+	once sync.Once
+	fn   atomic.Value // func() Metrics
+}
+
+func publishExpvar(snapshot func() Metrics) {
+	expvarSnap.fn.Store(snapshot)
+	expvarSnap.once.Do(func() {
+		expvar.Publish("mpmb", expvar.Func(func() any {
+			if f, ok := expvarSnap.fn.Load().(func() Metrics); ok && f != nil {
+				return f()
+			}
+			return nil
+		}))
+	})
+}
+
+// HTTPHandler serves the observability endpoints for one process:
+//
+//	/metrics        Prometheus text exposition of the snapshot
+//	/debug/vars     expvar JSON (includes the "mpmb" Metrics snapshot)
+//	/debug/pprof/   the standard net/http/pprof handlers
+//
+// snapshot is called per scrape; it must be safe for concurrent use
+// (Registry.Snapshot is).
+func HTTPHandler(snapshot func() Metrics) http.Handler {
+	publishExpvar(snapshot)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WritePrometheus(w, snapshot())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "mpmb telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	return mux
+}

@@ -1,0 +1,97 @@
+package telemetry
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// DefaultEventBuffer is the ring capacity used when the caller does not
+// choose one.
+const DefaultEventBuffer = 1024
+
+// Hub delivers events from the engine to a single observer callback
+// through a bounded ring. The send side never blocks: when the ring is
+// full the event is dropped and counted, so a slow (or stuck) observer
+// cannot stall sampling.
+type Hub struct {
+	ch      chan Event
+	quit    chan struct{}
+	done    chan struct{}
+	closed  atomic.Bool
+	dropped atomic.Int64
+}
+
+// NewHub starts a hub draining into cb from a dedicated goroutine. A nil
+// cb yields a metrics-only hub that discards events without counting
+// them as drops. buffer <= 0 selects DefaultEventBuffer.
+func NewHub(buffer int, cb func(Event)) *Hub {
+	h := &Hub{
+		quit: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if cb == nil {
+		close(h.done)
+		return h
+	}
+	if buffer <= 0 {
+		buffer = DefaultEventBuffer
+	}
+	h.ch = make(chan Event, buffer)
+	go h.drain(cb)
+	return h
+}
+
+// Emit offers e to the ring without blocking. Missing timestamps are
+// stamped here so engine hot paths only pay for time.Now when an event
+// is actually produced.
+func (h *Hub) Emit(e Event) {
+	if h == nil || h.ch == nil || h.closed.Load() {
+		return
+	}
+	if e.Time.IsZero() {
+		e.Time = time.Now()
+	}
+	select {
+	case h.ch <- e:
+	default:
+		h.dropped.Add(1)
+	}
+}
+
+// Dropped reports how many events were discarded because the ring was
+// full.
+func (h *Hub) Dropped() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.dropped.Load()
+}
+
+// Close stops accepting events, drains whatever is already buffered into
+// the callback, and waits for delivery to finish. Idempotent.
+func (h *Hub) Close() {
+	if h == nil || !h.closed.CompareAndSwap(false, true) {
+		return
+	}
+	close(h.quit)
+	<-h.done
+}
+
+func (h *Hub) drain(cb func(Event)) {
+	defer close(h.done)
+	for {
+		select {
+		case e := <-h.ch:
+			cb(e)
+		case <-h.quit:
+			for {
+				select {
+				case e := <-h.ch:
+					cb(e)
+				default:
+					return
+				}
+			}
+		}
+	}
+}

@@ -17,19 +17,23 @@
 //
 // # Methods
 //
-//   - SearchMCVP — the Monte-Carlo + vertex-priority baseline: every trial
+// Search runs the algorithm selected by Options.Method:
+//
+//   - MethodMCVP — the Monte-Carlo + vertex-priority baseline: every trial
 //     enumerates all butterflies of a sampled world (Algorithm 1).
-//   - SearchOS — Ordering Sampling: per-trial search in edge-weight order
+//   - MethodOS — Ordering Sampling: per-trial search in edge-weight order
 //     with angle-ordering and pruning; ~10³× faster (Algorithm 2).
-//   - SearchOLS / SearchOLSKL — Ordering-Listing Sampling: a short OS
+//   - MethodOLS / MethodOLSKL — Ordering-Listing Sampling: a short OS
 //     preparing phase lists candidate butterflies, then a dedicated
 //     estimator (the paper's optimized Algorithm 5, or Karp-Luby,
 //     Algorithm 4) prices only the candidates.
-//   - Exact — exhaustive possible-world enumeration, for small graphs and
-//     ground truth.
+//   - MethodExact — exhaustive possible-world enumeration, for small
+//     graphs and ground truth.
 //
-// Use Search with an Options struct to pick a method dynamically, and
-// Result.TopK for the top-k MPMB extension.
+// SearchContext adds cancellation with partial results and resume; the
+// Searcher answers repeated queries against one graph with cached
+// preparing phases; Result.TopK is the top-k MPMB extension. The
+// per-method SearchXXX functions are deprecated facades over Search.
 //
 // # Quick start
 //
@@ -37,18 +41,30 @@
 //	b.MustAddEdge(0, 0, 2.0, 0.5) // (u1, v1): weight 2, probability 0.5
 //	// ... add remaining edges ...
 //	g := b.Build()
-//	res, err := mpmb.SearchOLS(g, mpmb.DefaultOptions())
+//	res, err := mpmb.Search(g, mpmb.DefaultOptions())
 //	if err != nil { ... }
 //	best, ok := res.Best()
 //	fmt.Println(best.B, best.Weight, best.P)
+//
+// # Observability
+//
+// Attach an Observer via Options.Observer to instrument a run: monotone
+// counters (trials, prune rates, audit health), a per-trial latency
+// histogram, the running leader estimate with its confidence half-width,
+// and a typed event stream. Instrumentation never changes results, and
+// a nil Observer costs nothing on the trial hot path. Observer.Metrics
+// gives live snapshots; Result.Metrics the run-end view;
+// Observer.HTTPHandler serves Prometheus, expvar and pprof endpoints.
 package mpmb
 
 import (
 	"fmt"
+	"runtime"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // Graph is an immutable uncertain bipartite weighted network.
@@ -101,17 +117,19 @@ func SaveGraph(path string, g *Graph) error { return bigraph.Save(path, g) }
 // dominates load time. LoadGraph reads either format.
 func SaveGraphBinary(path string, g *Graph) error { return bigraph.SaveBinary(path, g) }
 
-// Search runs the method selected in opt. It is the dynamic-dispatch
-// companion of the SearchXXX functions. See SearchContext for the
-// cancellable variant with partial results and resume.
+// Search runs the method selected in opt — the package's canonical
+// entry point. See SearchContext for the cancellable variant with
+// partial results and resume, and the Searcher for repeated queries
+// against one graph.
 func Search(g *Graph, opt Options) (*Result, error) {
 	return searchHook(g, opt, nil)
 }
 
 // searchHook is the shared dispatcher behind Search and SearchContext:
-// it validates the options, threads the cancellation hook and resume
-// checkpoint into the core runners, and routes to the parallel runners
-// when opt.Workers asks for them.
+// it validates the options, threads the cancellation hook, resume
+// checkpoint, and telemetry probe into the core runners, routes to the
+// parallel runners when opt.Workers asks for them, and stamps the final
+// Metrics snapshot onto the result.
 func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 	method := opt.Method
 	if method == "" {
@@ -120,8 +138,18 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 	if err := opt.validateFor(method); err != nil {
 		return nil, err
 	}
+	res, err := dispatch(g, opt, method, interrupt, opt.Observer.probe(method, opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+	finishMetrics(opt.Observer, res)
+	return res, nil
+}
+
+// dispatch routes a validated search to its core runner.
+func dispatch(g *Graph, opt Options, method Method, interrupt func() bool, probe *telemetry.Probe) (*Result, error) {
 	if opt.adaptive() {
-		return core.Supervise(g, supervisorOptions(opt, method, interrupt, nil))
+		return core.Supervise(g, supervisorOptions(opt, method, interrupt, nil, probe))
 	}
 	switch method {
 	case MethodExact:
@@ -132,6 +160,7 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 			Seed:      opt.Seed,
 			Interrupt: interrupt,
 			Resume:    opt.Resume,
+			Probe:     probe,
 		})
 	case MethodOS:
 		osOpt := core.OSOptions{
@@ -139,6 +168,7 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 			Seed:      opt.Seed,
 			Interrupt: interrupt,
 			Resume:    opt.Resume,
+			Probe:     probe,
 		}
 		if opt.Workers > 0 {
 			return core.OSParallel(g, osOpt, opt.Workers)
@@ -153,6 +183,7 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 			KL:          core.KLOptions{Mu: opt.Mu},
 			Interrupt:   interrupt,
 			Resume:      opt.Resume,
+			Probe:       probe,
 		}
 		if opt.Workers > 0 {
 			return core.OLSParallel(g, olsOpt, opt.Workers)
@@ -166,7 +197,7 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 // supervisorOptions maps the public adaptive options onto the core
 // supervisor's configuration. prepared threads the Searcher's cached
 // candidate set (nil for one-shot searches).
-func supervisorOptions(opt Options, method Method, interrupt func() bool, prepared *core.Candidates) core.SupervisorOptions {
+func supervisorOptions(opt Options, method Method, interrupt func() bool, prepared *core.Candidates, probe *telemetry.Probe) core.SupervisorOptions {
 	return core.SupervisorOptions{
 		Method:         string(method),
 		Trials:         opt.Trials,
@@ -182,11 +213,14 @@ func supervisorOptions(opt Options, method Method, interrupt func() bool, prepar
 		KL:             core.KLOptions{Mu: opt.Mu},
 		Prepared:       prepared,
 		Resume:         opt.Resume,
+		Probe:          probe,
 	}
 }
 
 // SearchMCVP runs the Monte-Carlo with Vertex Priority baseline
 // (Algorithm 1) for opt.Trials sampled worlds.
+//
+// Deprecated: Use Search with Options.Method = MethodMCVP.
 func SearchMCVP(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodMCVP
 	return searchHook(g, opt, nil)
@@ -194,6 +228,8 @@ func SearchMCVP(g *Graph, opt Options) (*Result, error) {
 
 // SearchOS runs Ordering Sampling (Algorithm 2) for opt.Trials sampled
 // worlds.
+//
+// Deprecated: Use Search with Options.Method = MethodOS.
 func SearchOS(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodOS
 	return searchHook(g, opt, nil)
@@ -203,21 +239,26 @@ func SearchOS(g *Graph, opt Options) (*Result, error) {
 // of goroutines (0 = GOMAXPROCS). Per-trial random streams are derived
 // from (Seed, trial index), so results are bit-identical to SearchOS with
 // the same options — only wall-clock time changes.
+//
+// Deprecated: Use Search with Options.Method = MethodOS and
+// Options.Workers set (where Workers = 0 means sequential; pass
+// runtime.GOMAXPROCS(0) for this function's workers = 0 behaviour).
+// Note that unlike earlier releases this facade now honours the
+// adaptive options (AuditEvery/Epsilon/Deadline/StallTimeout) instead
+// of silently ignoring them.
 func SearchOSParallel(g *Graph, opt Options, workers int) (*Result, error) {
 	opt.Method = MethodOS
-	opt.Workers = 0 // validated separately; workers may be 0 = GOMAXPROCS
-	if err := opt.validateFor(MethodOS); err != nil {
-		return nil, err
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	return core.OSParallel(g, core.OSOptions{
-		Trials: opt.Trials,
-		Seed:   opt.Seed,
-		Resume: opt.Resume,
-	}, workers)
+	opt.Workers = workers
+	return searchHook(g, opt, nil)
 }
 
 // SearchOLS runs Ordering-Listing Sampling (Algorithm 3) with the paper's
 // optimized shared-trial estimator (Algorithm 5).
+//
+// Deprecated: Use Search with Options.Method = MethodOLS (the default).
 func SearchOLS(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodOLS
 	return searchHook(g, opt, nil)
@@ -226,6 +267,8 @@ func SearchOLS(g *Graph, opt Options) (*Result, error) {
 // SearchOLSKL runs Ordering-Listing Sampling with the Karp-Luby estimator
 // (Algorithm 4) in the sampling phase. When opt.Mu > 0, per-candidate
 // trial counts follow Equation 8 relative to opt.Trials.
+//
+// Deprecated: Use Search with Options.Method = MethodOLSKL.
 func SearchOLSKL(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodOLSKL
 	return searchHook(g, opt, nil)

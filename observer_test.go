@@ -1,0 +1,298 @@
+package mpmb
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// observerGraph is a synthetic graph big enough that the OLS phases do
+// real work but small enough for the race detector.
+func observerGraph(t testing.TB) *Graph {
+	t.Helper()
+	d, err := GenerateSynthetic(SyntheticConfig{
+		Seed: 11, NumL: 30, NumR: 30, NumEdges: 150,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d.G
+}
+
+// TestObserverSequentialParallelCountersMatch is the seq-vs-parallel
+// conformance check of the telemetry layer: an instrumented OLS run with
+// workers=8 must report the same terminal counter totals as the
+// sequential run — chunked flushing changes when counters move, never
+// where they end up — and the Result itself must stay bit-identical.
+func TestObserverSequentialParallelCountersMatch(t *testing.T) {
+	g := observerGraph(t)
+	run := func(workers int) (*Result, Metrics) {
+		obs := NewObserver(ObserverConfig{})
+		defer obs.Close()
+		res, err := Search(g, Options{
+			Method: MethodOLS, Trials: 4000, PrepTrials: 60, Seed: 5,
+			Workers: workers, Observer: obs,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, obs.Metrics()
+	}
+	seqRes, seq := run(0)
+	parRes, par := run(8)
+
+	if len(seqRes.Estimates) != len(parRes.Estimates) {
+		t.Fatalf("estimate counts differ: %d vs %d", len(seqRes.Estimates), len(parRes.Estimates))
+	}
+	for i := range seqRes.Estimates {
+		a, b := seqRes.Estimates[i], parRes.Estimates[i]
+		if a.B != b.B || a.P != b.P || a.Weight != b.Weight {
+			t.Fatalf("estimate %d differs: %+v vs %+v", i, a, b)
+		}
+	}
+
+	// The latency histogram and worker gauge legitimately differ; every
+	// work counter must not.
+	type totals struct {
+		trials, hits, prep, es, ep, cs, cp, cands int64
+	}
+	tot := func(m Metrics) totals {
+		return totals{m.Trials, m.TrialHits, m.PrepTrials, m.EdgesScanned, m.EdgesPruned, m.CandScanned, m.CandPruned, m.Candidates}
+	}
+	if ts, tp := tot(seq), tot(par); ts != tp {
+		t.Errorf("counter totals differ:\n  seq %+v\n  par %+v", ts, tp)
+	}
+	if seq.LeaderP != par.LeaderP {
+		t.Errorf("leader gauge differs: %v vs %v", seq.LeaderP, par.LeaderP)
+	}
+	if par.Workers != 8 {
+		t.Errorf("Workers gauge = %d, want 8", par.Workers)
+	}
+}
+
+// TestObserverMetricsMatchResult pins the acceptance contract: the
+// terminal snapshot's trial counters and leader gauges are exact
+// functions of the finished Result, not approximations.
+func TestObserverMetricsMatchResult(t *testing.T) {
+	g := observerGraph(t)
+	obs := NewObserver(ObserverConfig{})
+	defer obs.Close()
+	opt := Options{Method: MethodOLS, Trials: 3000, PrepTrials: 50, Seed: 3, Workers: 8, Observer: obs}
+	res, err := Search(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.Metrics()
+	if m.Trials != int64(opt.Trials) {
+		t.Errorf("Metrics.Trials = %d, want %d", m.Trials, opt.Trials)
+	}
+	if m.PrepTrials != int64(opt.PrepTrials) {
+		t.Errorf("Metrics.PrepTrials = %d, want %d", m.PrepTrials, opt.PrepTrials)
+	}
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no best estimate")
+	}
+	if m.LeaderP != best.P {
+		t.Errorf("LeaderP = %v, want the final best estimate %v", m.LeaderP, best.P)
+	}
+	if m.LeaderHalfWidth <= 0 || m.LeaderHalfWidth >= 1 {
+		t.Errorf("LeaderHalfWidth = %v, want a half-width in (0,1)", m.LeaderHalfWidth)
+	}
+	if m.CandScanned+m.CandPruned != int64(opt.Trials)*m.Candidates {
+		t.Errorf("candidate scan split %d+%d does not cover trials×candidates = %d×%d",
+			m.CandScanned, m.CandPruned, opt.Trials, m.Candidates)
+	}
+	if res.Metrics == nil {
+		t.Fatal("Result.Metrics not stamped despite an attached observer")
+	}
+	if res.Metrics.Trials != m.Trials || res.Metrics.LeaderP != m.LeaderP {
+		t.Errorf("Result.Metrics diverges from the observer snapshot")
+	}
+}
+
+// TestObserverEventStream checks the typed events arrive with sensible
+// payloads and that trial-done batch sizes add up to the trial target.
+func TestObserverEventStream(t *testing.T) {
+	g := observerGraph(t)
+	var trialN, estimates, promotions atomic.Int64
+	obs := NewObserver(ObserverConfig{OnEvent: func(e Event) {
+		switch e.Kind {
+		case EventTrialDone:
+			trialN.Add(e.N)
+		case EventEstimateUpdated:
+			estimates.Add(1)
+		case EventCandidatePromoted:
+			promotions.Add(1)
+		}
+	}})
+	opt := Options{Method: MethodOLS, Trials: 2000, PrepTrials: 40, Seed: 9, Observer: obs}
+	if _, err := Search(g, opt); err != nil {
+		t.Fatal(err)
+	}
+	obs.Close() // drain before asserting
+	m := obs.Metrics()
+	if m.EventsDropped > 0 {
+		t.Fatalf("%d events dropped with a fast observer", m.EventsDropped)
+	}
+	if got, want := trialN.Load(), int64(opt.Trials+opt.PrepTrials); got != want {
+		t.Errorf("trial_done batch sizes sum to %d, want %d", got, want)
+	}
+	if estimates.Load() == 0 {
+		t.Error("no estimate_updated events")
+	}
+	if got := promotions.Load(); got != m.Candidates {
+		t.Errorf("candidate_promoted events = %d, want Metrics.Candidates = %d", got, m.Candidates)
+	}
+}
+
+// TestObserverSlowCallbackDropsNotStalls pins the back-pressure
+// contract: a stuck observer costs events (counted), never wall-clock.
+func TestObserverSlowCallbackDropsNotStalls(t *testing.T) {
+	g := observerGraph(t)
+	block := make(chan struct{})
+	var first atomic.Bool
+	obs := NewObserver(ObserverConfig{
+		EventBuffer: 1,
+		OnEvent: func(Event) {
+			if first.CompareAndSwap(false, true) {
+				<-block // wedge the drain goroutine on the first event
+			}
+		},
+	})
+	start := time.Now()
+	_, err := Search(g, Options{Method: MethodOS, Trials: 20000, Seed: 2, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	close(block)
+	obs.Close()
+	if m := obs.Metrics(); m.EventsDropped == 0 {
+		t.Error("expected dropped events with a wedged observer")
+	} else if m.Trials != 20000 {
+		t.Errorf("sampling did not finish: trials=%d", m.Trials)
+	}
+	// Generous bound: the run must not have waited on the callback.
+	if elapsed > 30*time.Second {
+		t.Errorf("search took %v; observer back-pressure stalled sampling", elapsed)
+	}
+}
+
+// TestNilObserverLeavesResultUntouched: no observer, no Metrics field,
+// and bit-identical estimates to an observed run.
+func TestNilObserverLeavesResultUntouched(t *testing.T) {
+	g := observerGraph(t)
+	opt := Options{Method: MethodOLS, Trials: 1500, PrepTrials: 40, Seed: 4}
+	plain, err := Search(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Metrics != nil {
+		t.Error("Result.Metrics set without an observer")
+	}
+	obs := NewObserver(ObserverConfig{})
+	defer obs.Close()
+	opt.Observer = obs
+	observed, err := Search(g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Estimates {
+		if plain.Estimates[i].P != observed.Estimates[i].P {
+			t.Fatalf("observation changed estimate %d: %v vs %v", i, plain.Estimates[i].P, observed.Estimates[i].P)
+		}
+	}
+}
+
+// TestSearcherObserver: the Searcher instruments the preparing phase
+// only when it actually runs (cache miss), and the sampling phase every
+// time.
+func TestSearcherObserver(t *testing.T) {
+	g := observerGraph(t)
+	s := NewSearcher(g)
+	opt := Options{Method: MethodOLS, Trials: 1000, PrepTrials: 30, Seed: 6}
+
+	obs1 := NewObserver(ObserverConfig{})
+	defer obs1.Close()
+	opt.Observer = obs1
+	if _, err := s.Search(opt); err != nil {
+		t.Fatal(err)
+	}
+	if m := obs1.Metrics(); m.PrepTrials != 30 {
+		t.Errorf("first query PrepTrials = %d, want 30 (cache miss runs prep)", m.PrepTrials)
+	}
+
+	obs2 := NewObserver(ObserverConfig{})
+	defer obs2.Close()
+	opt.Observer = obs2
+	res, err := s.Search(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs2.Metrics()
+	if m.PrepTrials != 0 {
+		t.Errorf("cached query PrepTrials = %d, want 0 (prep reused, not re-run)", m.PrepTrials)
+	}
+	if m.Trials != 1000 {
+		t.Errorf("cached query Trials = %d, want 1000", m.Trials)
+	}
+	if res.Metrics == nil {
+		t.Error("Searcher did not stamp Result.Metrics")
+	}
+}
+
+// TestOptionErrorFields pins the typed validation errors: errors.As
+// recovers the struct and the Field matches the offending option.
+func TestOptionErrorFields(t *testing.T) {
+	cases := []struct {
+		name  string
+		opt   Options
+		field string
+	}{
+		{"negative trials", Options{Trials: -1}, "Trials"},
+		{"negative prep", Options{Trials: 10, PrepTrials: -1}, "PrepTrials"},
+		{"mu range", Options{Trials: 10, PrepTrials: 5, Mu: 1.5}, "Mu"},
+		{"mu nan", Options{Trials: 10, PrepTrials: 5, Mu: math.NaN()}, "Mu"},
+		{"workers", Options{Trials: 10, PrepTrials: 5, Workers: -2}, "Workers"},
+		{"unknown method", Options{Method: "bogus", Trials: 10}, "Method"},
+		{"zero trials", Options{Method: MethodOS}, "Trials"},
+		{"zero prep", Options{Method: MethodOLS, Trials: 10}, "PrepTrials"},
+		{"epsilon on kl", Options{Method: MethodOLSKL, Trials: 10, PrepTrials: 5, Epsilon: 0.1}, "Epsilon"},
+		{"audit on os", Options{Method: MethodOS, Trials: 10, AuditEvery: 5}, "AuditEvery"},
+		{"workers on exact", Options{Method: MethodExact, Workers: 2}, "Workers"},
+		{"adaptive exact", Options{Method: MethodExact, Epsilon: 0.1}, "Epsilon"},
+		{"negative stall", Options{Trials: 10, PrepTrials: 5, StallTimeout: -time.Second}, "StallTimeout"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.opt.Validate()
+			if err == nil {
+				t.Fatal("Validate accepted invalid options")
+			}
+			var oe *OptionError
+			if !errors.As(err, &oe) {
+				t.Fatalf("error %v is not a *OptionError", err)
+			}
+			if oe.Field != tc.field {
+				t.Errorf("Field = %q, want %q (err: %v)", oe.Field, tc.field, err)
+			}
+			if !strings.Contains(err.Error(), "Options."+tc.field) {
+				t.Errorf("message %q does not name Options.%s", err.Error(), tc.field)
+			}
+		})
+	}
+	if err := DefaultOptions().Validate(); err != nil {
+		t.Errorf("DefaultOptions does not validate: %v", err)
+	}
+	// The search entry points return the same typed error.
+	g := figure1(t)
+	_, err := Search(g, Options{Trials: -3})
+	var oe *OptionError
+	if !errors.As(err, &oe) || oe.Field != "Trials" {
+		t.Errorf("Search error %v does not carry the OptionError", err)
+	}
+}

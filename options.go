@@ -55,6 +55,13 @@ type Options struct {
 	// checkpointed run; the finished result is bit-identical to an
 	// uninterrupted one. Supported by mc-vp, os, ols and ols-kl.
 	Resume *Checkpoint
+	// Observer, if non-nil, instruments the run: counters, gauges and the
+	// trial-latency histogram accumulate into it (snapshot any time via
+	// Observer.Metrics, or at run end via Result.Metrics) and typed
+	// events stream to its OnEvent callback. Nil disables telemetry at
+	// zero cost. Observation never perturbs the result: the same options
+	// with and without an Observer return bit-identical estimates.
+	Observer *Observer
 
 	// The adaptive options below route the run through the supervisor
 	// (see Result.Adaptive): setting any of AuditEvery, Epsilon, Deadline
@@ -106,61 +113,119 @@ func DefaultOptions() Options {
 	}
 }
 
+// OptionError reports which Options field made a search configuration
+// invalid. Every entry point (Search, SearchContext, the Searcher, the
+// deprecated SearchXXX facades, and Options.Validate) returns one for a
+// bad configuration; match with errors.As to recover the field name —
+// the CLIs use it to point at the offending flag.
+type OptionError struct {
+	// Field is the Options field name, e.g. "Trials" or "Epsilon".
+	Field string
+	// Value is the rejected value.
+	Value any
+	// Reason explains the constraint the value violated.
+	Reason string
+}
+
+func (e *OptionError) Error() string {
+	return fmt.Sprintf("mpmb: invalid Options.%s = %v: %s", e.Field, e.Value, e.Reason)
+}
+
+// Validate checks the options as Search would see them (an empty Method
+// means MethodOLS). It returns nil or a *OptionError naming the
+// offending field. Every search entry point performs this validation
+// itself; Validate is for callers that want to fail fast — flag
+// parsing, config loading — before paying for a graph.
+func (o Options) Validate() error {
+	m := o.Method
+	if m == "" {
+		m = MethodOLS
+	}
+	return o.validateFor(m)
+}
+
 // validateFor checks the options against the method that will actually
 // run — the Search dispatcher passes o.Method, while the explicit
 // SearchXXX functions pass their own method so o.Method is ignored.
 func (o Options) validateFor(m Method) error {
-	if o.Trials < 0 || o.PrepTrials < 0 {
-		return fmt.Errorf("mpmb: negative trial counts (Trials=%d, PrepTrials=%d)", o.Trials, o.PrepTrials)
+	switch m {
+	case MethodExact, MethodMCVP, MethodOS, MethodOLS, MethodOLSKL, Method(""):
+	default:
+		return &OptionError{Field: "Method", Value: m, Reason: "unknown method"}
 	}
-	if o.Mu < 0 || o.Mu > 1 {
-		return fmt.Errorf("mpmb: Mu=%v outside [0,1]", o.Mu)
+	if o.Trials < 0 {
+		return &OptionError{Field: "Trials", Value: o.Trials, Reason: "trial count cannot be negative"}
+	}
+	if o.PrepTrials < 0 {
+		return &OptionError{Field: "PrepTrials", Value: o.PrepTrials, Reason: "trial count cannot be negative"}
+	}
+	if o.Mu < 0 || o.Mu > 1 || math.IsNaN(o.Mu) {
+		return &OptionError{Field: "Mu", Value: o.Mu, Reason: "outside [0,1]"}
 	}
 	if o.Workers < 0 {
-		return fmt.Errorf("mpmb: negative Workers (%d)", o.Workers)
+		return &OptionError{Field: "Workers", Value: o.Workers, Reason: "worker count cannot be negative"}
 	}
-	if o.AuditEvery < 0 || o.MaxEscalations < 0 {
-		return fmt.Errorf("mpmb: negative audit options (AuditEvery=%d, MaxEscalations=%d)", o.AuditEvery, o.MaxEscalations)
+	if o.AuditEvery < 0 {
+		return &OptionError{Field: "AuditEvery", Value: o.AuditEvery, Reason: "audit interval cannot be negative"}
+	}
+	if o.MaxEscalations < 0 {
+		return &OptionError{Field: "MaxEscalations", Value: o.MaxEscalations, Reason: "escalation budget cannot be negative"}
 	}
 	if math.IsNaN(o.Epsilon) || o.Epsilon < 0 {
-		return fmt.Errorf("mpmb: Epsilon=%v must be >= 0", o.Epsilon)
+		return &OptionError{Field: "Epsilon", Value: o.Epsilon, Reason: "must be >= 0"}
 	}
 	if o.StallTimeout < 0 {
-		return fmt.Errorf("mpmb: negative StallTimeout (%v)", o.StallTimeout)
+		return &OptionError{Field: "StallTimeout", Value: o.StallTimeout, Reason: "timeout cannot be negative"}
 	}
 	if m == MethodExact && o.adaptive() {
-		return fmt.Errorf("mpmb: adaptive options (AuditEvery/Epsilon/Deadline/StallTimeout) do not apply to the exact method")
+		f, v := o.adaptiveField()
+		return &OptionError{Field: f, Value: v, Reason: "adaptive options (AuditEvery/Epsilon/Deadline/StallTimeout) do not apply to the exact method"}
 	}
 	if o.AuditEvery > 0 {
 		switch m {
 		case MethodOLS, MethodOLSKL, Method(""):
 		default:
-			return fmt.Errorf("mpmb: AuditEvery only applies to the OLS methods (method %q has no candidate truncation to audit)", m)
+			return &OptionError{Field: "AuditEvery", Value: o.AuditEvery, Reason: fmt.Sprintf("only applies to the OLS methods (method %q has no candidate truncation to audit)", m)}
 		}
 	}
 	if o.Epsilon > 0 && m == MethodOLSKL {
-		return fmt.Errorf("mpmb: the Epsilon stopping rule needs per-trial proportions; ols-kl estimates are Karp-Luby transforms (use ols, os or mc-vp)")
+		return &OptionError{Field: "Epsilon", Value: o.Epsilon, Reason: "the stopping rule needs per-trial proportions; ols-kl estimates are Karp-Luby transforms (use ols, os or mc-vp)"}
 	}
 	switch m {
 	case MethodExact, MethodMCVP:
 		if o.Workers > 0 {
-			return fmt.Errorf("mpmb: method %q does not support parallel execution (Workers=%d); use os, ols or ols-kl", m, o.Workers)
+			return &OptionError{Field: "Workers", Value: o.Workers, Reason: fmt.Sprintf("method %q does not support parallel execution; use os, ols or ols-kl", m)}
 		}
 	}
 	if m == MethodExact {
 		if o.Resume != nil {
-			return fmt.Errorf("mpmb: the exact method cannot resume from a checkpoint; re-run the enumeration")
+			return &OptionError{Field: "Resume", Value: o.Resume, Reason: "the exact method cannot resume from a checkpoint; re-run the enumeration"}
 		}
 		return nil // trial counts unused
 	}
 	if o.Trials == 0 {
-		return fmt.Errorf("mpmb: Trials must be positive (use DefaultOptions for the paper setup)")
+		return &OptionError{Field: "Trials", Value: o.Trials, Reason: "must be positive (use DefaultOptions for the paper setup)"}
 	}
 	switch m {
 	case MethodOLS, MethodOLSKL, Method(""):
 		if o.PrepTrials == 0 {
-			return fmt.Errorf("mpmb: OLS methods need PrepTrials > 0")
+			return &OptionError{Field: "PrepTrials", Value: o.PrepTrials, Reason: "OLS methods need PrepTrials > 0"}
 		}
 	}
 	return nil
+}
+
+// adaptiveField names the first set adaptive option, for error
+// attribution when the combination (not one value) is invalid.
+func (o Options) adaptiveField() (string, any) {
+	switch {
+	case o.AuditEvery > 0:
+		return "AuditEvery", o.AuditEvery
+	case o.Epsilon > 0:
+		return "Epsilon", o.Epsilon
+	case !o.Deadline.IsZero():
+		return "Deadline", o.Deadline
+	default:
+		return "StallTimeout", o.StallTimeout
+	}
 }

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // Searcher answers repeated MPMB queries against one graph, reusing the
@@ -64,25 +65,37 @@ func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, erro
 		if err := opt.validateFor(method); err != nil {
 			return nil, err
 		}
-		cands, err := s.candidates(opt.PrepTrials, opt.Seed)
+		probe := opt.Observer.probe(method, opt.Workers)
+		// The preparing phase is only instrumented when this call actually
+		// runs it; a cache hit reports no prep trials — the metrics
+		// reflect work done, not work reused.
+		cands, err := s.candidatesProbe(opt.PrepTrials, opt.Seed, probe)
 		if err != nil {
 			return nil, err
 		}
+		var res *Result
 		if opt.adaptive() {
 			// The supervisor seeds from the cached candidate set; an audit
 			// escalation re-prepares past it (the widened set is not cached
 			// back — it depends on audit state, not on (PrepTrials, Seed)).
-			return core.Supervise(s.g, supervisorOptions(opt, method, interrupt, cands))
+			res, err = core.Supervise(s.g, supervisorOptions(opt, method, interrupt, cands, probe))
+		} else {
+			res, err = core.OLSSamplingPhaseParallel(cands, core.OLSOptions{
+				PrepTrials:  opt.PrepTrials,
+				Trials:      opt.Trials,
+				Seed:        opt.Seed,
+				UseKarpLuby: method == MethodOLSKL,
+				KL:          core.KLOptions{Mu: opt.Mu},
+				Interrupt:   interrupt,
+				Resume:      opt.Resume,
+				Probe:       probe,
+			}, opt.Workers)
 		}
-		return core.OLSSamplingPhaseParallel(cands, core.OLSOptions{
-			PrepTrials:  opt.PrepTrials,
-			Trials:      opt.Trials,
-			Seed:        opt.Seed,
-			UseKarpLuby: method == MethodOLSKL,
-			KL:          core.KLOptions{Mu: opt.Mu},
-			Interrupt:   interrupt,
-			Resume:      opt.Resume,
-		}, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		finishMetrics(opt.Observer, res)
+		return res, nil
 	default:
 		return searchHook(s.g, opt, interrupt)
 	}
@@ -99,6 +112,10 @@ func (s *Searcher) CandidateCount(prepTrials int, seed uint64) (int, error) {
 }
 
 func (s *Searcher) candidates(prepTrials int, seed uint64) (*core.Candidates, error) {
+	return s.candidatesProbe(prepTrials, seed, nil)
+}
+
+func (s *Searcher) candidatesProbe(prepTrials int, seed uint64, probe *telemetry.Probe) (*core.Candidates, error) {
 	key := candKey{prepTrials: prepTrials, seed: seed}
 	s.mu.Lock()
 	cached, ok := s.cands[key]
@@ -108,7 +125,7 @@ func (s *Searcher) candidates(prepTrials int, seed uint64) (*core.Candidates, er
 	}
 	// Prepare outside the lock; duplicate work on a race is harmless
 	// (both goroutines compute the identical deterministic set).
-	cands, err := core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{})
+	cands, err := core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{Probe: probe})
 	if err != nil {
 		return nil, err
 	}
