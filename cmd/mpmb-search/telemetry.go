@@ -1,16 +1,14 @@
 package main
 
 import (
-	"encoding/json"
 	"fmt"
 	"io"
-	"net"
-	"net/http"
 	"os"
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
 	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // progressEvery is the cadence of the live -progress line.
@@ -28,10 +26,10 @@ type telemetryRun struct {
 	obs  *mpmb.Observer
 	errw io.Writer
 
-	journal *os.File
+	journal  *os.File
+	journalW *telemetry.JournalWriter
 
-	srv  *http.Server
-	ln   net.Listener
+	srv  *telemetry.HTTPServer
 	hold time.Duration
 
 	progressQuit chan struct{}
@@ -56,23 +54,26 @@ func startTelemetry(t *cliflags.Telemetry, errw io.Writer) (*telemetryRun, error
 			return nil, fmt.Errorf("opening journal: %w", err)
 		}
 		tr.journal = f
-		enc := json.NewEncoder(f)
-		// The hub delivers events from one goroutine, so the encoder
-		// needs no locking.
-		onEvent = func(e mpmb.Event) { _ = enc.Encode(e) }
+		// The hardened writer drops-and-counts on write failure (disk
+		// full, closed file) instead of panicking or tearing records;
+		// finish() reports the damage as a terminal error note.
+		tr.journalW = telemetry.NewJournalWriter(f)
+		onEvent = func(e mpmb.Event) { tr.journalW.Write(e) }
 	}
 	tr.obs = mpmb.NewObserver(mpmb.ObserverConfig{OnEvent: onEvent})
 
 	if *t.MetricsAddr != "" {
-		ln, err := net.Listen("tcp", *t.MetricsAddr)
+		// Bind synchronously so a bad -metrics-addr fails the run up
+		// front with the address in the message, rather than a background
+		// goroutine losing the error. mpmb-serve fronts its listener the
+		// same way.
+		srv, err := telemetry.ListenAndServe(*t.MetricsAddr, tr.obs.HTTPHandler())
 		if err != nil {
 			tr.closeJournal()
-			return nil, fmt.Errorf("metrics listener: %w", err)
+			return nil, fmt.Errorf("metrics server: %w", err)
 		}
-		tr.ln = ln
-		tr.srv = &http.Server{Handler: tr.obs.HTTPHandler()}
-		go func() { _ = tr.srv.Serve(ln) }()
-		fmt.Fprintf(errw, "metrics: http://%s/metrics\n", ln.Addr())
+		tr.srv = srv
+		fmt.Fprintf(errw, "metrics: http://%s/metrics\n", srv.Addr())
 	}
 
 	if *t.Progress {
@@ -159,6 +160,11 @@ func (tr *telemetryRun) finish() error {
 	if tr.journal != nil {
 		err = tr.journal.Close()
 		tr.journal = nil
+		// The search itself succeeded; journal damage is reported as the
+		// run's terminal note (and exit status) without re-running trials.
+		if jerr := tr.journalW.Err(); jerr != nil && err == nil {
+			err = jerr
+		}
 	}
 	m := tr.obs.Metrics()
 	fmt.Fprintf(tr.errw, "telemetry: trials=%d hits=%d prep=%d edge-prune=%.1f%% cand-prune=%.1f%% events-dropped=%d\n",
@@ -167,7 +173,9 @@ func (tr *telemetryRun) finish() error {
 		if tr.hold > 0 {
 			time.Sleep(tr.hold)
 		}
-		_ = tr.srv.Close()
+		if serr := tr.srv.Close(); serr != nil && err == nil {
+			err = serr
+		}
 	}
 	return err
 }

@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"net"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -117,6 +119,70 @@ func TestRunWithoutTelemetryOmitsMetrics(t *testing.T) {
 	}
 	if strings.Contains(string(raw), `"metrics"`) {
 		t.Error("JSON export contains a metrics block without an observer")
+	}
+}
+
+// TestRunMetricsAddrBindFailure: a -metrics-addr that cannot bind fails
+// the run up front with the offending address in the message, instead of
+// a background goroutine losing the error after the search started.
+func TestRunMetricsAddrBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	taken := ln.Addr().String()
+
+	path := writeFigure1(t)
+	var errBuf bytes.Buffer
+	old := telemetryStatusW
+	telemetryStatusW = &errBuf
+	defer func() { telemetryStatusW = old }()
+
+	var sb strings.Builder
+	err = run([]string{"-graph", path, "-method", "os", "-trials", "1000",
+		"-metrics-addr", taken}, &sb)
+	if err == nil {
+		t.Fatalf("bind failure on %s not surfaced", taken)
+	}
+	if !strings.Contains(err.Error(), taken) {
+		t.Fatalf("error %q does not name the address %s", err, taken)
+	}
+	// Fail-fast means the search never ran.
+	if strings.Contains(sb.String(), "method=") {
+		t.Fatalf("search ran despite the bind failure:\n%s", sb.String())
+	}
+}
+
+// TestRunJournalWriteFailure: a journal destination that rejects writes
+// (here /dev/full's ENOSPC) must not panic or fail the search mid-run;
+// the run completes, the results print, and the damage surfaces as a
+// terminal error note.
+func TestRunJournalWriteFailure(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("needs /dev/full")
+	}
+	if _, err := os.Stat("/dev/full"); err != nil {
+		t.Skip("no /dev/full on this system")
+	}
+	path := writeFigure1(t)
+	var errBuf bytes.Buffer
+	old := telemetryStatusW
+	telemetryStatusW = &errBuf
+	defer func() { telemetryStatusW = old }()
+
+	var sb strings.Builder
+	err := run([]string{"-graph", path, "-method", "os", "-trials", "20000",
+		"-journal", "/dev/full"}, &sb)
+	if err == nil {
+		t.Fatal("journal write failures not reported as a terminal note")
+	}
+	if !strings.Contains(err.Error(), "journal dropped") {
+		t.Fatalf("terminal note %q does not name the journal damage", err)
+	}
+	// The search itself still completed and reported its answer.
+	if !strings.Contains(sb.String(), "#1  B(0,1|1,2)") {
+		t.Fatalf("search result missing despite journal-only failure:\n%s", sb.String())
 	}
 }
 

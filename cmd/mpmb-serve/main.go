@@ -1,0 +1,139 @@
+// Command mpmb-serve is the always-on MPMB search service: a
+// fault-tolerant, multi-tenant HTTP daemon over the library's search
+// engine.
+//
+// Usage:
+//
+//	mpmb-serve -graphs ./graphs -state ./state -addr :8080
+//	mpmb-serve -graphs ./graphs -state ./state -workers 4 -queue 128
+//	mpmb-serve -graphs ./graphs -state ./state -checkpoint-every 10s
+//
+// Clients submit jobs over JSON, poll status, stream progress events,
+// cancel, and fetch results:
+//
+//	curl -XPOST :8080/v1/jobs -H 'X-Tenant: alice' \
+//	     -d '{"graph":"movielens.graph","trials":1000000,"seed":7}'
+//	curl :8080/v1/jobs/<id>            # status + live metrics
+//	curl :8080/v1/jobs/<id>/events     # NDJSON progress stream
+//	curl -XPOST :8080/v1/jobs/<id>/cancel
+//	curl :8080/v1/jobs/<id>/result
+//
+// Robustness is the point, not a feature flag. Admission is bounded (a
+// full queue or an exhausted per-tenant trial budget answers 429 with a
+// Retry-After hint), each tenant gets a concurrency cap plus a
+// token-bucket trial budget, every job runs isolated behind a panic
+// shield with its own observer and event stream, and running jobs
+// checkpoint periodically through the retrying checkpoint store. On
+// SIGTERM/SIGINT the daemon stops admission (/readyz flips to 503),
+// lets in-flight jobs finish for -drain-grace, checkpoints whatever
+// still runs, and exits; restarting with the same -state resumes the
+// interrupted jobs from their checkpoints and finishes them
+// bit-identically to runs that were never interrupted — the engine
+// derives every trial's randomness from (seed, trial index), so a
+// resumed prefix is the same prefix.
+//
+// /healthz answers liveness, /readyz readiness (not-ready while
+// draining), and /metrics serves the daemon's lifecycle counters plus
+// the aggregated engine telemetry in Prometheus text format.
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+	"github.com/uncertain-graphs/mpmb/internal/serve"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpmb-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// run parses args and serves until a shutdown signal. Split from main
+// for testability; out receives the startup/shutdown status lines the
+// helper-process tests synchronize on.
+func run(args []string, out io.Writer) error {
+	fs := cliflags.New("mpmb-serve")
+	var (
+		addr   = fs.String("addr", ":8080", "HTTP listen address")
+		graphs = fs.String("graphs", ".", "directory job graph names resolve under")
+		state  = fs.String("state", "", "state directory for manifests, checkpoints, results (required)")
+
+		queueDepth = fs.Int("queue", 0, "admission queue depth (0 = default 64)")
+		workers    = fs.Int("workers", 0, "concurrent jobs (0 = default 2)")
+		maxTrials  = fs.Int("max-trials", 0, "reject single jobs above this many total trials (0 = no cap)")
+
+		tenantJobs  = fs.Int("tenant-jobs", 0, "per-tenant active-job cap (0 = default 4)")
+		tenantRate  = fs.Float64("tenant-trial-rate", 0, "per-tenant trial-budget refill per second (0 = default 1e6)")
+		tenantBurst = fs.Float64("tenant-trial-burst", 0, "per-tenant trial-budget bucket size (0 = default 2e7)")
+
+		ckptEvery  = fs.Duration("checkpoint-every", 0, "periodic job checkpoint interval (0 = default 30s, negative = off)")
+		drainGrace = fs.Duration("drain-grace", 0, "how long drain lets jobs finish before suspending them (0 = default 10s)")
+		journal    = fs.Bool("journal-events", false, "persist each job's telemetry events as JSONL under the state dir")
+		cacheSize  = fs.Int("graph-cache", 0, "graphs kept hot with their prepared candidate caches (0 = default 16)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *state == "" {
+		fs.Usage()
+		return fmt.Errorf("-state is required")
+	}
+
+	srv, err := serve.New(serve.Config{
+		GraphRoot:        *graphs,
+		StateDir:         *state,
+		QueueDepth:       *queueDepth,
+		Workers:          *workers,
+		MaxTrials:        *maxTrials,
+		TenantJobs:       *tenantJobs,
+		TenantTrialRate:  *tenantRate,
+		TenantTrialBurst: *tenantBurst,
+		CheckpointEvery:  *ckptEvery,
+		DrainGrace:       *drainGrace,
+		JournalEvents:    *journal,
+		GraphCacheSize:   *cacheSize,
+	})
+	if err != nil {
+		return err
+	}
+
+	// The same synchronous-bind helper the search CLI uses: a taken port
+	// fails the start with the address in the message, instead of a
+	// background goroutine losing the error after the daemon came up.
+	hs, err := telemetry.ListenAndServe(*addr, srv.Handler())
+	if err != nil {
+		srv.Close()
+		return err
+	}
+	fmt.Fprintf(out, "mpmb-serve: listening on %s (state %s, graphs %s)\n", hs.Addr(), *state, *graphs)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, syscall.SIGINT)
+	got := <-sig
+	signal.Stop(sig)
+	fmt.Fprintf(out, "mpmb-serve: %s: draining\n", got)
+
+	// Drain order matters: admission stops and /readyz flips FIRST, so a
+	// load balancer sees not-ready while the listener still answers;
+	// the listener closes only after the jobs are parked.
+	ctx, cancel := context.WithTimeout(context.Background(), srv.DrainBudget())
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		hs.Close()
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err := hs.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "mpmb-serve: drained cleanly")
+	return nil
+}

@@ -1,0 +1,315 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// buildMeshGraph writes a graph whose OS runs are slow enough that a
+// drain reliably interrupts them.
+func buildMeshGraph(t *testing.T, dir, name string) *mpmb.Graph {
+	t.Helper()
+	const nl, nr = 40, 40
+	b := mpmb.NewBuilder(nl, nr)
+	for u := 0; u < nl; u++ {
+		for k := 0; k < 8; k++ {
+			v := (u*7 + k*5) % nr
+			w := float64(1 + (u*13+v*29)%50)
+			p := 0.2 + 0.6*float64((u*31+v*17)%100)/100
+			b.AddEdge(uint32(u), uint32(v), w, p)
+		}
+	}
+	g := b.Build()
+	if err := mpmb.SaveGraph(filepath.Join(dir, name), g); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// syncBuffer is a bytes.Buffer safe to poll while the exec machinery's
+// copier goroutine writes into it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestHelperServeProcess is not a test: it is the daemon body for the
+// drain tests, re-executed from the test binary with MPMB_SERVE_HELPER=1.
+func TestHelperServeProcess(t *testing.T) {
+	if os.Getenv("MPMB_SERVE_HELPER") != "1" {
+		t.Skip("helper process body")
+	}
+	sep := 0
+	for i, a := range os.Args {
+		if a == "--" {
+			sep = i
+		}
+	}
+	if err := run(os.Args[sep+1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "helper:", err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+var listenRe = regexp.MustCompile(`listening on (\S+)`)
+
+// startDaemon launches the helper daemon and waits for its listen line.
+func startDaemon(t *testing.T, graphs, state string) (*exec.Cmd, *syncBuffer, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestHelperServeProcess", "--",
+		"-addr", "127.0.0.1:0", "-graphs", graphs, "-state", state,
+		"-workers", "1", "-checkpoint-every", "25ms", "-drain-grace", "500ms")
+	cmd.Env = append(os.Environ(), "MPMB_SERVE_HELPER=1")
+	var out syncBuffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return cmd, &out, "http://" + m[1]
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("daemon never announced its listener:\n%s", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func getStatus(t *testing.T, base, id string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var doc map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatal(err)
+	}
+	return doc
+}
+
+// TestServeDrainOnSIGTERM is the full fault-tolerance round trip through
+// the real binary: a running job survives SIGTERM as a checkpoint,
+// /readyz flips to 503 while the listener still answers, the process
+// exits cleanly, and a restarted daemon finishes the job bit-identically
+// to a run that was never interrupted.
+func TestServeDrainOnSIGTERM(t *testing.T) {
+	graphs := t.TempDir()
+	state := t.TempDir()
+	g := buildMeshGraph(t, graphs, "mesh.graph")
+	// Sized so the job long outlives the first 25ms checkpoint slice but
+	// still resumes to completion quickly, even under -race.
+	const trials = 400_000
+
+	// Reference: the same search, in-process, never interrupted.
+	ref, err := mpmb.Search(g, mpmb.Options{Method: mpmb.MethodOS, Trials: trials, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, out, base := startDaemon(t, graphs, state)
+
+	body, _ := json.Marshal(map[string]any{
+		"graph": "mesh.graph", "method": "os", "trials": trials, "seed": 42, "top_k": 5,
+	})
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&sub)
+	resp.Body.Close()
+	if err != nil || sub.ID == "" {
+		t.Fatalf("submission failed: HTTP %d, %v", resp.StatusCode, err)
+	}
+
+	// Wait for the first persisted checkpoint so the drain has a prefix
+	// to park.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		doc := getStatus(t, base, sub.ID)
+		if doc["checkpointed"] == true {
+			break
+		}
+		if doc["state"] == "done" {
+			t.Fatal("job finished before SIGTERM; grow the fixture")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no checkpoint appeared; status %v", doc)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if r, err := http.Get(base + "/readyz"); err != nil || r.StatusCode != http.StatusOK {
+		t.Fatalf("not ready before drain: %v %v", r, err)
+	} else {
+		r.Body.Close()
+	}
+
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	// The readiness flip must be observable BEFORE the listener closes:
+	// during the drain grace the daemon keeps answering, as 503.
+	sawNotReady := false
+	for !sawNotReady {
+		r, err := http.Get(base + "/readyz")
+		if err != nil {
+			break // listener closed
+		}
+		sawNotReady = r.StatusCode == http.StatusServiceUnavailable
+		r.Body.Close()
+		time.Sleep(2 * time.Millisecond)
+	}
+	if !sawNotReady {
+		t.Fatal("/readyz never served 503 between SIGTERM and listener close")
+	}
+
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon did not exit cleanly after SIGTERM: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("missing drain confirmation:\n%s", out.String())
+	}
+
+	// The state dir holds the suspended job: manifest + checkpoint.
+	ckpt := filepath.Join(state, "checkpoints", sub.ID+".ckpt")
+	if fi, err := os.Stat(ckpt); err != nil || fi.Size() == 0 {
+		t.Fatalf("checkpoint missing or empty after drain: %v", err)
+	}
+	mdata, err := os.ReadFile(filepath.Join(state, "jobs", sub.ID+".json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var man struct {
+		State string `json:"state"`
+	}
+	if err := json.Unmarshal(mdata, &man); err != nil {
+		t.Fatal(err)
+	}
+	if man.State != "suspended" {
+		t.Fatalf("manifest state %q after drain, want suspended", man.State)
+	}
+
+	// Restart over the same state: the daemon must resume and finish the
+	// job without being asked.
+	cmd2, out2, base2 := startDaemon(t, graphs, state)
+	defer func() {
+		cmd2.Process.Signal(syscall.SIGTERM)
+		cmd2.Wait()
+	}()
+	deadline = time.Now().Add(120 * time.Second)
+	for {
+		doc := getStatus(t, base2, sub.ID)
+		if doc["state"] == "done" {
+			if doc["resumed"] != true {
+				t.Fatal("finished job not marked resumed")
+			}
+			break
+		}
+		if doc["state"] == "failed" {
+			t.Fatalf("resumed job failed: %v\n%s", doc["error"], out2.String())
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed job never finished; status %v", doc)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	rresp, err := http.Get(base2 + "/v1/jobs/" + sub.ID + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rresp.Body.Close()
+	var res struct {
+		Trials  int  `json:"trials"`
+		Partial bool `json:"partial"`
+		Top     []struct {
+			U1, U2, V1, V2 uint32
+			Weight, P      float64
+		} `json:"top"`
+	}
+	if err := json.NewDecoder(rresp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Partial || res.Trials != trials {
+		t.Fatalf("resumed result partial=%v trials=%d, want complete %d", res.Partial, res.Trials, trials)
+	}
+	want := ref.TopK(5)
+	if len(res.Top) != len(want) {
+		t.Fatalf("%d top entries, want %d", len(res.Top), len(want))
+	}
+	for i, e := range want {
+		got := res.Top[i]
+		if got.U1 != e.B.U1 || got.U2 != e.B.U2 || got.V1 != e.B.V1 || got.V2 != e.B.V2 ||
+			got.Weight != e.Weight || got.P != e.P {
+			t.Fatalf("top[%d] = %+v, want %+v — kill/restart broke bit-identity", i, got, e)
+		}
+	}
+}
+
+// TestRunFlagErrors: the binary fails fast on bad flags, naming the
+// problem.
+func TestRunFlagErrors(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{}, &sb); err == nil || !strings.Contains(err.Error(), "-state") {
+		t.Fatalf("missing -state not reported: %v", err)
+	}
+	if err := run([]string{"-state", t.TempDir(), "-bogus"}, &sb); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}
+
+// TestRunAddrBindFailure: a taken -addr fails startup with the address
+// in the message — same fail-fast contract as mpmb-search's
+// -metrics-addr.
+func TestRunAddrBindFailure(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	taken := ln.Addr().String()
+	var sb strings.Builder
+	err = run([]string{"-state", t.TempDir(), "-graphs", t.TempDir(), "-addr", taken}, &sb)
+	if err == nil {
+		t.Fatalf("bind failure on %s not surfaced", taken)
+	}
+	if !strings.Contains(err.Error(), taken) {
+		t.Fatalf("error %q does not name the address %s", err, taken)
+	}
+}

@@ -1,0 +1,88 @@
+package serve
+
+import (
+	"sync"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// eventLogDepth bounds each job's in-memory event ring. Streaming
+// clients that fall further behind than this miss the overwritten
+// events (visible as a sequence gap) — the log never grows unbounded
+// and never stalls the run, matching the observer's drop-not-stall
+// contract.
+const eventLogDepth = 256
+
+// logEvent is one sequenced telemetry event as streamed to clients.
+type logEvent struct {
+	Seq   int64      `json:"seq"`
+	Event mpmb.Event `json:"event"`
+}
+
+// eventLog is a bounded, sequence-numbered event ring with follower
+// wakeups: the job's observer appends, HTTP streamers read from a
+// sequence number and block on a broadcast channel when caught up.
+type eventLog struct {
+	mu     sync.Mutex
+	buf    []logEvent // ring, oldest first
+	next   int64      // sequence number of the next append
+	wake   chan struct{}
+	closed bool
+}
+
+func newEventLog(depth int) *eventLog {
+	if depth <= 0 {
+		depth = eventLogDepth
+	}
+	return &eventLog{buf: make([]logEvent, 0, depth), wake: make(chan struct{})}
+}
+
+// append records an event, overwriting the oldest when full.
+func (l *eventLog) append(e mpmb.Event) {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	rec := logEvent{Seq: l.next, Event: e}
+	l.next++
+	if len(l.buf) == cap(l.buf) {
+		copy(l.buf, l.buf[1:])
+		l.buf[len(l.buf)-1] = rec
+	} else {
+		l.buf = append(l.buf, rec)
+	}
+	wake := l.wake
+	l.wake = make(chan struct{})
+	l.mu.Unlock()
+	close(wake)
+}
+
+// close marks the stream finished and wakes every follower. Idempotent.
+func (l *eventLog) close() {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return
+	}
+	l.closed = true
+	wake := l.wake
+	l.mu.Unlock()
+	close(wake)
+}
+
+// since returns the buffered events with Seq >= from, plus the channel
+// that closes on the next append (for blocking reads) and whether the
+// log has closed. A caught-up follower waits on the channel; events
+// older than the ring are simply gone (the sequence numbers expose the
+// gap).
+func (l *eventLog) since(from int64) (events []logEvent, wake <-chan struct{}, closed bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, rec := range l.buf {
+		if rec.Seq >= from {
+			events = append(events, rec)
+		}
+	}
+	return events, l.wake, l.closed
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+)
+
+// quotaError is an admission rejection with a client-facing retry hint.
+type quotaError struct {
+	msg        string
+	retryAfter time.Duration
+}
+
+func (e *quotaError) Error() string { return e.msg }
+
+// tenantQuota is one tenant's admission state: the active-job count
+// (queued + running) against the concurrency cap, and a token bucket of
+// trial budget refilled continuously.
+type tenantQuota struct {
+	active int
+	tokens float64
+	last   time.Time
+}
+
+// quotaBook enforces per-tenant admission limits. All methods are safe
+// for concurrent use; time flows through the caller so tests can pin it.
+type quotaBook struct {
+	jobs  int     // concurrency cap per tenant
+	rate  float64 // tokens/second refill
+	burst float64 // bucket capacity
+
+	mu      sync.Mutex
+	tenants map[string]*tenantQuota
+}
+
+func newQuotaBook(jobs int, rate, burst float64) *quotaBook {
+	return &quotaBook{jobs: jobs, rate: rate, burst: burst, tenants: make(map[string]*tenantQuota)}
+}
+
+// tenant returns the bucket, creating a full one on first sight.
+func (b *quotaBook) tenant(name string, now time.Time) *tenantQuota {
+	t, ok := b.tenants[name]
+	if !ok {
+		t = &tenantQuota{tokens: b.burst, last: now}
+		b.tenants[name] = t
+	}
+	return t
+}
+
+// refill advances the bucket to now.
+func (b *quotaBook) refill(t *tenantQuota, now time.Time) {
+	dt := now.Sub(t.last).Seconds()
+	if dt > 0 {
+		t.tokens = math.Min(b.burst, t.tokens+dt*b.rate)
+		t.last = now
+	}
+}
+
+// admit charges one job of the given trial cost against the tenant.
+// A *quotaError carries the Retry-After hint: for an exhausted trial
+// budget it is the exact refill time of the shortfall; for a saturated
+// concurrency cap there is no budget arithmetic to predict, so the hint
+// is a fixed short backoff.
+func (b *quotaBook) admit(name string, cost float64, now time.Time) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tenant(name, now)
+	b.refill(t, now)
+	if t.active >= b.jobs {
+		return &quotaError{
+			msg:        fmt.Sprintf("tenant %q already has %d active jobs (cap %d)", name, t.active, b.jobs),
+			retryAfter: time.Second,
+		}
+	}
+	if t.tokens < cost {
+		wait := time.Duration((cost - t.tokens) / b.rate * float64(time.Second))
+		return &quotaError{
+			msg:        fmt.Sprintf("tenant %q trial budget exhausted: need %.0f tokens, have %.0f", name, cost, t.tokens),
+			retryAfter: wait,
+		}
+	}
+	t.tokens -= cost
+	t.active++
+	return nil
+}
+
+// refund undoes an admit whose job never entered the queue (queue full):
+// both the concurrency slot and the trial tokens come back.
+func (b *quotaBook) refund(name string, cost float64, now time.Time) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	t := b.tenant(name, now)
+	b.refill(t, now)
+	t.tokens = math.Min(b.burst, t.tokens+cost)
+	if t.active > 0 {
+		t.active--
+	}
+}
+
+// release frees the concurrency slot when a job reaches a terminal
+// state. The trial tokens stay spent — the work was done (or reserved).
+func (b *quotaBook) release(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.tenants[name]; ok && t.active > 0 {
+		t.active--
+	}
+}
+
+// recoverActive re-occupies a concurrency slot for a job re-admitted
+// from disk after a restart. The trial budget was charged at original
+// admission and is not charged again (restart resets buckets to full,
+// which errs on the side of accepting work the daemon already owes).
+func (b *quotaBook) recoverActive(name string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tenant(name, time.Now()).active++
+}
+
+// activeJobs reports a tenant's occupied concurrency slots.
+func (b *quotaBook) activeJobs(name string) int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if t, ok := b.tenants[name]; ok {
+		return t.active
+	}
+	return 0
+}

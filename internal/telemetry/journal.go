@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// JournalWriter appends events to a JSONL journal, hardened against a
+// failing destination (disk full, closed file, dead pipe). Each event is
+// marshalled into a private buffer first and handed to the underlying
+// writer as ONE Write call of a complete "<json>\n" record, so a healthy
+// writer never interleaves or splits records. When a write fails the
+// event is dropped and counted instead of panicking or aborting the run;
+// if the failed write landed partial bytes (a torn record), the journal
+// is poisoned and every later event is dropped too — appending after a
+// torn record would corrupt the line framing for replay tools.
+//
+// Err reports the terminal note for the run: nil while the journal is
+// clean, otherwise one error summarizing the drop count and first cause.
+// A JournalWriter is safe for concurrent use, though the observer hub
+// delivers events from a single goroutine in practice.
+type JournalWriter struct {
+	mu       sync.Mutex
+	w        io.Writer
+	buf      []byte
+	dropped  int64
+	cause    error
+	poisoned bool
+}
+
+// NewJournalWriter wraps w, which the caller keeps ownership of (the
+// writer never closes it).
+func NewJournalWriter(w io.Writer) *JournalWriter {
+	return &JournalWriter{w: w}
+}
+
+// Write appends one event as a JSON line, dropping (and counting) it on
+// any failure instead of returning an error: journal health must never
+// decide a search's fate mid-run. Read the damage report with Err.
+func (j *JournalWriter) Write(e Event) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.poisoned {
+		j.dropped++
+		return
+	}
+	line, err := json.Marshal(e)
+	if err != nil {
+		// Unreachable for the Event type (plain data), but a marshal
+		// failure is still a clean drop: nothing reached the file.
+		j.drop(err)
+		return
+	}
+	j.buf = append(j.buf[:0], line...)
+	j.buf = append(j.buf, '\n')
+	n, err := j.w.Write(j.buf)
+	if err == nil && n == len(j.buf) {
+		return
+	}
+	if err == nil {
+		err = io.ErrShortWrite
+	}
+	j.drop(err)
+	if n > 0 {
+		// Partial bytes hit the file: the current line is torn, so any
+		// further append would produce a record glued onto the stump.
+		j.poisoned = true
+	}
+}
+
+// drop counts a lost event, keeping the first cause as the terminal note.
+func (j *JournalWriter) drop(err error) {
+	j.dropped++
+	if j.cause == nil {
+		j.cause = err
+	}
+}
+
+// Dropped reports how many events were lost to write failures.
+func (j *JournalWriter) Dropped() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.dropped
+}
+
+// Err returns nil while every event reached the journal, otherwise a
+// terminal note carrying the drop count and the first underlying cause
+// (which stays available to errors.Is/As via Unwrap).
+func (j *JournalWriter) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.dropped == 0 {
+		return nil
+	}
+	return &JournalError{Dropped: j.dropped, Cause: j.cause}
+}
+
+// JournalError is the terminal damage report of a JournalWriter whose
+// destination failed mid-run.
+type JournalError struct {
+	// Dropped is the number of events that never reached the journal.
+	Dropped int64
+	// Cause is the first write error.
+	Cause error
+}
+
+func (e *JournalError) Error() string {
+	return fmt.Sprintf("telemetry: journal dropped %d events (first error: %v)", e.Dropped, e.Cause)
+}
+
+// Unwrap exposes the first write error to errors.Is/As chains.
+func (e *JournalError) Unwrap() error { return e.Cause }

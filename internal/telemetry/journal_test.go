@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// flakyWriter fails (optionally with partial progress) on selected
+// writes, standing in for a full disk or a closed file.
+type flakyWriter struct {
+	buf      bytes.Buffer
+	failFrom int // 0-based write index the failures start at; -1 = never
+	partial  int // bytes to land before failing (torn record)
+	failErr  error
+	writes   int
+	healAt   int // write index the destination recovers at; 0 = never
+}
+
+func (w *flakyWriter) Write(p []byte) (int, error) {
+	i := w.writes
+	w.writes++
+	failing := w.failFrom >= 0 && i >= w.failFrom && (w.healAt == 0 || i < w.healAt)
+	if !failing {
+		return w.buf.Write(p)
+	}
+	if w.partial > 0 && w.partial < len(p) {
+		w.buf.Write(p[:w.partial])
+		return w.partial, w.failErr
+	}
+	return 0, w.failErr
+}
+
+func TestJournalWriterCleanStream(t *testing.T) {
+	w := &flakyWriter{failFrom: -1}
+	j := NewJournalWriter(w)
+	for i := 0; i < 10; i++ {
+		j.Write(Event{Kind: EventTrialDone, Trial: i, N: 64})
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("clean journal reports error: %v", err)
+	}
+	if j.Dropped() != 0 {
+		t.Fatalf("clean journal dropped %d", j.Dropped())
+	}
+	sc := bufio.NewScanner(&w.buf)
+	lines := 0
+	for sc.Scan() {
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("line %d unparsable: %v", lines, err)
+		}
+		if e.Trial != lines {
+			t.Fatalf("line %d: trial %d (out of order)", lines, e.Trial)
+		}
+		lines++
+	}
+	if lines != 10 {
+		t.Fatalf("journal has %d lines, want 10", lines)
+	}
+}
+
+// A clean failure (no bytes landed) drops the event and counts it; the
+// journal keeps accepting events and recovers when the destination does.
+func TestJournalWriterDropsAndRecovers(t *testing.T) {
+	cause := errors.New("disk full")
+	w := &flakyWriter{failFrom: 1, healAt: 3, failErr: cause}
+	j := NewJournalWriter(w)
+	for i := 0; i < 5; i++ {
+		j.Write(Event{Kind: EventTrialDone, Trial: i})
+	}
+	if got := j.Dropped(); got != 2 {
+		t.Fatalf("dropped %d, want 2 (writes 1 and 2)", got)
+	}
+	err := j.Err()
+	if err == nil || !errors.Is(err, cause) {
+		t.Fatalf("Err() = %v, want wrap of %v", err, cause)
+	}
+	var je *JournalError
+	if !errors.As(err, &je) || je.Dropped != 2 {
+		t.Fatalf("Err() = %#v, want *JournalError with Dropped=2", err)
+	}
+	// Surviving lines (0, 3, 4) must all be whole records.
+	var trials []int
+	sc := bufio.NewScanner(&w.buf)
+	for sc.Scan() {
+		var e Event
+		if uerr := json.Unmarshal(sc.Bytes(), &e); uerr != nil {
+			t.Fatalf("torn record in journal: %q", sc.Text())
+		}
+		trials = append(trials, e.Trial)
+	}
+	if fmt.Sprint(trials) != "[0 3 4]" {
+		t.Fatalf("surviving trials %v, want [0 3 4]", trials)
+	}
+}
+
+// A partial write tears the current record; the journal must poison
+// itself so nothing is ever appended onto the stump.
+func TestJournalWriterPoisonsAfterTornRecord(t *testing.T) {
+	cause := errors.New("input/output error")
+	w := &flakyWriter{failFrom: 2, partial: 7, failErr: cause}
+	j := NewJournalWriter(w)
+	for i := 0; i < 6; i++ {
+		j.Write(Event{Kind: EventTrialDone, Trial: i})
+	}
+	if got := j.Dropped(); got != 4 {
+		t.Fatalf("dropped %d, want 4 (the torn write and everything after)", got)
+	}
+	if w.writes != 3 {
+		t.Fatalf("underlying writer saw %d writes, want 3 (poisoned journal must stop writing)", w.writes)
+	}
+	out := w.buf.String()
+	lines := strings.Split(out, "\n")
+	// Two whole records, then the 7-byte stump with no trailing newline and
+	// nothing after it.
+	if len(lines) != 3 {
+		t.Fatalf("journal has %d segments, want 3:\n%q", len(lines), out)
+	}
+	for i := 0; i < 2; i++ {
+		var e Event
+		if err := json.Unmarshal([]byte(lines[i]), &e); err != nil {
+			t.Fatalf("line %d unparsable: %v", i, err)
+		}
+	}
+	if len(lines[2]) != 7 {
+		t.Fatalf("stump is %d bytes, want exactly the 7 partial bytes: %q", len(lines[2]), lines[2])
+	}
+	if err := j.Err(); err == nil || !errors.Is(err, cause) {
+		t.Fatalf("Err() = %v, want wrap of %v", err, cause)
+	}
+}
+
+// A short write without an error is still a torn record.
+func TestJournalWriterShortWrite(t *testing.T) {
+	j := NewJournalWriter(shortWriter{})
+	j.Write(Event{Kind: EventTrialDone})
+	j.Write(Event{Kind: EventTrialDone})
+	if j.Dropped() != 2 {
+		t.Fatalf("dropped %d, want 2", j.Dropped())
+	}
+	if err := j.Err(); err == nil || !errors.Is(err, errShortTest) {
+		t.Fatalf("Err() = %v, want io.ErrShortWrite", err)
+	}
+}
+
+var errShortTest = errors.New("short write")
+
+type shortWriter struct{}
+
+func (shortWriter) Write(p []byte) (int, error) { return len(p) / 2, errShortTest }

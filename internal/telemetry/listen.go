@@ -1,0 +1,66 @@
+package telemetry
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+)
+
+// HTTPServer is an HTTP endpoint whose listener is bound synchronously:
+// construction fails fast, with the requested address in the message,
+// instead of a background goroutine discovering (and losing) the bind
+// error after the caller has moved on. Both mpmb-search's -metrics-addr
+// endpoint and the mpmb-serve daemon front their listeners with it.
+type HTTPServer struct {
+	ln  net.Listener
+	srv *http.Server
+
+	mu       sync.Mutex
+	serveErr error
+	done     chan struct{}
+}
+
+// ListenAndServe binds addr, then serves h in the background. A bind
+// failure returns immediately as `listen on <addr>: ...`; an
+// asynchronous Serve failure is captured and reported by Close, never
+// silently dropped.
+func ListenAndServe(addr string, h http.Handler) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen on %s: %w", addr, err)
+	}
+	s := &HTTPServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: h},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		err := s.srv.Serve(ln)
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.mu.Lock()
+			s.serveErr = err
+			s.mu.Unlock()
+		}
+	}()
+	return s, nil
+}
+
+// Addr reports the bound address — useful with ":0" listeners, whose
+// real port only exists after the bind.
+func (s *HTTPServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the listener, waits for the serve loop to exit, and
+// returns any asynchronous serve failure that was captured (nil on a
+// clean shutdown). In-flight handlers are aborted, not awaited; callers
+// needing a graceful connection drain should front their own
+// http.Server instead.
+func (s *HTTPServer) Close() error {
+	_ = s.srv.Close()
+	<-s.done
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.serveErr
+}

@@ -1,0 +1,49 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestListenAndServeServes(t *testing.T) {
+	h := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "pong")
+	})
+	s, err := ListenAndServe("127.0.0.1:0", h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get("http://" + s.Addr() + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "pong" {
+		t.Fatalf("body = %q", body)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("clean shutdown returned %v", err)
+	}
+}
+
+// A bind failure must be synchronous and name the address — the whole
+// point of the helper is that the error cannot escape into a goroutine.
+func TestListenAndServeBindFailureIsFailFast(t *testing.T) {
+	s, err := ListenAndServe("127.0.0.1:0", http.NotFoundHandler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	taken := s.Addr()
+	dup, err := ListenAndServe(taken, http.NotFoundHandler())
+	if err == nil {
+		dup.Close()
+		t.Fatalf("second bind of %s succeeded", taken)
+	}
+	if !strings.Contains(err.Error(), taken) {
+		t.Fatalf("bind error %q does not name the address %s", err, taken)
+	}
+}

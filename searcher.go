@@ -15,12 +15,16 @@ import (
 // budgets, switching between the OLS and OLS-KL estimators, or asking for
 // different top-k views pays for candidate listing once.
 //
-// A Searcher is safe for concurrent use.
+// A Searcher is safe for concurrent use. Concurrent searches needing the
+// same (PrepTrials, Seed) candidate set are single-flighted: one caller
+// runs the preparing phase while the others wait for its result, so a
+// burst of identical queries — the multi-tenant daemon's steady state —
+// pays for candidate listing exactly once.
 type Searcher struct {
 	g *Graph
 
 	mu    sync.Mutex
-	cands map[candKey]*core.Candidates
+	cands map[candKey]*candEntry
 }
 
 type candKey struct {
@@ -28,9 +32,17 @@ type candKey struct {
 	seed       uint64
 }
 
+// candEntry is one single-flight slot: ready closes when the preparing
+// phase finishes, after which cands/err are immutable.
+type candEntry struct {
+	ready chan struct{}
+	cands *core.Candidates
+	err   error
+}
+
 // NewSearcher wraps g for repeated queries.
 func NewSearcher(g *Graph) *Searcher {
-	return &Searcher{g: g, cands: make(map[candKey]*core.Candidates)}
+	return &Searcher{g: g, cands: make(map[candKey]*candEntry)}
 }
 
 // Graph returns the wrapped graph.
@@ -118,19 +130,33 @@ func (s *Searcher) candidates(prepTrials int, seed uint64) (*core.Candidates, er
 func (s *Searcher) candidatesProbe(prepTrials int, seed uint64, probe *telemetry.Probe) (*core.Candidates, error) {
 	key := candKey{prepTrials: prepTrials, seed: seed}
 	s.mu.Lock()
-	cached, ok := s.cands[key]
-	s.mu.Unlock()
+	e, ok := s.cands[key]
 	if ok {
-		return cached, nil
+		s.mu.Unlock()
+		// Either a completed prep (ready already closed) or one in
+		// flight; wait rather than duplicating the work. The follower's
+		// probe records nothing for the preparing phase — the metrics
+		// reflect work done, not work awaited.
+		<-e.ready
+		return e.cands, e.err
 	}
-	// Prepare outside the lock; duplicate work on a race is harmless
-	// (both goroutines compute the identical deterministic set).
-	cands, err := core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{Probe: probe})
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.cands[key] = cands
+	e = &candEntry{ready: make(chan struct{})}
+	s.cands[key] = e
 	s.mu.Unlock()
-	return cands, nil
+
+	// Prepare outside the lock: the phase is expensive and the slot
+	// already claims the key, so concurrent identical preps run once.
+	e.cands, e.err = core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{Probe: probe})
+	if e.err != nil {
+		// A failed prep must not poison the key forever: evict the slot
+		// so a later call retries (waiters already joined still see the
+		// error of the flight they joined).
+		s.mu.Lock()
+		if s.cands[key] == e {
+			delete(s.cands, key)
+		}
+		s.mu.Unlock()
+	}
+	close(e.ready)
+	return e.cands, e.err
 }

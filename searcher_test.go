@@ -87,6 +87,56 @@ func TestSearcherConcurrent(t *testing.T) {
 	}
 }
 
+// TestSearcherSingleFlightPrep: a burst of concurrent identical queries
+// runs the preparing phase exactly once. The observer's PrepTrials
+// counter is the witness — it counts prep work actually executed, so N
+// concurrent searches sharing one flight must report one prep's worth.
+func TestSearcherSingleFlightPrep(t *testing.T) {
+	g := figure1(t)
+	s := NewSearcher(g)
+	const prep = 200
+	obs := NewObserver(ObserverConfig{})
+	// Attaching one observer to concurrent runs is not allowed, so give
+	// each goroutine its own and sum at the end.
+	const n = 8
+	observers := make([]*Observer, n)
+	for i := range observers {
+		observers[i] = NewObserver(ObserverConfig{})
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := s.Search(Options{Method: MethodOLS, Trials: 500, PrepTrials: prep, Seed: 11, Mu: 0.05, Observer: observers[i]})
+			if err != nil {
+				errs <- err
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, o := range observers {
+		total += o.Metrics().PrepTrials
+	}
+	if total != prep {
+		t.Fatalf("%d concurrent identical searches executed %d prep trials in total, want exactly %d (single flight)", n, total, prep)
+	}
+	// And the flight's product is cached for later callers.
+	res, err := s.Search(Options{Method: MethodOLS, Trials: 500, PrepTrials: prep, Seed: 11, Mu: 0.05, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || obs.Metrics().PrepTrials != 0 {
+		t.Fatalf("cache hit after the flight still ran %d prep trials", obs.Metrics().PrepTrials)
+	}
+}
+
 // TestSearcherValidation propagates option errors.
 func TestSearcherValidation(t *testing.T) {
 	s := NewSearcher(figure1(t))
