@@ -1,0 +1,275 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/dist"
+)
+
+// distTrials sizes the distributed CLI tests: long enough that a
+// coordinator is reliably mid-run when the test kills a worker or
+// delivers SIGTERM, short enough for CI.
+const distTrials = 300000
+
+// writeDistMesh saves a graph big enough that distTrials take a few
+// seconds sequentially, so mid-run process faults land mid-run.
+func writeDistMesh(t *testing.T) string {
+	t.Helper()
+	const nl, nr = 40, 40
+	b := mpmb.NewBuilder(nl, nr)
+	for u := 0; u < nl; u++ {
+		for k := 0; k < 10; k++ {
+			v := (u*11 + k*7) % nr
+			w := float64(1 + (u*13+v*29)%50)
+			p := 0.2 + 0.6*float64((u*31+v*17)%100)/100
+			b.AddEdge(uint32(u), uint32(v), w, p)
+		}
+	}
+	path := filepath.Join(t.TempDir(), "mesh.graph")
+	if err := mpmb.SaveGraph(path, b.Build()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestHelperDistProcess is the subprocess body for the distributed CLI
+// tests: it forwards everything after "--" straight to run, so the same
+// helper serves as a real coordinator binary and a real worker binary.
+func TestHelperDistProcess(t *testing.T) {
+	if os.Getenv("MPMB_DIST_HELPER") != "1" {
+		t.Skip("helper process body")
+	}
+	args := os.Args
+	for i, a := range args {
+		if a == "--" {
+			args = args[i+1:]
+			break
+		}
+	}
+	if err := run(args, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}
+
+// startDistHelper launches the test binary as a real mpmb-search
+// process with the given CLI args and returns its output buffer.
+func startDistHelper(t *testing.T, args ...string) (*exec.Cmd, *syncBuffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], append([]string{"-test.run=TestHelperDistProcess", "--"}, args...)...)
+	cmd.Env = append(os.Environ(), "MPMB_DIST_HELPER=1")
+	var buf syncBuffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return cmd, &buf
+}
+
+// awaitOutput polls a child's output until re matches or the deadline
+// passes, returning the first submatch.
+func awaitOutput(t *testing.T, cmd *exec.Cmd, buf *syncBuffer, re *regexp.Regexp, what string) string {
+	t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if m := re.FindStringSubmatch(buf.String()); m != nil {
+			return m[1]
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			t.Fatalf("%s never appeared:\n%s", what, buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+var coordAddrRE = regexp.MustCompile(`dist: coordinating on (\S+)`)
+
+// TestDistRealBinariesKillWorker is the acceptance bar run through real
+// processes: a coordinator binary plus three worker binaries, one of
+// which is SIGKILLed mid-run. The surviving fleet must finish and the
+// coordinator's JSON report must be byte-identical to a plain
+// sequential run of the same search.
+func TestDistRealBinariesKillWorker(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	graph := writeDistMesh(t)
+	dir := t.TempDir()
+	common := []string{"-graph", graph, "-method", "os",
+		"-trials", strconv.Itoa(distTrials), "-seed", "7"}
+
+	// Sequential reference, in-process.
+	refJSON := filepath.Join(dir, "ref.json")
+	var sb strings.Builder
+	if err := run(append(common, "-json", refJSON), &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	gotJSON := filepath.Join(dir, "dist.json")
+	coord, coordOut := startDistHelper(t, append(common,
+		"-dist-listen", "127.0.0.1:0", "-json", gotJSON)...)
+	defer coord.Process.Kill()
+	base := "http://" + awaitOutput(t, coord, coordOut, coordAddrRE, "coordinator address")
+
+	workers := make([]*exec.Cmd, 3)
+	outs := make([]*syncBuffer, 3)
+	for i := range workers {
+		workers[i], outs[i] = startDistHelper(t, "-join", base)
+		defer workers[i].Process.Kill()
+	}
+	for i, out := range outs {
+		awaitOutput(t, workers[i], out, regexp.MustCompile(`(dist: worker joining \S+)`), "worker banner")
+	}
+
+	// Let the fleet get into the run, then SIGKILL one worker. The
+	// coordinator must not have finished yet, or the kill proves nothing.
+	time.Sleep(300 * time.Millisecond)
+	if strings.Contains(coordOut.String(), "top-") {
+		t.Fatalf("run finished before the worker kill; raise distTrials\n%s", coordOut.String())
+	}
+	if err := workers[0].Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	workers[0].Wait()
+
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator failed after worker kill: %v\n%s", err, coordOut.String())
+	}
+	if strings.Contains(coordOut.String(), "stopped after") {
+		t.Fatalf("coordinator reported a partial run:\n%s", coordOut.String())
+	}
+	// Surviving workers exit on their own once the coordinator is gone.
+	for _, w := range workers[1:] {
+		if err := w.Wait(); err != nil {
+			t.Errorf("surviving worker exited with %v", err)
+		}
+	}
+
+	ref, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(gotJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(got) {
+		t.Fatalf("distributed JSON differs from sequential after worker kill:\nref:  %s\ndist: %s", ref, got)
+	}
+}
+
+var stoppedRE = regexp.MustCompile(`stopped after (\d+)/\d+ trials`)
+
+// TestDistCoordinatorSIGTERMDrain suspends a distributed coordinator
+// mid-run with SIGTERM: it must checkpoint the merged prefix and exit
+// cleanly, and resuming that checkpoint — again distributed — must
+// produce JSON byte-identical to the never-interrupted sequential run.
+func TestDistCoordinatorSIGTERMDrain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	graph := writeDistMesh(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "drain.ckpt")
+	common := []string{"-graph", graph, "-method", "os",
+		"-trials", strconv.Itoa(distTrials), "-seed", "7"}
+
+	refJSON := filepath.Join(dir, "ref.json")
+	var sb strings.Builder
+	if err := run(append(common, "-json", refJSON), &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	coord, coordOut := startDistHelper(t, append(common,
+		"-dist-listen", "127.0.0.1:0", "-checkpoint", ckpt)...)
+	defer coord.Process.Kill()
+	base := "http://" + awaitOutput(t, coord, coordOut, coordAddrRE, "coordinator address")
+
+	// Two in-process workers drive the run while it lasts.
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	defer stopWorkers()
+	for i := 0; i < 2; i++ {
+		go (&dist.Worker{Base: base, Name: fmt.Sprintf("w%d", i), Pool: 1}).Run(wctx)
+	}
+
+	// Give the fleet time to merge a real prefix, then drain.
+	time.Sleep(400 * time.Millisecond)
+	if err := coord.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Wait(); err != nil {
+		t.Fatalf("coordinator did not drain cleanly: %v\n%s", err, coordOut.String())
+	}
+	out := coordOut.String()
+	m := stoppedRE.FindStringSubmatch(out)
+	if m == nil {
+		t.Fatalf("drained coordinator reported no partial prefix:\n%s", out)
+	}
+	done, _ := strconv.Atoi(m[1])
+	if done <= 0 || done >= distTrials {
+		t.Fatalf("drained after %d trials, want a strict non-empty prefix of %d (retune timing)", done, distTrials)
+	}
+	if !strings.Contains(out, "checkpoint saved to "+ckpt) {
+		t.Fatalf("no checkpoint saved on drain:\n%s", out)
+	}
+	stopWorkers()
+
+	// Resume the checkpoint through a fresh distributed run: in-process
+	// coordinator, new worker pair joining once its address is printed.
+	gotJSON := filepath.Join(dir, "resumed.json")
+	var resumeOut syncBuffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(append(common, "-resume", ckpt,
+			"-dist-listen", "127.0.0.1:0", "-json", gotJSON), &resumeOut)
+	}()
+	deadline := time.Now().Add(20 * time.Second)
+	var rbase string
+	for {
+		if m := coordAddrRE.FindStringSubmatch(resumeOut.String()); m != nil {
+			rbase = "http://" + m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("resumed coordinator never bound:\n%s", resumeOut.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	rctx, stopResumeWorkers := context.WithCancel(context.Background())
+	defer stopResumeWorkers()
+	for i := 0; i < 2; i++ {
+		go (&dist.Worker{Base: rbase, Name: fmt.Sprintf("r%d", i), Pool: 1}).Run(rctx)
+	}
+	if err := <-errc; err != nil {
+		t.Fatalf("resumed run failed: %v\n%s", err, resumeOut.String())
+	}
+	if strings.Contains(resumeOut.String(), "stopped after") {
+		t.Fatalf("resumed run still partial:\n%s", resumeOut.String())
+	}
+
+	ref, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(gotJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(got) {
+		t.Fatalf("drain+resume JSON differs from uninterrupted run:\nref:     %s\nresumed: %s", ref, got)
+	}
+}

@@ -39,6 +39,17 @@
 //
 //	mpmb-search -graph big.graph -progress -metrics-addr :9090
 //	mpmb-search -graph big.graph -journal run.jsonl
+//
+// Scaling out: -dist-listen turns the run into a distributed
+// coordinator that leases trial ranges to worker processes over HTTP,
+// and -join turns an mpmb-search process into such a worker (no -graph
+// needed: workers fetch the graph from the coordinator and rebuild
+// candidate sets deterministically from the run seed). The fan-out is
+// exact — the distributed Result is bit-identical to the sequential
+// run with the same seed, even when workers die mid-run:
+//
+//	mpmb-search -graph big.graph -trials 10000000 -dist-listen :9191
+//	mpmb-search -join http://coordinator:9191     # on each worker box
 package main
 
 import (
@@ -53,7 +64,9 @@ import (
 
 	mpmb "github.com/uncertain-graphs/mpmb"
 	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+	"github.com/uncertain-graphs/mpmb/internal/dist"
 	"github.com/uncertain-graphs/mpmb/internal/profiling"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 func main() {
@@ -83,6 +96,9 @@ func run(args []string, out io.Writer) (retErr error) {
 		resume   = fs.String("resume", "", "resume a cancelled run from this checkpoint file")
 		jsonOut  = fs.String("json", "", "also write the reported butterflies as JSON to this file")
 
+		distListen = fs.String("dist-listen", "", "coordinate a distributed run: lease trial ranges to workers joining on this address")
+		join       = fs.String("join", "", "run as a distributed worker for the coordinator at this base URL (no -graph needed)")
+
 		auditEvery = fs.Int("audit-every", 0, "interleave a coverage audit every N OLS sampling trials (0 = off)")
 		maxEsc     = fs.Int("max-escalations", 0, "audit escalations before falling back to os (0 = default)")
 		epsilon    = fs.Float64("epsilon", 0, "stop once the leader estimate's half-width is ≤ this (0 = off)")
@@ -107,6 +123,12 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *join != "" {
+		if *distListen != "" {
+			return fmt.Errorf("-join and -dist-listen are mutually exclusive: a process is a worker or a coordinator, not both")
+		}
+		return runWorker(*join, *workers, out)
 	}
 	if *path == "" {
 		fs.Usage()
@@ -155,6 +177,16 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *deadline > 0 {
 		opt.Deadline = time.Now().Add(*deadline)
+	}
+	if *distListen != "" {
+		coord := dist.NewCoordinator()
+		hs, err := telemetry.ListenAndServe(*distListen, coord.Handler())
+		if err != nil {
+			return err
+		}
+		defer hs.Close()
+		fmt.Fprintf(out, "dist: coordinating on %s\n", hs.Addr())
+		opt.Executor = &dist.Executor{C: coord}
 	}
 	// Checkpoint I/O goes through the retrying store: transient failures
 	// on flaky volumes back off and retry instead of losing the run.
@@ -241,6 +273,24 @@ func run(args []string, out io.Writer) (retErr error) {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *jsonOut)
 	}
+	return nil
+}
+
+// runWorker joins a coordinator and executes leased trial ranges until
+// the coordinator exits (the normal end of a run) or a shutdown signal
+// arrives. Workers carry no run state of their own: the graph is
+// fetched and checksum-verified from the coordinator, candidate sets
+// are rebuilt deterministically from the run seed, and an abandoned
+// lease is simply reissued to another worker.
+func runWorker(base string, pool int, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(out, "dist: worker joining %s\n", base)
+	w := &dist.Worker{Base: base, Pool: pool}
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "dist: worker done")
 	return nil
 }
 

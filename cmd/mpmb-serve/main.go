@@ -35,6 +35,17 @@
 // /healthz answers liveness, /readyz readiness (not-ready while
 // draining), and /metrics serves the daemon's lifecycle counters plus
 // the aggregated engine telemetry in Prometheus text format.
+//
+// Scaling out: -dist mounts the distributed coordinator's /dist/v1
+// lease endpoints on the same listener and hands eligible jobs'
+// sampling trials to a worker fleet instead of the in-process pool,
+// and -worker -join turns an mpmb-serve process into such a worker:
+//
+//	mpmb-serve -graphs ./graphs -state ./state -dist
+//	mpmb-serve -worker -join http://daemon:8080    # on each worker box
+//
+// Fan-out is exact: a distributed job's Result is bit-identical to the
+// same job run locally, even across worker deaths mid-run.
 package main
 
 import (
@@ -46,6 +57,7 @@ import (
 	"syscall"
 
 	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+	"github.com/uncertain-graphs/mpmb/internal/dist"
 	"github.com/uncertain-graphs/mpmb/internal/serve"
 	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
@@ -79,9 +91,24 @@ func run(args []string, out io.Writer) error {
 		drainGrace = fs.Duration("drain-grace", 0, "how long drain lets jobs finish before suspending them (0 = default 10s)")
 		journal    = fs.Bool("journal-events", false, "persist each job's telemetry events as JSONL under the state dir")
 		cacheSize  = fs.Int("graph-cache", 0, "graphs kept hot with their prepared candidate caches (0 = default 16)")
+
+		distMode = fs.Bool("dist", false, "mount the /dist/v1 coordinator and fan eligible jobs' trials out to joined workers")
+		worker   = fs.Bool("worker", false, "run as a distributed worker instead of a daemon (requires -join)")
+		join     = fs.String("join", "", "coordinator base URL a -worker leases trial ranges from")
+		pool     = fs.Int("pool", 0, "worker-mode local pool size per leased range (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *worker {
+		if *join == "" {
+			fs.Usage()
+			return fmt.Errorf("-worker requires -join")
+		}
+		return runWorker(*join, *pool, out)
+	}
+	if *join != "" {
+		return fmt.Errorf("-join only applies to -worker mode")
 	}
 	if *state == "" {
 		fs.Usage()
@@ -101,6 +128,7 @@ func run(args []string, out io.Writer) error {
 		DrainGrace:       *drainGrace,
 		JournalEvents:    *journal,
 		GraphCacheSize:   *cacheSize,
+		Dist:             *distMode,
 	})
 	if err != nil {
 		return err
@@ -135,5 +163,22 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	fmt.Fprintln(out, "mpmb-serve: drained cleanly")
+	return nil
+}
+
+// runWorker joins a -dist daemon's coordinator and executes leased
+// trial ranges until the daemon exits or a shutdown signal arrives.
+// Workers are stateless: graphs are fetched and checksum-verified from
+// the coordinator, candidate sets rebuilt deterministically from the
+// run seed, and abandoned leases reissued to surviving workers.
+func runWorker(base string, pool int, out io.Writer) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	fmt.Fprintf(out, "mpmb-serve: worker joining %s\n", base)
+	w := &dist.Worker{Base: base, Pool: pool}
+	if err := w.Run(ctx); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "mpmb-serve: worker done")
 	return nil
 }

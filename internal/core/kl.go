@@ -66,6 +66,12 @@ type KLOptions struct {
 	// counts actually executed, flushed once per priced candidate. Nil
 	// costs one predictable branch per candidate.
 	Probe *telemetry.Probe
+	// Executor, if non-nil, replaces EstimateKarpLubyParallel's default
+	// in-process worker pool with an explicit TrialExecutor. Spec then
+	// carries the run-level identity remote executors need; both are
+	// ignored by the sequential EstimateKarpLuby.
+	Executor TrialExecutor
+	Spec     ExecSpec
 }
 
 // klScratch is the reusable lazy edge-sampling state shared by all trials

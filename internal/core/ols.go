@@ -48,6 +48,11 @@ type OLSOptions struct {
 	// preparing phase flushes under the "prep" phase label (with candidate
 	// promotions), the sampling phase under "sample". Nil is free.
 	Probe *telemetry.Probe
+	// Executor, if non-nil, runs the SAMPLING phase through an explicit
+	// TrialExecutor instead of the in-process worker pool (the preparing
+	// phase always runs locally: it is short, and its candidate set is
+	// what remote workers rebuild deterministically from the seed).
+	Executor TrialExecutor
 }
 
 // DefaultOLSOptions mirrors the paper's experimental defaults (Section
@@ -189,6 +194,10 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 	// The sampling phase must not share a random stream with the
 	// preparing phase; offset the seed deterministically.
 	sampleSeed := opt.Seed ^ 0xa5a5a5a5deadbeef
+	// The run-level identity an explicit executor may need to rebuild the
+	// candidate set remotely: the RUN seed (the phase seed is derived from
+	// it) plus the trial targets and Mu the checkpoint layer validates.
+	spec := ExecSpec{Method: method, Seed: opt.Seed, Trials: opt.Trials, PrepTrials: opt.PrepTrials, Mu: opt.mu()}
 	var st EstimatorState
 	var probs []float64
 	var err error
@@ -199,6 +208,8 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 		kl.Interrupt = opt.Interrupt
 		kl.State = &st
 		kl.Probe = opt.Probe
+		kl.Executor = opt.Executor
+		kl.Spec = spec
 		if resume != nil {
 			if len(resume.CandProbs) != cands.Len() {
 				return nil, fmt.Errorf("core: checkpoint has %d candidates, preparing phase produced %d (options mismatch?)", len(resume.CandProbs), cands.Len())
@@ -207,7 +218,7 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 			kl.ResumeTrials = resume.CandTrials
 			kl.ResumeDone = resume.Done
 		}
-		if workers > 1 {
+		if workers > 1 || opt.Executor != nil {
 			probs, err = EstimateKarpLubyParallel(cands, kl, workers)
 		} else {
 			probs, err = EstimateKarpLuby(cands, kl)
@@ -219,6 +230,8 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 		op.Interrupt = opt.Interrupt
 		op.State = &st
 		op.Probe = opt.Probe
+		op.Executor = opt.Executor
+		op.Spec = spec
 		if resume != nil {
 			if len(resume.CandCounts) != cands.Len() {
 				return nil, fmt.Errorf("core: checkpoint has %d candidates, preparing phase produced %d (options mismatch?)", len(resume.CandCounts), cands.Len())
@@ -226,7 +239,7 @@ func olsSampling(cands *Candidates, opt OLSOptions, workers int, resume *Checkpo
 			op.ResumeCounts = resume.CandCounts
 			op.ResumeDone = resume.Done
 		}
-		if workers > 1 {
+		if workers > 1 || opt.Executor != nil {
 			probs, err = EstimateOptimizedParallel(cands, op, workers)
 		} else {
 			probs, err = EstimateOptimized(cands, op)

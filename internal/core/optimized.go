@@ -65,6 +65,12 @@ type OptimizedOptions struct {
 	// lines 5-6), and running leader estimates. Nil costs one predictable
 	// branch per trial.
 	Probe *telemetry.Probe
+	// Executor, if non-nil, replaces EstimateOptimizedParallel's default
+	// in-process worker pool with an explicit TrialExecutor. Spec then
+	// carries the run-level identity remote executors need; both are
+	// ignored by the sequential EstimateOptimized.
+	Executor TrialExecutor
+	Spec     ExecSpec
 }
 
 // EstimateOptimized runs Algorithm 5 over a weight-sorted candidate set

@@ -54,6 +54,12 @@ type OSOptions struct {
 	// A nil Probe costs one predictable branch per trial and changes no
 	// Result bit.
 	Probe *telemetry.Probe
+	// Executor, if non-nil, replaces OSParallel's default in-process
+	// worker pool with an explicit TrialExecutor (e.g. a distributed
+	// fan-out). Per-trial streams derive from (Seed, trial index), so any
+	// conforming executor returns bit-identical results. Ignored by the
+	// sequential OS.
+	Executor TrialExecutor
 }
 
 // OS is Ordering Sampling (Section V, Algorithm 2). Like MC-VP it samples

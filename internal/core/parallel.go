@@ -3,22 +3,21 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
-	"github.com/uncertain-graphs/mpmb/internal/butterfly"
-	"github.com/uncertain-graphs/mpmb/internal/randx"
 )
 
 // ErrWorkerPanic wraps a panic recovered inside a parallel runner's worker
 // goroutine. The panic does not crash the process: the first panicking
 // worker records its value, the remaining workers drain, and the runner
 // returns this error (no partial result — an abandoned chunk would break
-// the completed-prefix invariant that partial results rely on).
+// the completed-prefix invariant that partial results rely on). When the
+// panic struck inside a claimed chunk, the wrapped text names that chunk's
+// trial bounds, so a distributed lease reissue (or a local bisection) can
+// name the poisoned range.
 var ErrWorkerPanic = errors.New("core: worker panicked")
 
 // parChunkTrials is the dispatch granularity of the parallel runners. A
@@ -43,9 +42,9 @@ func parDefaultWorkers() int { return runtime.GOMAXPROCS(0) }
 // BETWEEN chunks and never abandon a claimed chunk, so every handed-out
 // chunk is fully executed and the executed trials are exactly
 // start+1..done for the returned done. A worker panic is recovered,
-// cancels the siblings, and surfaces as an ErrWorkerPanic-wrapped error;
-// done is meaningless in that case because the panicking worker abandoned
-// its chunk mid-flight.
+// cancels the siblings, and surfaces as an ErrWorkerPanic-wrapped error
+// naming the claimed chunk's bounds; done is meaningless in that case
+// because the panicking worker abandoned its chunk mid-flight.
 func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int) func(lo, hi int)) (done int, err error) {
 	total := end - start
 	nChunks := (total + parChunkTrials - 1) / parChunkTrials
@@ -60,11 +59,19 @@ func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int)
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// The claimed chunk's bounds, for the panic report. curHi==0
+			// means no chunk was claimed yet (trial bounds are 1-based), so
+			// the panic came from newBody or the between-chunk bookkeeping.
+			var curLo, curHi int
 			defer func() {
 				if r := recover(); r != nil {
 					panicMu.Lock()
 					if panicErr == nil {
-						panicErr = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+						if curHi > 0 {
+							panicErr = fmt.Errorf("%w: trials %d..%d: %v", ErrWorkerPanic, curLo, curHi, r)
+						} else {
+							panicErr = fmt.Errorf("%w: %v", ErrWorkerPanic, r)
+						}
 					}
 					panicMu.Unlock()
 					halt()
@@ -87,6 +94,7 @@ func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int)
 				}
 				lo := start + int(c)*parChunkTrials + 1
 				hi := min(start+(int(c)+1)*parChunkTrials, end)
+				curLo, curHi = lo, hi
 				body(lo, hi)
 			}
 		}(w)
@@ -103,15 +111,39 @@ func parLoop(start, end, workers int, interrupt func() bool, newBody func(w int)
 	return done, nil
 }
 
+// resolveExecutor picks the executor for a runner invocation. An explicit
+// opt-level executor always wins (even for tiny remaining ranges — a
+// distributed caller wants its fleet used, not silently bypassed). With
+// none set, the historical behaviour is preserved exactly: clamp workers
+// to the remaining units, fall back to the sequential runner for <=1, and
+// otherwise use the in-process pool. seq reports whether the caller must
+// take its sequential path.
+func resolveExecutor(explicit TrialExecutor, workers, remaining int) (exec TrialExecutor, seq bool) {
+	if explicit != nil {
+		return explicit, false
+	}
+	if workers <= 0 {
+		workers = parDefaultWorkers()
+	}
+	if workers > remaining {
+		workers = remaining
+	}
+	if workers <= 1 {
+		return nil, true
+	}
+	return &LocalExecutor{Workers: workers}, false
+}
+
 // OSParallel runs Ordering Sampling with trials distributed over workers
-// goroutines (0 means GOMAXPROCS). Trials are independent and each trial's
-// random stream is derived from (Seed, trial index), so the estimates are
-// bit-identical to the sequential OS with the same options — parallelism
-// changes wall-clock time, never results. Cancellation (opt.Interrupt,
-// which every worker polls concurrently) yields the same partial-Result-
-// plus-Checkpoint contract as OS, and opt.Resume continues such a
-// checkpoint. The OnTrial hook is not supported here (trial completion
-// order would be nondeterministic); use OS when tracing.
+// goroutines (0 means GOMAXPROCS), or over opt.Executor when one is set.
+// Trials are independent and each trial's random stream is derived from
+// (Seed, trial index), so the estimates are bit-identical to the
+// sequential OS with the same options — parallelism (local or
+// distributed) changes wall-clock time, never results. Cancellation
+// (opt.Interrupt, which every worker polls concurrently) yields the same
+// partial-Result-plus-Checkpoint contract as OS, and opt.Resume continues
+// such a checkpoint. The OnTrial hook is not supported here (trial
+// completion order would be nondeterministic); use OS when tracing.
 func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: OSParallel requires Trials > 0, got %d", opt.Trials)
@@ -128,74 +160,49 @@ func OSParallel(g *bigraph.Graph, opt OSOptions, workers int) (*Result, error) {
 		resumed = accumulatorFromCounts(opt.Resume.Counts)
 		start = opt.Resume.Done
 	}
-	if workers <= 0 {
-		workers = parDefaultWorkers()
-	}
-	if workers > opt.Trials-start {
-		workers = opt.Trials - start
-	}
-	if workers <= 1 {
+	exec, seq := resolveExecutor(opt.Executor, workers, opt.Trials-start)
+	if seq {
 		return OS(g, opt)
 	}
-	opt.Probe.EnsureWorkers(workers)
-
-	root := randx.New(opt.Seed)
-	// Worker-local accumulators and kernels, merged at the end; no shared
-	// mutable state during the run (DeriveInto only reads root). Each
-	// worker builds one flat kernel and reuses it for every trial of every
-	// chunk it claims, so the steady-state per-trial cost is the kernel
-	// scan alone — no per-trial closures, derives, or allocations.
-	accs := make([]*probAccumulator, workers)
-	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int, int) {
-		acc := newProbAccumulator()
-		accs[w] = acc
-		idx := newOSIndex(g, opt)
-		var sMB butterfly.MaxSet
-		opt.Probe.LabelWorker(w)
-		meter := newTrialMeter(opt.Probe, w, idx.snap.numEdges(), false)
-		return func(lo, hi int) {
-			for trial := lo; trial <= hi; trial++ {
-				scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
-				hit := !sMB.Empty()
-				if hit {
-					acc.addMaxSet(&sMB)
-				}
-				meter.observe(trial, scanned, hit)
-			}
-			// Chunks are always fully executed, so flushing per chunk keeps
-			// the registry's counters an exact function of the done-prefix —
-			// identical totals to the sequential run over the same trials.
-			meter.flush(hi)
-		}
+	r, err := exec.ExecuteTrials(&ExecJob{
+		Kind:  ExecOS,
+		Graph: g,
+		Seed:  opt.Seed,
+		Units: opt.Trials,
+		Start: start,
+		OS: OSOptions{
+			DisableEdgePrune: opt.DisableEdgePrune,
+			KeepAllAngles:    opt.KeepAllAngles,
+			DropA2:           opt.DropA2,
+		},
+		Interrupt: opt.Interrupt,
+		Probe:     opt.Probe,
+		Workers:   workers,
+		Spec:      ExecSpec{Method: "os", Seed: opt.Seed, Trials: opt.Trials},
 	})
 	if err != nil {
 		return nil, err
 	}
-	merged := resumed
-	for _, a := range accs {
-		if a != nil {
-			merged.merge(a)
-		}
-	}
+	r.foldCounts(resumed)
 	var res *Result
-	if done < opt.Trials {
-		res = merged.partialResult("os", g, opt.Seed, opt.Trials, done)
+	if r.Done < opt.Trials {
+		res = resumed.partialResult("os", g, opt.Seed, opt.Trials, r.Done)
 	} else {
-		res = merged.result("os", opt.Trials)
+		res = resumed.result("os", opt.Trials)
 	}
 	probeFinish(opt.Probe, res)
 	return res, nil
 }
 
 // EstimateOptimizedParallel runs the Algorithm 5 estimator with trials
-// distributed over workers goroutines (0 means GOMAXPROCS). Each worker
-// owns private lazy-sampling scratch and a private count vector; per-trial
-// streams are derived from (Seed, trial index), so the estimates are
-// bit-identical to EstimateOptimized with the same options. Cancellation
-// and resume follow the sequential contract (opt.Interrupt is polled from
-// every worker; opt.State reports the completed prefix). The OnTrial hook
-// is unsupported (trial completion order would be nondeterministic), and
-// the EagerSampling/DisableEarlyBreak ablations are sequential-only knobs.
+// distributed over workers goroutines (0 means GOMAXPROCS), or over
+// opt.Executor when one is set. Per-trial streams are derived from
+// (Seed, trial index), so the estimates are bit-identical to
+// EstimateOptimized with the same options. Cancellation and resume follow
+// the sequential contract (opt.Interrupt is polled from every worker;
+// opt.State reports the completed prefix). The OnTrial hook is
+// unsupported (trial completion order would be nondeterministic), and the
+// EagerSampling/DisableEarlyBreak ablations are sequential-only knobs.
 func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int) ([]float64, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: optimized estimator requires Trials > 0, got %d", opt.Trials)
@@ -212,88 +219,41 @@ func EstimateOptimizedParallel(c *Candidates, opt OptimizedOptions, workers int)
 		return nil, err
 	}
 	start := startTrial - 1
-	if workers <= 0 {
-		workers = parDefaultWorkers()
-	}
-	if workers > opt.Trials-start {
-		workers = opt.Trials - start
-	}
-	if workers <= 1 {
+	exec, seq := resolveExecutor(opt.Executor, workers, opt.Trials-start)
+	if seq {
 		return EstimateOptimized(c, opt)
 	}
-	opt.Probe.EnsureWorkers(workers)
-
-	g := c.G
-	numE := g.NumEdges()
-	// One id-indexed threshold table, shared read-only by all workers.
-	thresh := edgeThresholds(g)
-	root := randx.New(opt.Seed)
-	countsPer := make([][]int64, workers)
-	done, err := parLoop(start, opt.Trials, workers, opt.Interrupt, func(w int) func(int, int) {
-		cw := make([]int64, n)
-		countsPer[w] = cw
-		stamp := make([]int32, numE)
-		val := make([]bool, numE)
-		var cur int32
-		var rng randx.RNG
-		opt.Probe.LabelWorker(w)
-		meter := newTrialMeter(opt.Probe, w, n, true)
-		return func(lo, hi int) {
-			for trial := lo; trial <= hi; trial++ {
-				root.DeriveInto(uint64(trial), &rng)
-				cur++
-				wMax := math.Inf(-1)
-				examined := n
-				for k := 0; k < n; k++ {
-					cand := &c.List[k]
-					if cand.Weight < wMax {
-						examined = k
-						break
-					}
-					exists := true
-					for _, id := range cand.Edges {
-						if stamp[id] != cur {
-							stamp[id] = cur
-							val[id] = rng.BernoulliThresholded(thresh[id])
-						}
-						if !val[id] {
-							exists = false
-							break
-						}
-					}
-					if exists {
-						cw[k]++
-						wMax = cand.Weight
-					}
-				}
-				meter.observe(trial, examined, !math.IsInf(wMax, -1))
-			}
-			meter.flush(hi)
-		}
+	r, err := exec.ExecuteTrials(&ExecJob{
+		Kind:      ExecOptimized,
+		Graph:     c.G,
+		Cands:     c,
+		Seed:      opt.Seed,
+		Units:     opt.Trials,
+		Start:     start,
+		Interrupt: opt.Interrupt,
+		Probe:     opt.Probe,
+		Workers:   workers,
+		Spec:      opt.Spec,
 	})
 	if err != nil {
 		return nil, err
 	}
-	for _, cw := range countsPer {
-		if cw == nil {
-			continue
-		}
-		for i, cnt := range cw {
-			counts[i] += cnt
-		}
+	for i, cnt := range r.CandCounts {
+		counts[i] += cnt
 	}
-	return optimizedFinish(counts, done, opt, done < opt.Trials), nil
+	return optimizedFinish(counts, r.Done, opt, r.Done < opt.Trials), nil
 }
 
 // EstimateKarpLubyParallel runs the Algorithm 4 estimator with candidates
-// distributed over workers goroutines (0 means GOMAXPROCS). Unlike the
-// trial-parallel runners, the natural axis here is the candidate: every
-// candidate's estimation is independent (its random stream derives from
-// (Seed, candidate index)), so per-candidate results are bit-identical to
-// the sequential EstimateKarpLuby. Cancellation stops pricing at a
-// candidate-prefix boundary and resume continues from it, like the
-// sequential runner. The tracing and restriction hooks (OnCandidateTrial,
-// OnlyCandidate) are sequential-only; TrialsUsed is supported.
+// distributed over workers goroutines (0 means GOMAXPROCS), or over
+// opt.Executor when one is set. Unlike the trial-parallel runners, the
+// natural axis here is the candidate: every candidate's estimation is
+// independent (its random stream derives from (Seed, candidate index)),
+// so per-candidate results are bit-identical to the sequential
+// EstimateKarpLuby. Cancellation stops pricing at a candidate-prefix
+// boundary and resume continues from it, like the sequential runner. The
+// tracing and restriction hooks (OnCandidateTrial, OnlyCandidate) are
+// sequential-only; TrialsUsed is supported.
 func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]float64, error) {
 	if err := validateKL(opt); err != nil {
 		return nil, err
@@ -308,37 +268,33 @@ func EstimateKarpLubyParallel(c *Candidates, opt KLOptions, workers int) ([]floa
 	if err != nil {
 		return nil, err
 	}
-	if workers <= 0 {
-		workers = parDefaultWorkers()
-	}
-	if workers > n-start {
-		workers = n - start
-	}
-	if workers <= 1 {
+	exec, seq := resolveExecutor(opt.Executor, workers, n-start)
+	if seq {
 		return EstimateKarpLuby(c, opt)
 	}
-
-	opt.Probe.EnsureWorkers(workers)
-	numE := c.G.NumEdges()
-	thresh := edgeThresholds(c.G) // shared read-only by all workers
-	root := randx.New(opt.Seed)
-	// parLoop's 1-based "trials" start+1..n map to candidate indices
-	// start..n-1. Writes into probs/trialsUsed are per-index disjoint.
-	done, err := parLoop(start, n, workers, opt.Interrupt, func(w int) func(int, int) {
-		scratch := newKLScratch(numE, thresh)
-		opt.Probe.LabelWorker(w)
-		lastT := time.Now()
-		return func(lo, hi int) {
-			for trial := lo; trial <= hi; trial++ {
-				i := trial - 1
-				probs[i], trialsUsed[i] = klPrice(c, i, opt, root, scratch)
-				probeKLCandidate(opt.Probe, w, i, trialsUsed[i], &lastT)
-			}
-		}
+	r, err := exec.ExecuteTrials(&ExecJob{
+		Kind:  ExecKarpLuby,
+		Graph: c.G,
+		Cands: c,
+		Seed:  opt.Seed,
+		Units: n,
+		Start: start,
+		KL: KLOptions{
+			BaseTrials: opt.BaseTrials,
+			Mu:         opt.Mu,
+			MaxTrials:  opt.MaxTrials,
+		},
+		Interrupt: opt.Interrupt,
+		Probe:     opt.Probe,
+		Workers:   workers,
+		Spec:      opt.Spec,
 	})
 	if err != nil {
 		return nil, err
 	}
+	copy(probs[start:r.Done], r.CandProbs[start:r.Done])
+	copy(trialsUsed[start:r.Done], r.CandTrials[start:r.Done])
+	done := r.Done
 	if opt.TrialsUsed != nil {
 		*opt.TrialsUsed = trialsUsed
 	}

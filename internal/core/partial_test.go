@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"math/rand"
+	"strings"
 	"sync/atomic"
 	"testing"
 )
@@ -350,5 +351,30 @@ func TestWorkerPanicIsolated(t *testing.T) {
 	// worker; five prep trials are enough to give Figure 1 candidates.
 	if _, err := OLSParallel(g, OLSOptions{PrepTrials: 5, Trials: 500, Seed: 2, Interrupt: panicHook(7)}, 4); !errors.Is(err, ErrWorkerPanic) {
 		t.Fatalf("OLSParallel: err = %v, want ErrWorkerPanic", err)
+	}
+}
+
+// TestWorkerPanicReportsChunkBounds pins the panic diagnostics: the
+// wrapped ErrWorkerPanic must name the panicking trial's chunk bounds,
+// so a crash deep in a long run points at a small reproducible window
+// instead of "somewhere in N trials".
+func TestWorkerPanicReportsChunkBounds(t *testing.T) {
+	// Chunks are parChunkTrials wide starting at trial 1, so trial 20
+	// lives in chunk 17..32; only the body claiming that chunk panics.
+	_, err := parLoop(0, 100, 3, nil, func(w int) func(lo, hi int) {
+		return func(lo, hi int) {
+			if lo <= 20 && 20 <= hi {
+				panic("injected failure at trial 20")
+			}
+		}
+	})
+	if !errors.Is(err, ErrWorkerPanic) {
+		t.Fatalf("err = %v, want ErrWorkerPanic", err)
+	}
+	if !strings.Contains(err.Error(), "trials 17..32") {
+		t.Fatalf("panic error does not name the chunk bounds: %v", err)
+	}
+	if !strings.Contains(err.Error(), "injected failure at trial 20") {
+		t.Fatalf("panic error dropped the panic value: %v", err)
 	}
 }

@@ -1,0 +1,101 @@
+package dist
+
+import (
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/core"
+)
+
+// Executor is the distributed core.TrialExecutor: ExecuteTrials
+// registers the job with a Coordinator and blocks until the worker
+// fleet completes it (or the job's Interrupt fires, in which case
+// in-flight leases are drained first), then returns the coordinator's
+// prefix-merged aggregate. Because every unit's stream
+// derives from (phase seed, unit index) and the coordinator merges in
+// prefix order, the returned ExecResult — and therefore the runner's
+// Result — is bit-identical to local execution, regardless of fleet
+// size, lease order, duplicated grants, or mid-run worker deaths.
+//
+// The coordinator is a pure control plane: a run through this executor
+// makes no progress until at least one worker joins it.
+type Executor struct {
+	// C is the coordinator the job registers with.
+	C *Coordinator
+	// Poll is the Interrupt poll cadence while waiting (default 5ms).
+	Poll time.Duration
+	// DrainWait bounds how long an interrupted run waits for in-flight
+	// leases to land before collecting (default 5s). The wait ends as
+	// soon as every outstanding lease settles, so with a healthy fleet
+	// it lasts roughly one lease's remaining execution time; the bound
+	// only bites when a worker died holding a lease.
+	DrainWait time.Duration
+}
+
+// ExecuteTrials implements core.TrialExecutor.
+func (e *Executor) ExecuteTrials(job *core.ExecJob) (*core.ExecResult, error) {
+	if job.Start >= job.Units {
+		return &core.ExecResult{Done: job.Units}, nil
+	}
+	id, done, err := e.C.register(job)
+	if err != nil {
+		return nil, err
+	}
+	poll := e.Poll
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			// Fleet finished the whole range: collect the full aggregate.
+			return e.C.collect(id)
+		case <-ticker.C:
+			if job.Interrupt != nil && job.Interrupt() {
+				return e.drainAndCollect(id, done)
+			}
+		}
+	}
+}
+
+// drainAndCollect honors the local pool's contract on the distributed
+// path: a claimed chunk is never abandoned. On interrupt the
+// coordinator freezes the job's fresh-range frontier and the executor
+// waits — bounded by DrainWait — for outstanding leases to settle, so
+// work the fleet already claimed merges into the returned prefix
+// instead of being discarded. Without this, an interrupt cadence
+// shorter than one lease's execution time (a daemon's checkpoint
+// slices, say) would collect an unchanged prefix every slice and the
+// job would livelock at zero progress. Ranges completed beyond the
+// merged prefix are still discarded — a resume recomputes them
+// bit-identically, so nothing is lost and nothing double-counted.
+func (e *Executor) drainAndCollect(id uint64, done <-chan struct{}) (*core.ExecResult, error) {
+	e.C.drain(id)
+	wait := e.DrainWait
+	if wait <= 0 {
+		wait = 5 * time.Second
+	}
+	deadline := time.NewTimer(wait)
+	defer deadline.Stop()
+	poll := e.Poll
+	if poll <= 0 {
+		poll = 5 * time.Millisecond
+	}
+	ticker := time.NewTicker(poll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return e.C.collect(id)
+		case <-deadline.C:
+			// A worker died holding a lease (or none ever joined its
+			// reissue): stop waiting and collect the merged prefix.
+			return e.C.collect(id)
+		case <-ticker.C:
+			if e.C.settled(id) {
+				return e.C.collect(id)
+			}
+		}
+	}
+}

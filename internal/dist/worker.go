@@ -1,0 +1,331 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
+)
+
+// Worker executes leased ranges for a coordinator. It is stateless from
+// the coordinator's point of view — everything it needs arrives in the
+// JobSpec (graph by fetch-and-verify, candidate set by deterministic
+// re-preparation from the run seed), so workers can join, die and
+// rejoin at any point of a run without coordination.
+type Worker struct {
+	// Base is the coordinator's base URL (e.g. "http://host:port").
+	Base string
+	// Name identifies the worker in leases (default "host:pid").
+	Name string
+	// Client is the HTTP client (default http.DefaultClient).
+	Client *http.Client
+	// Pool sizes the local worker pool each lease runs on (0 =
+	// GOMAXPROCS).
+	Pool int
+
+	// testFaults, if non-nil, injects chaos for the fault-tolerance
+	// tests; see workerFaults.
+	testFaults *workerFaults
+
+	connected bool
+	leases    int
+	graphs    map[uint32]*workerGraph
+}
+
+// workerFaults is the injectable fault seam used by chaos tests.
+type workerFaults struct {
+	// dieAfterLeases, when > 0, makes Run return (simulating an abrupt
+	// death: the lease is never completed) after that many leases have
+	// been GRANTED — the fatal lease is abandoned mid-flight.
+	dieAfterLeases int
+	// interceptComplete, when non-nil, sees every LeaseComplete before
+	// it is sent; returning false drops the message (the worker proceeds
+	// as if it were sent).
+	interceptComplete func(*LeaseComplete) bool
+}
+
+// workerGraph is one verified graph plus its derived candidate sets,
+// cached across leases by graph fingerprint.
+type workerGraph struct {
+	g     *bigraph.Graph
+	cands map[candKey]*core.Candidates
+}
+
+// candKey identifies a deterministic candidate preparation.
+type candKey struct {
+	prep  int
+	seed  uint64
+	flags uint8
+}
+
+// Run leases and executes ranges until ctx is cancelled or the
+// coordinator goes away. A connection failure before the first
+// successful exchange is retried (the worker may start before the
+// coordinator listens); after one, it means the coordinator exited —
+// normal end of a run — and Run returns nil.
+func (w *Worker) Run(ctx context.Context) error {
+	if w.Name == "" {
+		host, _ := os.Hostname()
+		w.Name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if w.graphs == nil {
+		w.graphs = make(map[uint32]*workerGraph)
+	}
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		rep, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			if w.connected {
+				return nil // coordinator exited; the run is over
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(100 * time.Millisecond):
+			}
+			continue
+		}
+		w.connected = true
+		switch rep.Status {
+		case LeaseWait:
+			wait := time.Duration(rep.WaitMs) * time.Millisecond
+			if wait <= 0 {
+				wait = 25 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(wait):
+			}
+		case LeaseGranted:
+			w.leases++
+			if f := w.testFaults; f != nil && f.dieAfterLeases > 0 && w.leases >= f.dieAfterLeases {
+				return nil // chaos: die holding the lease
+			}
+			msg, err := w.execute(ctx, rep)
+			if err != nil {
+				return fmt.Errorf("dist: worker executing lease %d (%d..%d): %w", rep.Lease, rep.Lo, rep.Hi, err)
+			}
+			if f := w.testFaults; f != nil && f.interceptComplete != nil && !f.interceptComplete(msg) {
+				continue // chaos: complete dropped in flight
+			}
+			if err := w.sendComplete(ctx, msg); err != nil {
+				if w.connected {
+					return nil // coordinator exited mid-run
+				}
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: coordinator replied with unknown status %q", rep.Status)
+		}
+	}
+}
+
+// lease requests a range.
+func (w *Worker) lease(ctx context.Context) (*LeaseReply, error) {
+	var rep LeaseReply
+	if err := w.post(ctx, "/dist/v1/lease", &LeaseRequest{V: Version, Worker: w.Name}, &rep); err != nil {
+		return nil, err
+	}
+	if rep.V != Version {
+		return nil, fmt.Errorf("%w: coordinator speaks v%d, worker v%d", ErrVersionSkew, rep.V, Version)
+	}
+	return &rep, nil
+}
+
+// execute runs one leased range through the in-process LocalExecutor
+// and assembles its completion message. The range's telemetry flows
+// into a fresh per-lease registry whose terminal snapshot becomes the
+// exact counter delta shipped with the payload.
+func (w *Worker) execute(ctx context.Context, rep *LeaseReply) (*LeaseComplete, error) {
+	spec := rep.Job
+	if spec == nil {
+		return nil, fmt.Errorf("%w: lease %d granted without a job spec", ErrBadPayload, rep.Lease)
+	}
+	if spec.V != Version {
+		return nil, fmt.Errorf("%w: job spec v%d", ErrVersionSkew, spec.V)
+	}
+	wg, err := w.graph(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	kind := core.ExecKind(spec.Kind)
+	osOpt := core.OSOptions{
+		DisableEdgePrune: spec.DisableEdgePrune,
+		KeepAllAngles:    spec.KeepAllAngles,
+		DropA2:           spec.DropA2,
+	}
+	var cands *core.Candidates
+	if kind != core.ExecOS {
+		cands, err = w.candidates(wg, spec, osOpt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	reg := telemetry.NewRegistry()
+	probe := &telemetry.Probe{Reg: reg, Method: spec.Method}
+	job := &core.ExecJob{
+		Kind:  kind,
+		Graph: wg.g,
+		Cands: cands,
+		Seed:  spec.PhaseSeed,
+		Units: rep.Hi,     // run exactly the leased range:
+		Start: rep.Lo - 1, // units Start+1..Units = lo..hi
+		OS:    osOpt,
+		KL: core.KLOptions{
+			BaseTrials: spec.KLBaseTrials,
+			Mu:         spec.KLMu,
+			MaxTrials:  spec.KLMaxTrials,
+		},
+		Probe:   probe,
+		Workers: w.Pool,
+	}
+	res, err := (&core.LocalExecutor{Workers: w.Pool}).ExecuteTrials(job)
+	if err != nil {
+		return nil, err
+	}
+	if res.Done != rep.Hi {
+		return nil, fmt.Errorf("dist: range %d..%d stopped at %d without an interrupt", rep.Lo, rep.Hi, res.Done)
+	}
+	var payload RangePayload
+	switch kind {
+	case core.ExecOS:
+		payload.Counts = res.CountsSnapshot()
+	case core.ExecOptimized:
+		payload.CandCounts = res.CandCounts
+	case core.ExecKarpLuby:
+		payload.CandProbs = res.CandProbs[rep.Lo-1 : rep.Hi]
+		payload.CandTrials = res.CandTrials[rep.Lo-1 : rep.Hi]
+	default:
+		return nil, fmt.Errorf("%w: unknown job kind %d", ErrBadPayload, spec.Kind)
+	}
+	m := reg.Snapshot()
+	return &LeaseComplete{
+		V:       Version,
+		Worker:  w.Name,
+		Job:     spec.Job,
+		Lease:   rep.Lease,
+		Lo:      rep.Lo,
+		Hi:      rep.Hi,
+		Payload: payload,
+		Counters: Counters{
+			Trials:       m.Trials,
+			TrialHits:    m.TrialHits,
+			EdgesScanned: m.EdgesScanned,
+			EdgesPruned:  m.EdgesPruned,
+			CandScanned:  m.CandScanned,
+			CandPruned:   m.CandPruned,
+		},
+	}, nil
+}
+
+// graph returns the verified graph for a spec, fetching it once per
+// fingerprint.
+func (w *Worker) graph(ctx context.Context, spec *JobSpec) (*workerGraph, error) {
+	if wg, ok := w.graphs[spec.GraphCRC]; ok {
+		return wg, nil
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		fmt.Sprintf("%s/dist/v1/graph?job=%d", w.Base, spec.Job), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("dist: fetching graph for job %d: %s: %s", spec.Job, resp.Status, bytes.TrimSpace(body))
+	}
+	g, err := bigraph.ReadBinary(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("dist: decoding graph for job %d: %w", spec.Job, err)
+	}
+	if crc := g.Checksum(); crc != spec.GraphCRC {
+		return nil, fmt.Errorf("dist: graph checksum %08x does not match job spec %08x", crc, spec.GraphCRC)
+	}
+	wg := &workerGraph{g: g, cands: make(map[candKey]*core.Candidates)}
+	w.graphs[spec.GraphCRC] = wg
+	return wg, nil
+}
+
+// candidates rebuilds (or returns the cached) candidate set for a spec.
+// Re-preparation is deterministic in (run seed, prep trials, kernel
+// flags), so every worker derives the exact candidate list the
+// coordinator's own preparing phase produced.
+func (w *Worker) candidates(wg *workerGraph, spec *JobSpec, osOpt core.OSOptions) (*core.Candidates, error) {
+	var flags uint8
+	if spec.DisableEdgePrune {
+		flags |= 1
+	}
+	if spec.KeepAllAngles {
+		flags |= 2
+	}
+	if spec.DropA2 {
+		flags |= 4
+	}
+	key := candKey{prep: spec.PrepTrials, seed: spec.RunSeed, flags: flags}
+	if c, ok := wg.cands[key]; ok {
+		return c, nil
+	}
+	c, err := core.PrepareCandidates(wg.g, spec.PrepTrials, spec.RunSeed, osOpt)
+	if err != nil {
+		return nil, fmt.Errorf("dist: re-preparing candidates: %w", err)
+	}
+	wg.cands[key] = c
+	return c, nil
+}
+
+// sendComplete posts a completion and interprets the acknowledgement.
+func (w *Worker) sendComplete(ctx context.Context, msg *LeaseComplete) error {
+	var rep CompleteReply
+	if err := w.post(ctx, "/dist/v1/complete", msg, &rep); err != nil {
+		return err
+	}
+	// Accepted=false (duplicate or vanished job) is a normal outcome.
+	return nil
+}
+
+func (w *Worker) client() *http.Client {
+	if w.Client != nil {
+		return w.Client
+	}
+	return http.DefaultClient
+}
+
+// post sends a JSON request and decodes the JSON reply.
+func (w *Worker) post(ctx context.Context, path string, in, out any) error {
+	body, err := encodeJSON(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		errBody, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(errBody))
+	}
+	return readMessage(resp.Body, out)
+}

@@ -51,8 +51,14 @@ func retryAfterSeconds(d time.Duration) string {
 //	GET    /healthz              liveness (always 200 while serving)
 //	GET    /readyz               readiness (503 while draining)
 //	GET    /metrics              Prometheus text exposition
+//
+// With Config.Dist the coordinator's /dist/v1 lease endpoints mount on
+// the same mux, so one listener serves both tenants and workers.
 func (s *Server) routes() http.Handler {
 	mux := http.NewServeMux()
+	if s.coord != nil {
+		s.coord.Register(mux)
+	}
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)

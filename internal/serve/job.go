@@ -129,6 +129,19 @@ func (sp JobSpec) resumable() bool {
 	return mpmb.Method(sp.Method) != mpmb.MethodExact
 }
 
+// distributable reports whether the job may ride the dist coordinator's
+// executor: sampling methods only, and none of the adaptive options —
+// supervision reshapes the trial schedule mid-run, which an explicit
+// executor rejects (see Options.Executor).
+func (sp JobSpec) distributable() bool {
+	switch mpmb.Method(sp.Method) {
+	case mpmb.MethodOS, mpmb.MethodOLS, mpmb.MethodOLSKL:
+	default:
+		return false
+	}
+	return sp.AuditEvery == 0 && sp.Epsilon == 0 && sp.DeadlineMS == 0 && sp.StallTimeoutMS == 0
+}
+
 // Job is one admitted search: the persisted manifest fields plus the
 // live runtime attachments (observer, event log, cancellation).
 type Job struct {

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/dist"
 	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
@@ -272,6 +273,15 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 	for {
 		opt := spec.options(obs, started)
 		opt.Resume = ck
+		if s.coord != nil && spec.distributable() {
+			// Dist mode: the sampling phase fans out to the worker fleet.
+			// Slicing still applies — a slice-end interrupt drains in-flight
+			// leases into the merged prefix before collecting, so every
+			// slice commits real progress even when CheckpointEvery is
+			// shorter than one lease's execution time, and the next slice
+			// re-registers the remainder.
+			opt.Executor = &dist.Executor{C: s.coord}
+		}
 
 		sliceCtx := runCtx
 		var sliceCancel context.CancelFunc

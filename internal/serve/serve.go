@@ -39,6 +39,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/dist"
 )
 
 // Config sizes the daemon. The zero value is not usable: construct via
@@ -87,6 +89,16 @@ type Config struct {
 	// GraphCacheSize bounds the fingerprint-keyed graph/Searcher cache
 	// (default 16 graphs; least recently used evicted first).
 	GraphCacheSize int
+
+	// Dist enables the distributed fan-out control plane: the daemon
+	// mounts the /dist/v1 coordinator endpoints next to its job API and
+	// hands eligible jobs' sampling trials (os/ols/ols-kl without
+	// adaptive options) to the worker fleet instead of the in-process
+	// pool. Results stay bit-identical to local runs — every trial's
+	// stream derives from (seed, trial index) — but an eligible job
+	// makes no progress until at least one worker joins
+	// (mpmb-serve -worker -join, or mpmb-search -join).
+	Dist bool
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -127,6 +139,7 @@ type Server struct {
 	quotas *quotaBook
 	sched  *scheduler
 	stats  *serveStats
+	coord  *dist.Coordinator // non-nil when Config.Dist is set
 
 	mu   sync.Mutex
 	jobs map[string]*Job
@@ -160,6 +173,9 @@ func New(cfg Config) (*Server, error) {
 		stats:    &serveStats{},
 		jobs:     make(map[string]*Job),
 		draining: make(chan struct{}),
+	}
+	if cfg.Dist {
+		s.coord = dist.NewCoordinator()
 	}
 	recovered, err := s.recover()
 	if err != nil {

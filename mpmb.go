@@ -93,6 +93,16 @@ type Estimate = core.Estimate
 // Result is the output of a search: estimates sorted by probability.
 type Result = core.Result
 
+// Executor is the seam between a search and the machinery that executes
+// its independent trial units (see Options.Executor): the in-process
+// worker pool behind Options.Workers is the default implementation, and
+// the dist coordinator's executor fans the same units out across worker
+// processes. Implementations must honour the core contract — execute
+// exactly the prefix of requested units, derive unit i's random stream
+// from (seed, i), and return an additive payload — and then any executor
+// yields bit-identical Results.
+type Executor = core.TrialExecutor
+
 // NewBuilder returns a Builder for a graph with |L| = numL, |R| = numR.
 func NewBuilder(numL, numR int) *Builder { return bigraph.NewBuilder(numL, numR) }
 
@@ -169,8 +179,9 @@ func dispatch(g *Graph, opt Options, method Method, interrupt func() bool, probe
 			Interrupt: interrupt,
 			Resume:    opt.Resume,
 			Probe:     probe,
+			Executor:  opt.Executor,
 		}
-		if opt.Workers > 0 {
+		if opt.Workers > 0 || opt.Executor != nil {
 			return core.OSParallel(g, osOpt, opt.Workers)
 		}
 		return core.OS(g, osOpt)
@@ -184,8 +195,9 @@ func dispatch(g *Graph, opt Options, method Method, interrupt func() bool, probe
 			Interrupt:   interrupt,
 			Resume:      opt.Resume,
 			Probe:       probe,
+			Executor:    opt.Executor,
 		}
-		if opt.Workers > 0 {
+		if opt.Workers > 0 || opt.Executor != nil {
 			return core.OLSParallel(g, olsOpt, opt.Workers)
 		}
 		return core.OLS(g, olsOpt)

@@ -62,6 +62,15 @@ type Options struct {
 	// zero cost. Observation never perturbs the result: the same options
 	// with and without an Observer return bit-identical estimates.
 	Observer *Observer
+	// Executor, if non-nil, hands the sampling phase's trial units to an
+	// explicit execution backend instead of the in-process worker pool —
+	// typically a distributed fan-out (a dist coordinator's executor, as
+	// wired by mpmb-search -dist-listen and mpmb-serve -dist). Because
+	// every trial unit's random stream derives from (Seed, unit index),
+	// any conforming executor returns a Result bit-identical to the
+	// sequential run with the same options. Supported by os, ols and
+	// ols-kl, without adaptive options; exact and mc-vp reject it.
+	Executor Executor
 
 	// The adaptive options below route the run through the supervisor
 	// (see Result.Adaptive): setting any of AuditEvery, Epsilon, Deadline
@@ -196,6 +205,13 @@ func (o Options) validateFor(m Method) error {
 		if o.Workers > 0 {
 			return &OptionError{Field: "Workers", Value: o.Workers, Reason: fmt.Sprintf("method %q does not support parallel execution; use os, ols or ols-kl", m)}
 		}
+		if o.Executor != nil {
+			return &OptionError{Field: "Executor", Value: o.Executor, Reason: fmt.Sprintf("method %q does not support executor fan-out; use os, ols or ols-kl", m)}
+		}
+	}
+	if o.Executor != nil && o.adaptive() {
+		f, v := o.adaptiveField()
+		return &OptionError{Field: f, Value: v, Reason: "adaptive supervision reshapes the trial schedule mid-run and cannot ride an explicit Executor; drop the adaptive options or the Executor"}
 	}
 	if m == MethodExact {
 		if o.Resume != nil {

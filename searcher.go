@@ -101,6 +101,7 @@ func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, erro
 				Interrupt:   interrupt,
 				Resume:      opt.Resume,
 				Probe:       probe,
+				Executor:    opt.Executor,
 			}, opt.Workers)
 		}
 		if err != nil {
