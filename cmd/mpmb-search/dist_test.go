@@ -3,12 +3,14 @@ package main
 import (
 	"context"
 	"fmt"
+	"net"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -128,7 +130,9 @@ func TestDistRealBinariesKillWorker(t *testing.T) {
 	workers := make([]*exec.Cmd, 3)
 	outs := make([]*syncBuffer, 3)
 	for i := range workers {
-		workers[i], outs[i] = startDistHelper(t, "-join", base)
+		// A short -reconnect keeps the test fast: once the coordinator
+		// exits, survivors give up after ~1s instead of the 30s default.
+		workers[i], outs[i] = startDistHelper(t, "-join", base, "-reconnect", "1s")
 		defer workers[i].Process.Kill()
 	}
 	for i, out := range outs {
@@ -169,6 +173,103 @@ func TestDistRealBinariesKillWorker(t *testing.T) {
 	}
 	if string(ref) != string(got) {
 		t.Fatalf("distributed JSON differs from sequential after worker kill:\nref:  %s\ndist: %s", ref, got)
+	}
+}
+
+// TestDistCoordinatorSIGKILLJournalReplay is the crash-recovery
+// acceptance bar through real processes: a journaling coordinator binary
+// is SIGKILLed mid-run — no drain, no checkpoint — and restarted with
+// the same address, journal directory and flags. The journal replay must
+// resume the run where the dead epoch's write-ahead records left it, the
+// parked workers must reconnect to the successor, and the final JSON
+// report must be byte-identical to a plain sequential run.
+func TestDistCoordinatorSIGKILLJournalReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process test")
+	}
+	graph := writeDistMesh(t)
+	dir := t.TempDir()
+	jdir := filepath.Join(dir, "journal")
+	common := []string{"-graph", graph, "-method", "os",
+		"-trials", strconv.Itoa(distTrials), "-seed", "7"}
+
+	refJSON := filepath.Join(dir, "ref.json")
+	var sb strings.Builder
+	if err := run(append(common, "-json", refJSON), &sb); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reserve a fixed port so the restarted coordinator comes back at
+	// the address the parked workers keep retrying.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+
+	gotJSON := filepath.Join(dir, "dist.json")
+	coordArgs := append(common, "-dist-listen", addr, "-dist-journal", jdir, "-json", gotJSON)
+	epoch1, out1 := startDistHelper(t, coordArgs...)
+	defer epoch1.Process.Kill()
+	awaitOutput(t, epoch1, out1, coordAddrRE, "coordinator address")
+
+	// In-process workers with a reconnect window spanning the restart:
+	// when the coordinator dies they park, and they resume against its
+	// successor at the same address.
+	wctx, stopWorkers := context.WithCancel(context.Background())
+	var wwg sync.WaitGroup
+	defer func() { stopWorkers(); wwg.Wait() }()
+	for i := 0; i < 2; i++ {
+		w := &dist.Worker{Base: "http://" + addr, Name: fmt.Sprintf("w%d", i),
+			Pool: 1, ReconnectMax: 2 * time.Minute}
+		wwg.Add(1)
+		go func() { defer wwg.Done(); w.Run(wctx) }()
+	}
+
+	// Wait until the journal proves real progress — at least two span
+	// completions write-ahead persisted — then SIGKILL the coordinator.
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		if recs, _ := filepath.Glob(filepath.Join(jdir, "*", "complete-*.json")); len(recs) >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("journal never recorded progress:\n%s", out1.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if strings.Contains(out1.String(), "top-") {
+		t.Fatalf("run finished before the SIGKILL; raise distTrials\n%s", out1.String())
+	}
+	if err := epoch1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	epoch1.Wait()
+
+	// Same flags, same address, same journal: the successor adopts the
+	// dead epoch's records and finishes the run.
+	epoch2, out2 := startDistHelper(t, coordArgs...)
+	defer epoch2.Process.Kill()
+	awaitOutput(t, epoch2, out2, coordAddrRE, "coordinator address")
+	if err := epoch2.Wait(); err != nil {
+		t.Fatalf("restarted coordinator failed: %v\n%s", err, out2.String())
+	}
+	if strings.Contains(out2.String(), "stopped after") {
+		t.Fatalf("restarted coordinator reported a partial run:\n%s", out2.String())
+	}
+	stopWorkers()
+
+	ref, err := os.ReadFile(refJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(gotJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(got) {
+		t.Fatalf("SIGKILL+replay JSON differs from sequential:\nref:  %s\ngot: %s", ref, got)
 	}
 }
 

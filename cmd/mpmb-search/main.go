@@ -50,6 +50,16 @@
 //
 //	mpmb-search -graph big.graph -trials 10000000 -dist-listen :9191
 //	mpmb-search -join http://coordinator:9191     # on each worker box
+//
+// The fan-out is fault-tolerant on both sides: workers retry coordinator
+// exchanges with backoff and park in a reconnect loop (bounded by
+// -reconnect) when the coordinator goes unreachable, and with
+// -dist-journal the coordinator write-ahead journals its lease book so a
+// killed coordinator restarted with the same flags replays the merged
+// prefix and finishes the run bit-identically:
+//
+//	mpmb-search -graph big.graph -dist-listen :9191 -dist-journal ./wal
+//	mpmb-search -join http://coordinator:9191 -reconnect 2m
 package main
 
 import (
@@ -96,8 +106,10 @@ func run(args []string, out io.Writer) (retErr error) {
 		resume   = fs.String("resume", "", "resume a cancelled run from this checkpoint file")
 		jsonOut  = fs.String("json", "", "also write the reported butterflies as JSON to this file")
 
-		distListen = fs.String("dist-listen", "", "coordinate a distributed run: lease trial ranges to workers joining on this address")
-		join       = fs.String("join", "", "run as a distributed worker for the coordinator at this base URL (no -graph needed)")
+		distListen  = fs.String("dist-listen", "", "coordinate a distributed run: lease trial ranges to workers joining on this address")
+		distJournal = fs.String("dist-journal", "", "journal the coordinator's lease book under this directory; a killed coordinator restarted with the same flags resumes from the merged prefix")
+		join        = fs.String("join", "", "run as a distributed worker for the coordinator at this base URL (no -graph needed)")
+		reconnect   = fs.Duration("reconnect", 0, "how long a worker keeps trying to reach an unreachable coordinator before giving up (0 = 30s default)")
 
 		auditEvery = fs.Int("audit-every", 0, "interleave a coverage audit every N OLS sampling trials (0 = off)")
 		maxEsc     = fs.Int("max-escalations", 0, "audit escalations before falling back to os (0 = default)")
@@ -128,7 +140,7 @@ func run(args []string, out io.Writer) (retErr error) {
 		if *distListen != "" {
 			return fmt.Errorf("-join and -dist-listen are mutually exclusive: a process is a worker or a coordinator, not both")
 		}
-		return runWorker(*join, *workers, out)
+		return runWorker(*join, *workers, *reconnect, out)
 	}
 	if *path == "" {
 		fs.Usage()
@@ -180,6 +192,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	}
 	if *distListen != "" {
 		coord := dist.NewCoordinator()
+		if *distJournal != "" {
+			coord.Journal = &dist.Journal{Dir: *distJournal}
+		}
 		hs, err := telemetry.ListenAndServe(*distListen, coord.Handler())
 		if err != nil {
 			return err
@@ -187,6 +202,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		defer hs.Close()
 		fmt.Fprintf(out, "dist: coordinating on %s\n", hs.Addr())
 		opt.Executor = &dist.Executor{C: coord}
+	} else if *distJournal != "" {
+		return fmt.Errorf("-dist-journal requires -dist-listen")
 	}
 	// Checkpoint I/O goes through the retrying store: transient failures
 	// on flaky volumes back off and retry instead of losing the run.
@@ -282,11 +299,11 @@ func run(args []string, out io.Writer) (retErr error) {
 // fetched and checksum-verified from the coordinator, candidate sets
 // are rebuilt deterministically from the run seed, and an abandoned
 // lease is simply reissued to another worker.
-func runWorker(base string, pool int, out io.Writer) error {
+func runWorker(base string, pool int, reconnect time.Duration, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(out, "dist: worker joining %s\n", base)
-	w := &dist.Worker{Base: base, Pool: pool}
+	w := &dist.Worker{Base: base, Pool: pool, ReconnectMax: reconnect}
 	if err := w.Run(ctx); err != nil {
 		return err
 	}

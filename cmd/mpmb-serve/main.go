@@ -45,7 +45,16 @@
 //	mpmb-serve -worker -join http://daemon:8080    # on each worker box
 //
 // Fan-out is exact: a distributed job's Result is bit-identical to the
-// same job run locally, even across worker deaths mid-run.
+// same job run locally, even across worker deaths mid-run. The dist
+// lease book journals under -state, so a killed daemon replays a
+// distributed job's merged prefix on restart; -dist-fallback degrades a
+// job to the in-process pool when the fleet stays silent that long
+// (recorded as a dist→local transition in the result); and -reconnect
+// bounds how long a worker keeps retrying an unreachable daemon.
+//
+// Retention: -retain-ttl and -retain-max garbage-collect finished jobs
+// (result, manifest, event journal) on a background sweep; queued,
+// running and suspended jobs are never evicted.
 package main
 
 import (
@@ -55,6 +64,7 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/cliflags"
 	"github.com/uncertain-graphs/mpmb/internal/dist"
@@ -92,10 +102,15 @@ func run(args []string, out io.Writer) error {
 		journal    = fs.Bool("journal-events", false, "persist each job's telemetry events as JSONL under the state dir")
 		cacheSize  = fs.Int("graph-cache", 0, "graphs kept hot with their prepared candidate caches (0 = default 16)")
 
-		distMode = fs.Bool("dist", false, "mount the /dist/v1 coordinator and fan eligible jobs' trials out to joined workers")
-		worker   = fs.Bool("worker", false, "run as a distributed worker instead of a daemon (requires -join)")
-		join     = fs.String("join", "", "coordinator base URL a -worker leases trial ranges from")
-		pool     = fs.Int("pool", 0, "worker-mode local pool size per leased range (0 = GOMAXPROCS)")
+		distMode     = fs.Bool("dist", false, "mount the /dist/v1 coordinator and fan eligible jobs' trials out to joined workers")
+		distFallback = fs.Duration("dist-fallback", 0, "degrade a distributed job to the in-process pool after the fleet is silent this long (0 = never)")
+		worker       = fs.Bool("worker", false, "run as a distributed worker instead of a daemon (requires -join)")
+		join         = fs.String("join", "", "coordinator base URL a -worker leases trial ranges from")
+		pool         = fs.Int("pool", 0, "worker-mode local pool size per leased range (0 = GOMAXPROCS)")
+		reconnect    = fs.Duration("reconnect", 0, "how long a worker keeps trying to reach an unreachable coordinator before giving up (0 = 30s default)")
+
+		retainTTL = fs.Duration("retain-ttl", 0, "evict finished jobs (result, manifest, events) this long after they end (0 = keep forever)")
+		retainMax = fs.Int("retain-max", 0, "keep at most this many finished jobs, evicting oldest first (0 = unlimited)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -105,7 +120,7 @@ func run(args []string, out io.Writer) error {
 			fs.Usage()
 			return fmt.Errorf("-worker requires -join")
 		}
-		return runWorker(*join, *pool, out)
+		return runWorker(*join, *pool, *reconnect, out)
 	}
 	if *join != "" {
 		return fmt.Errorf("-join only applies to -worker mode")
@@ -129,6 +144,9 @@ func run(args []string, out io.Writer) error {
 		JournalEvents:    *journal,
 		GraphCacheSize:   *cacheSize,
 		Dist:             *distMode,
+		DistFallback:     *distFallback,
+		RetainTTL:        *retainTTL,
+		RetainMax:        *retainMax,
 	})
 	if err != nil {
 		return err
@@ -171,11 +189,11 @@ func run(args []string, out io.Writer) error {
 // Workers are stateless: graphs are fetched and checksum-verified from
 // the coordinator, candidate sets rebuilt deterministically from the
 // run seed, and abandoned leases reissued to surviving workers.
-func runWorker(base string, pool int, out io.Writer) error {
+func runWorker(base string, pool int, reconnect time.Duration, out io.Writer) error {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	fmt.Fprintf(out, "mpmb-serve: worker joining %s\n", base)
-	w := &dist.Worker{Base: base, Pool: pool}
+	w := &dist.Worker{Base: base, Pool: pool, ReconnectMax: reconnect}
 	if err := w.Run(ctx); err != nil {
 		return err
 	}

@@ -1,0 +1,237 @@
+// Package chaos injects deterministic network faults under the
+// distributed runtime's tests: an http.RoundTripper (and an in-process
+// reverse proxy built on it) that applies a seeded fault schedule —
+// added latency, dropped requests, dropped responses, synthetic 5xx
+// bursts, and timed partitions — between a dist worker and its
+// coordinator.
+//
+// Determinism is the point: every fault decision is drawn from a
+// seeded randx stream, so a failing chaos run reproduces exactly from
+// its schedule seed. The nastiest case for an idempotency story —
+// "request applied but reply lost" — is modeled faithfully: the
+// request is forwarded and the server processes it, then the reply is
+// discarded and the client sees a transport error.
+package chaos
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// ErrInjected marks every fault this package injects. Transports
+// treating it like any other network error is exactly the test: no
+// code outside this package should special-case it.
+var ErrInjected = errors.New("chaos: injected fault")
+
+// faultError wraps one injected fault with its kind for debugging.
+type faultError struct{ kind string }
+
+func (e *faultError) Error() string   { return "chaos: injected " + e.kind }
+func (e *faultError) Is(t error) bool { return t == ErrInjected }
+
+// Window is one timed partition, relative to the transport's first
+// request: every request issued in [From, Until) fails without
+// reaching the server.
+type Window struct {
+	From  time.Duration
+	Until time.Duration
+}
+
+// Schedule is a seeded fault plan. Probabilities are per-request and
+// independent; zero values inject nothing of that class.
+type Schedule struct {
+	// Seed drives every fault decision (and latency draw).
+	Seed uint64
+	// LatencyP adds a uniform [LatencyMin, LatencyMax] delay before
+	// forwarding, with probability LatencyP.
+	LatencyP   float64
+	LatencyMin time.Duration
+	LatencyMax time.Duration
+	// DropRequestP drops the request before it reaches the server: the
+	// server never sees it, the client gets an error.
+	DropRequestP float64
+	// DropResponseP forwards the request — the server fully applies it
+	// — then discards the reply: the client gets an error for work
+	// that HAPPENED. Retries must therefore be idempotent.
+	DropResponseP float64
+	// Err5xxP short-circuits with a synthetic 503 (an overloaded
+	// intermediary), without forwarding.
+	Err5xxP float64
+	// Partitions are timed windows (relative to the first request)
+	// during which every request fails unforwarded.
+	Partitions []Window
+}
+
+// Stats counts injected faults, for test vacuity checks ("did this
+// schedule actually bite?").
+type Stats struct {
+	Requests         int64
+	Delayed          int64
+	DroppedRequests  int64
+	DroppedResponses int64
+	Synth5xx         int64
+	PartitionDrops   int64
+}
+
+// Transport is a fault-injecting http.RoundTripper. Construct with
+// NewTransport; safe for concurrent use.
+type Transport struct {
+	// Base is the real transport faults are layered over (nil =
+	// http.DefaultTransport).
+	Base http.RoundTripper
+
+	sched Schedule
+
+	mu    sync.Mutex
+	rng   *randx.RNG
+	start time.Time
+
+	requests         atomic.Int64
+	delayed          atomic.Int64
+	droppedRequests  atomic.Int64
+	droppedResponses atomic.Int64
+	synth5xx         atomic.Int64
+	partitionDrops   atomic.Int64
+}
+
+// NewTransport returns a transport applying s over the default base.
+func NewTransport(s Schedule) *Transport {
+	return &Transport{sched: s, rng: randx.New(s.Seed)}
+}
+
+// Stats snapshots the injected-fault counters.
+func (t *Transport) Stats() Stats {
+	return Stats{
+		Requests:         t.requests.Load(),
+		Delayed:          t.delayed.Load(),
+		DroppedRequests:  t.droppedRequests.Load(),
+		DroppedResponses: t.droppedResponses.Load(),
+		Synth5xx:         t.synth5xx.Load(),
+		PartitionDrops:   t.partitionDrops.Load(),
+	}
+}
+
+// decision is one request's drawn fate.
+type decision struct {
+	partition    bool
+	dropRequest  bool
+	dropResponse bool
+	err5xx       bool
+	delay        time.Duration
+}
+
+// decide draws one request's fate from the seeded stream. All draws
+// happen under the lock in a fixed order, so for a serial client the
+// fault sequence is a pure function of the seed.
+func (t *Transport) decide() decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := time.Now()
+	if t.start.IsZero() {
+		t.start = now
+	}
+	var d decision
+	since := now.Sub(t.start)
+	for _, w := range t.sched.Partitions {
+		if since >= w.From && since < w.Until {
+			d.partition = true
+		}
+	}
+	s := t.sched
+	if s.LatencyP > 0 && t.rng.Float64() < s.LatencyP {
+		spread := float64(s.LatencyMax - s.LatencyMin)
+		if spread < 0 {
+			spread = 0
+		}
+		d.delay = s.LatencyMin + time.Duration(t.rng.Float64()*spread)
+	}
+	if s.DropRequestP > 0 && t.rng.Float64() < s.DropRequestP {
+		d.dropRequest = true
+	}
+	if s.DropResponseP > 0 && t.rng.Float64() < s.DropResponseP {
+		d.dropResponse = true
+	}
+	if s.Err5xxP > 0 && t.rng.Float64() < s.Err5xxP {
+		d.err5xx = true
+	}
+	return d
+}
+
+func (t *Transport) base() http.RoundTripper {
+	if t.Base != nil {
+		return t.Base
+	}
+	return http.DefaultTransport
+}
+
+// RoundTrip implements http.RoundTripper with the schedule applied.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	d := t.decide()
+	if d.partition {
+		t.partitionDrops.Add(1)
+		return nil, &faultError{kind: "partition"}
+	}
+	if d.delay > 0 {
+		t.delayed.Add(1)
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(d.delay):
+		}
+	}
+	if d.dropRequest {
+		t.droppedRequests.Add(1)
+		return nil, &faultError{kind: "dropped request"}
+	}
+	if d.err5xx {
+		t.synth5xx.Add(1)
+		return synthetic503(req), nil
+	}
+	resp, err := t.base().RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if d.dropResponse {
+		// The server has fully processed the request; make sure the
+		// reply is consumed so the connection is reusable, then lose it.
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		t.droppedResponses.Add(1)
+		return nil, &faultError{kind: "dropped response"}
+	}
+	return resp, nil
+}
+
+// synthetic503 builds the injected intermediary-overload reply.
+func synthetic503(req *http.Request) *http.Response {
+	return &http.Response{
+		Status:     fmt.Sprintf("%d %s", http.StatusServiceUnavailable, http.StatusText(http.StatusServiceUnavailable)),
+		StatusCode: http.StatusServiceUnavailable,
+		Proto:      req.Proto,
+		ProtoMajor: req.ProtoMajor,
+		ProtoMinor: req.ProtoMinor,
+		Header:     http.Header{"Content-Type": []string{"text/plain"}},
+		Body:       io.NopCloser(io.Reader(&errBody{})),
+		Request:    req,
+	}
+}
+
+// errBody is the synthetic 503's body.
+type errBody struct{ done bool }
+
+func (b *errBody) Read(p []byte) (int, error) {
+	if b.done {
+		return 0, io.EOF
+	}
+	b.done = true
+	n := copy(p, "chaos: injected 503")
+	return n, io.EOF
+}

@@ -1,0 +1,186 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDeterministicDecisions: two transports with the same seed make
+// identical fault decisions for a serial request sequence.
+func TestDeterministicDecisions(t *testing.T) {
+	s := Schedule{Seed: 42, DropRequestP: 0.3, DropResponseP: 0.2, Err5xxP: 0.1, LatencyP: 0.25, LatencyMin: time.Microsecond, LatencyMax: 2 * time.Microsecond}
+	a, b := NewTransport(s), NewTransport(s)
+	for i := 0; i < 200; i++ {
+		da, db := a.decide(), b.decide()
+		da.delay, db.delay = 0, 0 // latency magnitude draws are compared via the flag only
+		if da != db {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+// TestDropRequestNeverReachesServer: a dropped request must not hit the
+// backend; the client sees ErrInjected.
+func TestDropRequestNeverReachesServer(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer hs.Close()
+	client := &http.Client{Transport: NewTransport(Schedule{Seed: 1, DropRequestP: 1})}
+	_, err := client.Get(hs.URL)
+	if err == nil || !errors.Is(unwrapURL(err), ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("dropped request reached the server %d times", hits.Load())
+	}
+}
+
+// TestDropResponseAppliesServerSide: the nastiest case — the server
+// fully processes the request, the client still sees a failure.
+func TestDropResponseAppliesServerSide(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		io.WriteString(w, "applied")
+	}))
+	defer hs.Close()
+	tr := NewTransport(Schedule{Seed: 1, DropResponseP: 1})
+	client := &http.Client{Transport: tr}
+	_, err := client.Get(hs.URL)
+	if err == nil || !errors.Is(unwrapURL(err), ErrInjected) {
+		t.Fatalf("want injected fault, got %v", err)
+	}
+	if hits.Load() != 1 {
+		t.Fatalf("request should have been applied exactly once, got %d", hits.Load())
+	}
+	if st := tr.Stats(); st.DroppedResponses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSynthetic5xxShortCircuits: the injected 503 never reaches the
+// backend and carries a readable body.
+func TestSynthetic5xxShortCircuits(t *testing.T) {
+	var hits atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+	}))
+	defer hs.Close()
+	client := &http.Client{Transport: NewTransport(Schedule{Seed: 1, Err5xxP: 1})}
+	resp, err := client.Get(hs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "chaos") {
+		t.Fatalf("body = %q", body)
+	}
+	if hits.Load() != 0 {
+		t.Fatalf("synthetic 503 reached the server %d times", hits.Load())
+	}
+}
+
+// TestPartitionWindow: requests inside the window fail unforwarded;
+// after it closes they pass again.
+func TestPartitionWindow(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer hs.Close()
+	tr := NewTransport(Schedule{Seed: 1, Partitions: []Window{{From: 0, Until: 80 * time.Millisecond}}})
+	client := &http.Client{Transport: tr}
+	if _, err := client.Get(hs.URL); err == nil {
+		t.Fatal("request inside the partition window should fail")
+	}
+	time.Sleep(120 * time.Millisecond)
+	if _, err := client.Get(hs.URL); err != nil {
+		t.Fatalf("request after the window should pass: %v", err)
+	}
+	if st := tr.Stats(); st.PartitionDrops != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestLatencyInjection: a scheduled delay postpones the exchange but
+// does not fail it.
+func TestLatencyInjection(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer hs.Close()
+	tr := NewTransport(Schedule{Seed: 1, LatencyP: 1, LatencyMin: 30 * time.Millisecond, LatencyMax: 30 * time.Millisecond})
+	client := &http.Client{Transport: tr}
+	t0 := time.Now()
+	if _, err := client.Get(hs.URL); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(t0); d < 30*time.Millisecond {
+		t.Fatalf("exchange took %v, want >= 30ms of injected latency", d)
+	}
+	if st := tr.Stats(); st.Delayed != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestProxyInjectsBetweenProcesses: the reverse proxy converts an
+// injected fault into a 502 toward its client while latency passes
+// through transparently.
+func TestProxyInjectsBetweenProcesses(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer hs.Close()
+
+	h, tr, err := NewProxy(hs.URL, Schedule{Seed: 9, DropRequestP: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps := httptest.NewServer(h)
+	defer ps.Close()
+	resp, err := http.Get(ps.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("status = %d, want 502", resp.StatusCode)
+	}
+	if st := tr.Stats(); st.DroppedRequests != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	clean, _, err := NewProxy(hs.URL, Schedule{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := httptest.NewServer(clean)
+	defer cs.Close()
+	resp, err = http.Get(cs.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "ok" {
+		t.Fatalf("clean proxy: %d %q", resp.StatusCode, body)
+	}
+}
+
+// unwrapURL strips the *url.Error wrapper http.Client adds.
+func unwrapURL(err error) error {
+	for {
+		u := errors.Unwrap(err)
+		if u == nil {
+			return err
+		}
+		err = u
+	}
+}

@@ -1,0 +1,32 @@
+package chaos
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+)
+
+// NewProxy returns an HTTP handler reverse-proxying to target with the
+// fault schedule applied between proxy and target, plus the underlying
+// Transport for fault-count inspection. Mounted on its own listener it
+// injects faults between two REAL processes (a worker binary and a
+// coordinator binary), where the in-process RoundTripper cannot reach.
+//
+// Fault semantics through the proxy: a dropped request/response or
+// partition surfaces to the client as a 502 from the proxy — still a
+// transient fault the worker's transport must absorb — while the
+// drop-response case has, as ever, already been applied by the target.
+func NewProxy(target string, s Schedule) (http.Handler, *Transport, error) {
+	u, err := url.Parse(target)
+	if err != nil {
+		return nil, nil, fmt.Errorf("chaos: proxy target %q: %w", target, err)
+	}
+	t := NewTransport(s)
+	p := httputil.NewSingleHostReverseProxy(u)
+	p.Transport = t
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		http.Error(w, err.Error(), http.StatusBadGateway)
+	}
+	return p, t, nil
+}

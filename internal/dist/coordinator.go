@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
@@ -41,9 +42,20 @@ type Coordinator struct {
 	// WaitHint is the poll delay handed to workers when nothing is
 	// grantable (default 25ms).
 	WaitHint time.Duration
+	// Journal, when non-nil, write-ahead persists every job's lease
+	// grants and accepted span completions; a restarted coordinator
+	// registering the identical job replays the records and resumes the
+	// run exactly where its predecessor crashed. See Journal.
+	Journal *Journal
 
 	// now is the clock, injectable by fault tests.
 	now func() time.Time
+
+	// lastWorker is the unixnano of the most recent worker HTTP
+	// exchange — fleet liveness for the executor's degraded-mode
+	// fallback. Only the HTTP handlers touch it: in-process fallback
+	// traffic must not count as fleet contact.
+	lastWorker atomic.Int64
 
 	mu        sync.Mutex
 	jobs      map[uint64]*distJob
@@ -118,6 +130,10 @@ type distJob struct {
 	draining bool          // frontier frozen: no fresh grants, in-flight work may still land
 	halted   bool          // no further grants (interrupted or collected)
 	done     chan struct{} // closed when prefix == spec.Units
+
+	// Journal bookkeeping (zero unless the coordinator journals).
+	jdir    string       // this job's journal directory
+	granted map[int]bool // spans with a persisted grant record, by lo
 }
 
 // register installs a job and returns its id and completion signal.
@@ -177,6 +193,15 @@ func (c *Coordinator) register(job *core.ExecJob) (uint64, chan struct{}, error)
 	default:
 		return 0, nil, fmt.Errorf("dist: unknown job kind %v", job.Kind)
 	}
+	if c.Journal != nil {
+		// Adopt any journal a crashed predecessor left for this exact
+		// identity before the job is published: the merged prefix,
+		// probe counters and grant frontier come back, and the crashed
+		// epoch's uncompleted spans queue for immediate reissue.
+		if err := c.adoptLocked(j); err != nil {
+			return 0, nil, err
+		}
+	}
 	c.jobs[id] = j
 	c.order = append(c.order, id)
 	return id, j.done, nil
@@ -199,6 +224,9 @@ func (c *Coordinator) collect(id uint64) (*core.ExecResult, error) {
 			c.order = append(c.order[:i], c.order[i+1:]...)
 			break
 		}
+	}
+	if c.Journal != nil {
+		c.Journal.discard(j.jdir)
 	}
 	res := &core.ExecResult{Done: j.prefix}
 	switch j.job.Kind {
@@ -299,22 +327,51 @@ func (c *Coordinator) grant(worker string) *LeaseReply {
 	defer c.mu.Unlock()
 	now := c.now()
 	for _, id := range c.order {
-		j := c.jobs[id]
-		if j == nil || j.halted {
-			continue
+		if rep, ok := c.grantFromLocked(c.jobs[id], worker, now); ok {
+			return rep
 		}
-		c.expireLocked(j, now)
-		sp, ok := c.pickLocked(j)
-		if !ok {
-			continue
-		}
-		c.nextLease++
-		l := &lease{id: c.nextLease, span: sp, worker: worker, deadline: now.Add(c.leaseTTL())}
-		j.leases[l.id] = l
-		spec := j.spec
-		return &LeaseReply{V: Version, Status: LeaseGranted, Job: &spec, Lease: l.id, Lo: sp.lo, Hi: sp.hi}
 	}
 	return &LeaseReply{V: Version, Status: LeaseWait, WaitMs: int(c.waitHint() / time.Millisecond)}
+}
+
+// grantJob is grant restricted to a single job: the executor's
+// in-process fallback worker leases through it so it can never steal
+// another job's spans from the fleet.
+func (c *Coordinator) grantJob(worker string, id uint64) *LeaseReply {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if rep, ok := c.grantFromLocked(c.jobs[id], worker, c.now()); ok {
+		return rep
+	}
+	return &LeaseReply{V: Version, Status: LeaseWait, WaitMs: int(c.waitHint() / time.Millisecond)}
+}
+
+// grantFromLocked tries to lease one span of j to worker.
+func (c *Coordinator) grantFromLocked(j *distJob, worker string, now time.Time) (*LeaseReply, bool) {
+	if j == nil || j.halted {
+		return nil, false
+	}
+	c.expireLocked(j, now)
+	sp, ok := c.pickLocked(j)
+	if !ok {
+		return nil, false
+	}
+	c.nextLease++
+	l := &lease{id: c.nextLease, span: sp, worker: worker, deadline: now.Add(c.leaseTTL())}
+	j.leases[l.id] = l
+	c.journalGrantLocked(j, sp)
+	spec := j.spec
+	return &LeaseReply{V: Version, Status: LeaseGranted, Job: &spec, Lease: l.id, Lo: sp.lo, Hi: sp.hi}, true
+}
+
+// prefix reports a job's merged prefix (0 once collected or unknown).
+func (c *Coordinator) prefix(id uint64) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if j := c.jobs[id]; j != nil {
+		return j.prefix
+	}
+	return 0
 }
 
 // expireLocked reissues dead workers' ranges: every lease past its
@@ -414,15 +471,27 @@ func (c *Coordinator) complete(msg *LeaseComplete) (*CompleteReply, error) {
 	if err := j.checkPayload(msg); err != nil {
 		return nil, err
 	}
-	// The lease(s) covering this span are settled regardless of which
-	// holder reported first.
+	if _, dup := j.completed[msg.Lo]; dup {
+		// The lease(s) covering this span are settled regardless of
+		// which holder reported first.
+		for id, l := range j.leases {
+			if l.span.lo == msg.Lo {
+				delete(j.leases, id)
+			}
+		}
+		return &CompleteReply{V: Version, Accepted: false, JobDone: j.prefix == j.spec.Units}, nil
+	}
+	// Write-ahead: the journal record must land before any state
+	// mutation (including lease settlement — a failed write leaves the
+	// lease intact so its TTL can still reissue the span). The handler
+	// turns a journal failure into a 500 the worker's transport retries.
+	if err := c.journalCompleteLocked(j, msg); err != nil {
+		return nil, err
+	}
 	for id, l := range j.leases {
 		if l.span.lo == msg.Lo {
 			delete(j.leases, id)
 		}
-	}
-	if _, dup := j.completed[msg.Lo]; dup {
-		return &CompleteReply{V: Version, Accepted: false, JobDone: j.prefix == j.spec.Units}, nil
 	}
 	j.completed[msg.Lo] = msg.Hi
 	j.pending[msg.Lo] = &pendingRange{span: span{msg.Lo, msg.Hi}, payload: msg.Payload, counters: msg.Counters}
@@ -536,7 +605,40 @@ func (c *Coordinator) Handler() http.Handler {
 	return mux
 }
 
+// hasLiveLease reports whether the job still has an outstanding lease
+// inside its TTL. The degraded-mode fallback uses it as the liveness
+// signal for workers that are mid-span and therefore off the wire.
+func (c *Coordinator) hasLiveLease(id uint64) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	j, ok := c.jobs[id]
+	if !ok {
+		return false
+	}
+	now := c.now()
+	for _, l := range j.leases {
+		if now.Before(l.deadline) {
+			return true
+		}
+	}
+	return false
+}
+
+// touchWorker records fleet contact; see lastWorker.
+func (c *Coordinator) touchWorker() { c.lastWorker.Store(time.Now().UnixNano()) }
+
+// lastWorkerContact reports the most recent worker HTTP exchange (zero
+// time if no worker has ever connected).
+func (c *Coordinator) lastWorkerContact() time.Time {
+	ns := c.lastWorker.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
 func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	c.touchWorker()
 	var req LeaseRequest
 	if err := readMessage(r.Body, &req); err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -550,6 +652,7 @@ func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
+	c.touchWorker()
 	data, err := readAll(r.Body)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -573,6 +676,7 @@ func (c *Coordinator) handleComplete(w http.ResponseWriter, r *http.Request) {
 }
 
 func (c *Coordinator) handleGraph(w http.ResponseWriter, r *http.Request) {
+	c.touchWorker()
 	id, err := strconv.ParseUint(r.URL.Query().Get("job"), 10, 64)
 	if err != nil {
 		http.Error(w, "bad job id", http.StatusBadRequest)

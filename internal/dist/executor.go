@@ -1,9 +1,12 @@
 package dist
 
 import (
+	"fmt"
+	"sync"
 	"time"
 
 	"github.com/uncertain-graphs/mpmb/internal/core"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // Executor is the distributed core.TrialExecutor: ExecuteTrials
@@ -17,7 +20,12 @@ import (
 // size, lease order, duplicated grants, or mid-run worker deaths.
 //
 // The coordinator is a pure control plane: a run through this executor
-// makes no progress until at least one worker joins it.
+// makes no progress until at least one worker joins it — unless a
+// Fallback is configured, in which case a fleet silent past FleetGrace
+// degrades the run to an in-process fallback worker that leases and
+// completes spans through the exact same merge, preserving bit-identity
+// with zero live workers. Workers that come (back) mid-run simply share
+// the lease book with the fallback worker.
 type Executor struct {
 	// C is the coordinator the job registers with.
 	C *Coordinator
@@ -29,6 +37,32 @@ type Executor struct {
 	// it lasts roughly one lease's remaining execution time; the bound
 	// only bites when a worker died holding a lease.
 	DrainWait time.Duration
+	// Fallback, when non-nil, is the degraded-mode escape hatch: the
+	// local executor spans run on when the fleet stays silent past
+	// FleetGrace. Nil keeps the pure control-plane behavior (no
+	// progress without workers).
+	Fallback *core.LocalExecutor
+	// FleetGrace is how long the fleet may stay silent — no worker HTTP
+	// exchange on the coordinator — before Fallback engages (default
+	// 15s).
+	FleetGrace time.Duration
+
+	// Degradation record of the most recent ExecuteTrials, read after
+	// it returns via FellBack.
+	fellBack   bool
+	fellBackAt int
+}
+
+// FellBack reports whether the most recent ExecuteTrials engaged the
+// degraded-mode fallback, and the merged-prefix trial count at that
+// moment. Callers use it to record the dist→local transition.
+func (e *Executor) FellBack() (bool, int) { return e.fellBack, e.fellBackAt }
+
+func (e *Executor) fleetGrace() time.Duration {
+	if e.FleetGrace > 0 {
+		return e.FleetGrace
+	}
+	return 15 * time.Second
 }
 
 // ExecuteTrials implements core.TrialExecutor.
@@ -36,6 +70,7 @@ func (e *Executor) ExecuteTrials(job *core.ExecJob) (*core.ExecResult, error) {
 	if job.Start >= job.Units {
 		return &core.ExecResult{Done: job.Units}, nil
 	}
+	e.fellBack, e.fellBackAt = false, 0
 	id, done, err := e.C.register(job)
 	if err != nil {
 		return nil, err
@@ -46,6 +81,11 @@ func (e *Executor) ExecuteTrials(job *core.ExecJob) (*core.ExecResult, error) {
 	}
 	ticker := time.NewTicker(poll)
 	defer ticker.Stop()
+	start := time.Now()
+	stop := make(chan struct{})
+	var fb sync.WaitGroup
+	defer fb.Wait()   // the fallback worker finishes its claimed span
+	defer close(stop) // ... after being told the run is over
 	for {
 		select {
 		case <-done:
@@ -55,8 +95,138 @@ func (e *Executor) ExecuteTrials(job *core.ExecJob) (*core.ExecResult, error) {
 			if job.Interrupt != nil && job.Interrupt() {
 				return e.drainAndCollect(id, done)
 			}
+			if e.Fallback != nil && !e.fellBack && e.fleetSilent(id, start) {
+				e.fellBack = true
+				e.fellBackAt = e.C.prefix(id)
+				fb.Add(1)
+				go func() {
+					defer fb.Done()
+					e.runFallback(stop, id, job)
+				}()
+			}
 		}
 	}
+}
+
+// fleetSilent reports whether no worker has contacted the coordinator
+// for FleetGrace, measured from the later of the run's start and the
+// fleet's last exchange (a fleet that was alive and vanished gets the
+// same grace as one that never joined). A worker crunching a long
+// span makes no HTTP calls at all, so wire silence alone is not
+// death: as long as the job holds a lease inside its TTL the fleet
+// counts as live, and a holder that really died hands the decision
+// back here when its lease expires.
+func (e *Executor) fleetSilent(id uint64, start time.Time) bool {
+	ref := e.C.lastWorkerContact()
+	if ref.Before(start) {
+		ref = start
+	}
+	if time.Since(ref) < e.fleetGrace() {
+		return false
+	}
+	return !e.C.hasLiveLease(id)
+}
+
+// runFallback is the in-process fallback worker: it leases spans of
+// exactly this job and completes them through the coordinator's
+// standard idempotent merge, so remote workers rejoining mid-run and
+// the fallback worker compose without coordination. It stops when the
+// job is done, the executor returns, or a span fails.
+func (e *Executor) runFallback(stop <-chan struct{}, id uint64, job *core.ExecJob) {
+	pool := 0
+	if e.Fallback != nil {
+		pool = e.Fallback.Workers
+	}
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		rep := e.C.grantJob("local-fallback", id)
+		switch rep.Status {
+		case LeaseGranted:
+			msg, err := executeSpan(job, id, rep.Lease, rep.Lo, rep.Hi, pool)
+			if err != nil {
+				return
+			}
+			ack, err := e.C.complete(msg)
+			if err != nil {
+				return
+			}
+			if ack.JobDone {
+				return
+			}
+		case LeaseWait:
+			wait := time.Duration(rep.WaitMs) * time.Millisecond
+			if wait <= 0 {
+				wait = 25 * time.Millisecond
+			}
+			select {
+			case <-stop:
+				return
+			case <-time.After(wait):
+			}
+		default:
+			return
+		}
+	}
+}
+
+// executeSpan runs one leased span of job through a fresh LocalExecutor
+// and assembles its completion message — the in-process mirror of the
+// remote worker's execute, sharing its payload and counter contract.
+func executeSpan(job *core.ExecJob, jobID, leaseID uint64, lo, hi, pool int) (*LeaseComplete, error) {
+	reg := telemetry.NewRegistry()
+	sub := &core.ExecJob{
+		Kind:    job.Kind,
+		Graph:   job.Graph,
+		Cands:   job.Cands,
+		Seed:    job.Seed,
+		Units:   hi,     // run exactly the leased range:
+		Start:   lo - 1, // units Start+1..Units = lo..hi
+		OS:      job.OS,
+		KL:      job.KL,
+		Probe:   &telemetry.Probe{Reg: reg, Method: job.Spec.Method},
+		Workers: pool,
+	}
+	res, err := (&core.LocalExecutor{Workers: pool}).ExecuteTrials(sub)
+	if err != nil {
+		return nil, err
+	}
+	if res.Done != hi {
+		return nil, fmt.Errorf("dist: fallback range %d..%d stopped at %d without an interrupt", lo, hi, res.Done)
+	}
+	var payload RangePayload
+	switch job.Kind {
+	case core.ExecOS:
+		payload.Counts = res.CountsSnapshot()
+	case core.ExecOptimized:
+		payload.CandCounts = res.CandCounts
+	case core.ExecKarpLuby:
+		payload.CandProbs = res.CandProbs[lo-1 : hi]
+		payload.CandTrials = res.CandTrials[lo-1 : hi]
+	default:
+		return nil, fmt.Errorf("%w: unknown job kind %d", ErrBadPayload, job.Kind)
+	}
+	m := reg.Snapshot()
+	return &LeaseComplete{
+		V:       Version,
+		Worker:  "local-fallback",
+		Job:     jobID,
+		Lease:   leaseID,
+		Lo:      lo,
+		Hi:      hi,
+		Payload: payload,
+		Counters: Counters{
+			Trials:       m.Trials,
+			TrialHits:    m.TrialHits,
+			EdgesScanned: m.EdgesScanned,
+			EdgesPruned:  m.EdgesPruned,
+			CandScanned:  m.CandScanned,
+			CandPruned:   m.CandPruned,
+		},
+	}, nil
 }
 
 // drainAndCollect honors the local pool's contract on the distributed

@@ -1,0 +1,241 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// ErrTransportExhausted reports that every attempt of a retried
+// coordinator exchange failed. Match with errors.Is; the concrete
+// *TransportError carries the operation, attempt count and last cause.
+var ErrTransportExhausted = errors.New("dist: transport retries exhausted")
+
+// TransportError is the typed error behind ErrTransportExhausted: one
+// coordinator exchange that burned its whole retry budget.
+type TransportError struct {
+	// Op is the protocol operation ("lease", "complete", "graph").
+	Op string
+	// URL is the request target.
+	URL string
+	// Attempts is how many times the exchange was tried before giving
+	// up; Last is the final attempt's error (also the Unwrap target).
+	Attempts int
+	Last     error
+}
+
+func (e *TransportError) Error() string {
+	return fmt.Sprintf("dist: %s %s failed after %d attempts: %v", e.Op, e.URL, e.Attempts, e.Last)
+}
+
+// Is makes errors.Is(err, ErrTransportExhausted) succeed.
+func (e *TransportError) Is(target error) bool { return target == ErrTransportExhausted }
+
+// Unwrap exposes the last attempt's error to errors.Is/As chains.
+func (e *TransportError) Unwrap() error { return e.Last }
+
+// statusError is a non-2xx reply. 5xx (and 429) replies are transient —
+// the coordinator or an intermediary hiccuped — and retried; other 4xx
+// replies are protocol errors that no retry can fix and surface
+// immediately.
+type statusError struct {
+	op     string
+	status string
+	code   int
+	body   string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("dist: %s: %s: %s", e.op, e.status, e.body)
+}
+
+func (e *statusError) transient() bool {
+	return e.code >= 500 || e.code == http.StatusTooManyRequests
+}
+
+// Transport is the resilient HTTP layer between a worker and its
+// coordinator: every exchange gets a per-attempt timeout and transient
+// failures (connection errors, torn response bodies, 5xx replies) are
+// retried with seeded-jitter exponential backoff until the attempt
+// budget runs out, at which point the typed *TransportError surfaces.
+//
+// Retrying is safe by construction: leases are idempotent grants,
+// completions are idempotent by-span (a duplicate is acknowledged with
+// Accepted=false), and the graph fetch is a read — so the transport can
+// retransmit any of them without coordination, including the nasty
+// "request applied but reply lost" case.
+//
+// The zero value is usable and applies the documented defaults.
+type Transport struct {
+	// Client is the underlying HTTP client (default: a client with a
+	// bounded overall timeout; see Worker.client).
+	Client *http.Client
+	// RequestTimeout bounds each individual attempt (default 10s).
+	RequestTimeout time.Duration
+	// MaxAttempts is the total attempt budget per exchange, first try
+	// included (default 4; values below 1 behave as 1).
+	MaxAttempts int
+	// BaseDelay is the pre-jitter sleep after the first failure,
+	// doubling per attempt up to MaxDelay (defaults 50ms, 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed makes the jitter sequence deterministic. The zero seed is a
+	// valid deterministic stream of its own.
+	Seed uint64
+	// Sleep overrides the inter-attempt sleep (tests). Nil = real sleep
+	// honoring ctx cancellation.
+	Sleep func(time.Duration)
+
+	mu  sync.Mutex
+	rng *randx.RNG
+}
+
+func (t *Transport) client() *http.Client {
+	if t.Client != nil {
+		return t.Client
+	}
+	return defaultWorkerClient
+}
+
+func (t *Transport) requestTimeout() time.Duration {
+	if t.RequestTimeout > 0 {
+		return t.RequestTimeout
+	}
+	return 10 * time.Second
+}
+
+func (t *Transport) attempts() int {
+	if t.MaxAttempts < 1 {
+		return 4
+	}
+	return t.MaxAttempts
+}
+
+// backoff returns the post-jitter sleep before retry k (0-based index
+// of the attempt that just failed): min(BaseDelay·2^k, MaxDelay) scaled
+// by a uniform factor in [0.5, 1) so a fleet behind the same flaky
+// switch does not retry in lockstep.
+func (t *Transport) backoff(k int) time.Duration {
+	base := t.BaseDelay
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	maxd := t.MaxDelay
+	if maxd <= 0 {
+		maxd = 2 * time.Second
+	}
+	d := base
+	for i := 0; i < k && d < maxd; i++ {
+		d *= 2
+	}
+	if d > maxd {
+		d = maxd
+	}
+	t.mu.Lock()
+	if t.rng == nil {
+		t.rng = randx.New(t.Seed)
+	}
+	f := t.rng.Float64()
+	t.mu.Unlock()
+	return time.Duration((0.5 + 0.5*f) * float64(d))
+}
+
+func (t *Transport) sleep(ctx context.Context, d time.Duration) error {
+	if t.Sleep != nil {
+		t.Sleep(d)
+		return ctx.Err()
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(d):
+		return nil
+	}
+}
+
+// do runs one exchange with retries. build constructs a fresh request
+// per attempt (bodies are consumed); handle consumes a 200 response
+// body. Transient failures retry; context cancellation and
+// non-transient HTTP errors surface immediately.
+func (t *Transport) do(ctx context.Context, op, url string, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
+	var last error
+	n := t.attempts()
+	for k := 0; k < n; k++ {
+		if k > 0 {
+			if err := t.sleep(ctx, t.backoff(k-1)); err != nil {
+				return err
+			}
+		}
+		err := t.doOnce(ctx, op, build, handle)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		var se *statusError
+		if errors.As(err, &se) && !se.transient() {
+			return err
+		}
+		last = err
+	}
+	return &TransportError{Op: op, URL: url, Attempts: n, Last: last}
+}
+
+func (t *Transport) doOnce(ctx context.Context, op string, build func(ctx context.Context) (*http.Request, error), handle func(*http.Response) error) error {
+	actx, cancel := context.WithTimeout(ctx, t.requestTimeout())
+	defer cancel()
+	req, err := build(actx)
+	if err != nil {
+		return err
+	}
+	resp, err := t.client().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return &statusError{op: op, status: resp.Status, code: resp.StatusCode, body: string(bytes.TrimSpace(body))}
+	}
+	return handle(resp)
+}
+
+// postJSON posts a JSON message and decodes the JSON reply, retrying
+// transient failures. The request body is re-encoded once and replayed
+// per attempt.
+func (t *Transport) postJSON(ctx context.Context, op, url string, in, out any) error {
+	body, err := encodeJSON(in)
+	if err != nil {
+		return err
+	}
+	return t.do(ctx, op, url,
+		func(actx context.Context) (*http.Request, error) {
+			req, err := http.NewRequestWithContext(actx, http.MethodPost, url, bytes.NewReader(body))
+			if err != nil {
+				return nil, err
+			}
+			req.Header.Set("Content-Type", "application/json")
+			return req, nil
+		},
+		func(resp *http.Response) error {
+			return readMessage(resp.Body, out)
+		})
+}
+
+// get fetches url and hands the 200 response to handle, retrying
+// transient failures.
+func (t *Transport) get(ctx context.Context, op, url string, handle func(*http.Response) error) error {
+	return t.do(ctx, op, url,
+		func(actx context.Context) (*http.Request, error) {
+			return http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+		},
+		handle)
+}

@@ -1,10 +1,9 @@
 package dist
 
 import (
-	"bytes"
 	"context"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"os"
 	"time"
@@ -14,27 +13,53 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
+// defaultWorkerClient is the client used when a caller supplies none.
+// It carries a bounded overall timeout as a last line of defense: a
+// hung coordinator socket must never block a worker forever, even if
+// the per-attempt transport timeout is misconfigured away.
+var defaultWorkerClient = &http.Client{Timeout: 30 * time.Second}
+
 // Worker executes leased ranges for a coordinator. It is stateless from
 // the coordinator's point of view — everything it needs arrives in the
 // JobSpec (graph by fetch-and-verify, candidate set by deterministic
 // re-preparation from the run seed), so workers can join, die and
 // rejoin at any point of a run without coordination.
+//
+// All coordinator exchanges go through a retrying Transport; when a
+// coordinator the worker has already talked to becomes unreachable past
+// the transport's budget, the worker parks in a reconnect loop for up
+// to ReconnectMax instead of exiting, so a coordinator restart (crash
+// recovery) or a healed partition resumes the run with the same fleet.
 type Worker struct {
 	// Base is the coordinator's base URL (e.g. "http://host:port").
 	Base string
 	// Name identifies the worker in leases (default "host:pid").
 	Name string
-	// Client is the HTTP client (default http.DefaultClient).
+	// Client is the HTTP client (default: a client with a bounded
+	// overall timeout).
 	Client *http.Client
 	// Pool sizes the local worker pool each lease runs on (0 =
 	// GOMAXPROCS).
 	Pool int
+	// Transport, when non-nil, tunes the retrying exchange layer
+	// (timeouts, attempt budget, backoff). Nil applies the defaults.
+	Transport *Transport
+	// ReconnectMax bounds how long the worker keeps trying to reach an
+	// unreachable coordinator it had already exchanged with before
+	// giving up and ending the run (default 30s; negative gives up on
+	// the first exhausted exchange).
+	ReconnectMax time.Duration
+	// Reg, when non-nil, receives the worker's telemetry: lease-loop
+	// errors by kind and reconnect counts.
+	Reg *telemetry.Registry
 
 	// testFaults, if non-nil, injects chaos for the fault-tolerance
 	// tests; see workerFaults.
 	testFaults *workerFaults
 
 	connected bool
+	parked    bool
+	parkedAt  time.Time
 	leases    int
 	graphs    map[uint32]*workerGraph
 }
@@ -66,10 +91,14 @@ type candKey struct {
 }
 
 // Run leases and executes ranges until ctx is cancelled or the
-// coordinator goes away. A connection failure before the first
-// successful exchange is retried (the worker may start before the
-// coordinator listens); after one, it means the coordinator exited —
-// normal end of a run — and Run returns nil.
+// coordinator stays away longer than ReconnectMax. A connection failure
+// before the first successful exchange is retried indefinitely (the
+// worker may start before the coordinator listens); after one, the
+// worker parks in its reconnect loop — completions in hand are
+// retransmitted verbatim once the coordinator returns, which is safe
+// because the merge is idempotent by span. Only when the coordinator
+// stays unreachable past ReconnectMax does Run conclude the run is over
+// and return nil.
 func (w *Worker) Run(ctx context.Context) error {
 	if w.Name == "" {
 		host, _ := os.Hostname()
@@ -87,27 +116,31 @@ func (w *Worker) Run(ctx context.Context) error {
 			if ctx.Err() != nil {
 				return nil
 			}
-			if w.connected {
-				return nil // coordinator exited; the run is over
+			w.count(telemetry.CounterDistLeaseErrors)
+			if !w.connected {
+				// The coordinator may not be listening yet.
+				if !w.pause(ctx, 100*time.Millisecond) {
+					return nil
+				}
+				continue
 			}
-			select {
-			case <-ctx.Done():
-				return nil
-			case <-time.After(100 * time.Millisecond):
+			if !errors.Is(err, ErrTransportExhausted) {
+				return err // protocol error: retrying cannot fix it
+			}
+			if !w.park(ctx) {
+				return nil // coordinator gone past ReconnectMax; run over
 			}
 			continue
 		}
-		w.connected = true
+		w.arrived()
 		switch rep.Status {
 		case LeaseWait:
 			wait := time.Duration(rep.WaitMs) * time.Millisecond
 			if wait <= 0 {
 				wait = 25 * time.Millisecond
 			}
-			select {
-			case <-ctx.Done():
+			if !w.pause(ctx, wait) {
 				return nil
-			case <-time.After(wait):
 			}
 		case LeaseGranted:
 			w.leases++
@@ -116,15 +149,25 @@ func (w *Worker) Run(ctx context.Context) error {
 			}
 			msg, err := w.execute(ctx, rep)
 			if err != nil {
+				if ctx.Err() != nil {
+					return nil
+				}
+				if errors.Is(err, ErrTransportExhausted) {
+					// The graph fetch died with the coordinator: abandon
+					// the lease (the TTL reissues it) and park.
+					w.count(telemetry.CounterDistGraphErrors)
+					if !w.park(ctx) {
+						return nil
+					}
+					continue
+				}
+				w.count(telemetry.CounterDistExecErrors)
 				return fmt.Errorf("dist: worker executing lease %d (%d..%d): %w", rep.Lease, rep.Lo, rep.Hi, err)
 			}
 			if f := w.testFaults; f != nil && f.interceptComplete != nil && !f.interceptComplete(msg) {
 				continue // chaos: complete dropped in flight
 			}
-			if err := w.sendComplete(ctx, msg); err != nil {
-				if w.connected {
-					return nil // coordinator exited mid-run
-				}
+			if err := w.deliver(ctx, msg); err != nil {
 				return err
 			}
 		default:
@@ -133,10 +176,86 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 }
 
+// deliver retransmits one completion until it is acknowledged, the
+// reconnect window closes, or ctx ends. Retransmission is safe: the
+// coordinator's merge is keyed by span, so a completion whose first
+// acknowledgement was lost in flight is simply re-acknowledged with
+// Accepted=false. Returning nil without an acknowledgement means the
+// coordinator is gone and the run is over.
+func (w *Worker) deliver(ctx context.Context, msg *LeaseComplete) error {
+	for {
+		err := w.sendComplete(ctx, msg)
+		if err == nil {
+			w.arrived()
+			return nil
+		}
+		if ctx.Err() != nil {
+			return nil
+		}
+		w.count(telemetry.CounterDistCompleteErrors)
+		if !errors.Is(err, ErrTransportExhausted) {
+			return err
+		}
+		if !w.park(ctx) {
+			return nil
+		}
+	}
+}
+
+// park records an unreachable-coordinator beat: it starts (or extends)
+// the current parking spell and sleeps one reconnect interval. It
+// returns false when the spell has outlived ReconnectMax or ctx ended —
+// the worker should stop trying.
+func (w *Worker) park(ctx context.Context) bool {
+	now := time.Now()
+	if !w.parked {
+		w.parked = true
+		w.parkedAt = now
+	}
+	maxWait := w.reconnectMax()
+	if maxWait <= 0 || now.Sub(w.parkedAt) >= maxWait {
+		return false
+	}
+	return w.pause(ctx, 500*time.Millisecond)
+}
+
+// arrived records a successful exchange, ending any parking spell.
+func (w *Worker) arrived() {
+	if w.parked {
+		w.parked = false
+		w.count(telemetry.CounterDistReconnects)
+	}
+	w.connected = true
+}
+
+func (w *Worker) reconnectMax() time.Duration {
+	if w.ReconnectMax != 0 {
+		return w.ReconnectMax
+	}
+	return 30 * time.Second
+}
+
+// pause sleeps d, returning false if ctx ended first.
+func (w *Worker) pause(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}
+
+// count bumps one worker telemetry counter, if a registry is attached.
+func (w *Worker) count(c telemetry.Counter) {
+	if w.Reg != nil {
+		w.Reg.Add(0, c, 1)
+	}
+}
+
 // lease requests a range.
 func (w *Worker) lease(ctx context.Context) (*LeaseReply, error) {
 	var rep LeaseReply
-	if err := w.post(ctx, "/dist/v1/lease", &LeaseRequest{V: Version, Worker: w.Name}, &rep); err != nil {
+	if err := w.transport().postJSON(ctx, "lease", w.Base+"/dist/v1/lease", &LeaseRequest{V: Version, Worker: w.Name}, &rep); err != nil {
 		return nil, err
 	}
 	if rep.V != Version {
@@ -232,28 +351,24 @@ func (w *Worker) execute(ctx context.Context, rep *LeaseReply) (*LeaseComplete, 
 }
 
 // graph returns the verified graph for a spec, fetching it once per
-// fingerprint.
+// fingerprint. A torn response body (the fetch died mid-stream) is
+// retried by the transport like any other transient fault.
 func (w *Worker) graph(ctx context.Context, spec *JobSpec) (*workerGraph, error) {
 	if wg, ok := w.graphs[spec.GraphCRC]; ok {
 		return wg, nil
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
-		fmt.Sprintf("%s/dist/v1/graph?job=%d", w.Base, spec.Job), nil)
+	var g *bigraph.Graph
+	url := fmt.Sprintf("%s/dist/v1/graph?job=%d", w.Base, spec.Job)
+	err := w.transport().get(ctx, "graph", url, func(resp *http.Response) error {
+		decoded, err := bigraph.ReadBinary(resp.Body)
+		if err != nil {
+			return fmt.Errorf("dist: decoding graph for job %d: %w", spec.Job, err)
+		}
+		g = decoded
+		return nil
+	})
 	if err != nil {
 		return nil, err
-	}
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return nil, fmt.Errorf("dist: fetching graph for job %d: %s: %s", spec.Job, resp.Status, bytes.TrimSpace(body))
-	}
-	g, err := bigraph.ReadBinary(resp.Body)
-	if err != nil {
-		return nil, fmt.Errorf("dist: decoding graph for job %d: %w", spec.Job, err)
 	}
 	if crc := g.Checksum(); crc != spec.GraphCRC {
 		return nil, fmt.Errorf("dist: graph checksum %08x does not match job spec %08x", crc, spec.GraphCRC)
@@ -293,39 +408,26 @@ func (w *Worker) candidates(wg *workerGraph, spec *JobSpec, osOpt core.OSOptions
 // sendComplete posts a completion and interprets the acknowledgement.
 func (w *Worker) sendComplete(ctx context.Context, msg *LeaseComplete) error {
 	var rep CompleteReply
-	if err := w.post(ctx, "/dist/v1/complete", msg, &rep); err != nil {
-		return err
-	}
 	// Accepted=false (duplicate or vanished job) is a normal outcome.
-	return nil
+	return w.transport().postJSON(ctx, "complete", w.Base+"/dist/v1/complete", msg, &rep)
 }
 
+// client returns the base HTTP client, always with a bounded timeout.
 func (w *Worker) client() *http.Client {
 	if w.Client != nil {
 		return w.Client
 	}
-	return http.DefaultClient
+	return defaultWorkerClient
 }
 
-// post sends a JSON request and decodes the JSON reply.
-func (w *Worker) post(ctx context.Context, path string, in, out any) error {
-	body, err := encodeJSON(in)
-	if err != nil {
-		return err
+// transport returns the worker's exchange layer, binding the default
+// transport to the worker's client on first use.
+func (w *Worker) transport() *Transport {
+	if w.Transport == nil {
+		w.Transport = &Transport{}
 	}
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, w.Base+path, bytes.NewReader(body))
-	if err != nil {
-		return err
+	if w.Transport.Client == nil {
+		w.Transport.Client = w.client()
 	}
-	req.Header.Set("Content-Type", "application/json")
-	resp, err := w.client().Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		errBody, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
-		return fmt.Errorf("dist: %s: %s: %s", path, resp.Status, bytes.TrimSpace(errBody))
-	}
-	return readMessage(resp.Body, out)
+	return w.Transport
 }

@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	mpmb "github.com/uncertain-graphs/mpmb"
+)
+
+// TestDistFallbackDegradesWorkerlessJob: a -dist daemon with a
+// -dist-fallback grace and NO workers joined must degrade an eligible
+// job to the in-process pool, finish it bit-identically, record the
+// dist→local transition in the result's adaptive report, and count the
+// degradation in /metrics.
+func TestDistFallbackDegradesWorkerlessJob(t *testing.T) {
+	graphs := t.TempDir()
+	writeFigure1(t, graphs, "fig1.graph")
+	_, hs := testServer(t, Config{
+		GraphRoot: graphs, StateDir: t.TempDir(), CheckpointEvery: -1,
+		Dist: true, DistFallback: 50 * time.Millisecond,
+	})
+
+	id, _ := submitJob(t, hs.URL, "", map[string]any{
+		"graph": "fig1.graph", "method": "os", "trials": 20000, "seed": 7, "top_k": 3,
+	})
+	if id == "" {
+		t.Fatal("submission rejected")
+	}
+	doc := waitState(t, hs.URL, id, JobDone, JobFailed)
+	if doc.State != JobDone {
+		t.Fatalf("workerless distributed job failed instead of degrading: %s", doc.Error)
+	}
+
+	resp, err := http.Get(hs.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got resultDoc
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Adaptive == nil || len(got.Adaptive.Transitions) == 0 {
+		t.Fatalf("degraded result carries no transition record: %+v", got.Adaptive)
+	}
+	tr := got.Adaptive.Transitions[len(got.Adaptive.Transitions)-1]
+	if tr.From != "dist" || tr.To != "local" || tr.Reason != "fleet-unreachable" {
+		t.Fatalf("transition = %+v, want dist→local (fleet-unreachable)", tr)
+	}
+
+	// Degradation must not cost exactness: the Top entries still match a
+	// direct engine run bit-for-bit.
+	g, err := mpmb.LoadGraph(filepath.Join(graphs, "fig1.graph"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := mpmb.Search(g, mpmb.Options{Method: mpmb.MethodOS, Trials: 20000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := resultDocFrom(id, JobSpec{TopK: 3}, ref)
+	if len(got.Top) != len(want.Top) {
+		t.Fatalf("%d top entries, want %d", len(got.Top), len(want.Top))
+	}
+	for i := range got.Top {
+		if got.Top[i] != want.Top[i] {
+			t.Fatalf("top[%d] = %+v, want %+v (degraded run must stay bit-identical)", i, got.Top[i], want.Top[i])
+		}
+	}
+
+	if m := fetchMetrics(t, hs.URL); !strings.Contains(m, "mpmb_serve_dist_fallbacks_total 1") {
+		t.Fatalf("fallback counter not incremented:\n%s", m)
+	}
+}

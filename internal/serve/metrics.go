@@ -21,6 +21,8 @@ type serveStats struct {
 	recovered     atomic.Int64 // jobs re-admitted from disk at startup
 	panics        atomic.Int64 // runner panics caught by the shield
 	checkpoints   atomic.Int64 // periodic+drain checkpoints saved
+	evicted       atomic.Int64 // terminal jobs removed by retention
+	distFallbacks atomic.Int64 // dist jobs degraded to the local fallback
 }
 
 // aggregateMetrics merges every job's telemetry into one daemon-wide
@@ -49,6 +51,11 @@ func (s *Server) aggregateMetrics() telemetry.Metrics {
 		agg.Escalations += m.Escalations
 		agg.CheckpointSaves += m.CheckpointSaves
 		agg.CheckpointRetries += m.CheckpointRetries
+		agg.DistLeaseErrors += m.DistLeaseErrors
+		agg.DistCompleteErrors += m.DistCompleteErrors
+		agg.DistGraphErrors += m.DistGraphErrors
+		agg.DistExecErrors += m.DistExecErrors
+		agg.DistReconnects += m.DistReconnects
 		agg.EventsDropped += m.EventsDropped
 		agg.TrialNs.SumNs += m.TrialNs.SumNs
 		agg.TrialNs.Count += m.TrialNs.Count
@@ -82,6 +89,8 @@ func (s *Server) metricsHandler() http.Handler {
 			{"mpmb_serve_jobs_recovered_total", "Jobs re-admitted from disk at startup.", st.recovered.Load()},
 			{"mpmb_serve_runner_panics_total", "Runner panics caught by the isolation shield.", st.panics.Load()},
 			{"mpmb_serve_checkpoints_total", "Job checkpoints saved (periodic and drain).", st.checkpoints.Load()},
+			{"mpmb_serve_jobs_evicted_total", "Terminal jobs removed by retention.", st.evicted.Load()},
+			{"mpmb_serve_dist_fallbacks_total", "Distributed jobs degraded to the in-process fallback.", st.distFallbacks.Load()},
 		} {
 			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", c.name, c.help, c.name, c.name, c.v)
 		}

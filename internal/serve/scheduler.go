@@ -9,6 +9,7 @@ import (
 	"time"
 
 	mpmb "github.com/uncertain-graphs/mpmb"
+	"github.com/uncertain-graphs/mpmb/internal/core"
 	"github.com/uncertain-graphs/mpmb/internal/dist"
 	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
@@ -270,9 +271,31 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 	// slicing must not stretch the budget.
 	started := time.Now()
 
+	// Degradation record across slices: the dist→local fallback is noted
+	// once per job, at the merged prefix where it first engaged, and
+	// stamped onto whichever slice's result ends the run.
+	var fellBack bool
+	var fellBackAt int
+	noteFallback := func(res *mpmb.Result) {
+		if !fellBack || res == nil {
+			return
+		}
+		if res.Adaptive == nil {
+			reason := mpmb.StopCompleted
+			if res.Partial {
+				reason = mpmb.StopCancelled
+			}
+			res.Adaptive = &mpmb.AdaptiveReport{StopReason: reason, FinalMethod: res.Method}
+		}
+		res.Adaptive.Transitions = append(res.Adaptive.Transitions, mpmb.Transition{
+			From: "dist", To: "local", Reason: "fleet-unreachable", AtTrial: fellBackAt,
+		})
+	}
+
 	for {
 		opt := spec.options(obs, started)
 		opt.Resume = ck
+		var distEx *dist.Executor
 		if s.coord != nil && spec.distributable() {
 			// Dist mode: the sampling phase fans out to the worker fleet.
 			// Slicing still applies — a slice-end interrupt drains in-flight
@@ -280,7 +303,12 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 			// slice commits real progress even when CheckpointEvery is
 			// shorter than one lease's execution time, and the next slice
 			// re-registers the remainder.
-			opt.Executor = &dist.Executor{C: s.coord}
+			distEx = &dist.Executor{C: s.coord}
+			if s.cfg.DistFallback > 0 {
+				distEx.Fallback = &core.LocalExecutor{Workers: spec.Workers}
+				distEx.FleetGrace = s.cfg.DistFallback
+			}
+			opt.Executor = distEx
 		}
 
 		sliceCtx := runCtx
@@ -304,8 +332,15 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 		if err != nil {
 			return nil, err
 		}
+		if distEx != nil && !fellBack {
+			if fb, at := distEx.FellBack(); fb {
+				fellBack, fellBackAt = true, at
+				s.stats.distFallbacks.Add(1)
+			}
+		}
 
 		if !res.Partial {
+			noteFallback(res)
 			return res, nil
 		}
 
@@ -314,6 +349,7 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 		// fired (slice timer, client cancel, drain suspend).
 		interrupted := res.Adaptive == nil || res.Adaptive.StopReason == mpmb.StopCancelled
 		if !interrupted {
+			noteFallback(res)
 			return res, nil
 		}
 
@@ -337,9 +373,11 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 		cancelled, suspend := j.interruptKind()
 		switch {
 		case cancelled:
+			noteFallback(res)
 			sc.finalize(j, JobCancelled, "", res)
 			return nil, nil
 		case suspend:
+			noteFallback(res)
 			sc.finalize(j, JobSuspended, "", res)
 			return nil, nil
 		}
@@ -348,6 +386,7 @@ func (sc *scheduler) runSliced(runCtx context.Context, j *Job, entry *graphEntry
 		// method that returned no checkpoint cannot make progress by
 		// looping — treat the partial as terminal rather than spin.
 		if res.Checkpoint == nil {
+			noteFallback(res)
 			return res, nil
 		}
 		ck = res.Checkpoint

@@ -99,6 +99,26 @@ type Config struct {
 	// makes no progress until at least one worker joins
 	// (mpmb-serve -worker -join, or mpmb-search -join).
 	Dist bool
+
+	// DistFallback arms the degraded-mode escape hatch for distributed
+	// jobs: when the worker fleet stays silent that long, the job's
+	// remaining spans run on an in-process fallback worker through the
+	// same lease book, the Result stays bit-identical, and the dist→local
+	// transition is recorded in Result.Adaptive. Zero keeps the pure
+	// control-plane behavior (no progress without workers).
+	DistFallback time.Duration
+
+	// RetainTTL evicts terminal jobs (done/failed/cancelled) — manifest,
+	// result, event journal, leftover checkpoint — once they have been
+	// finished that long (0 = keep forever). RetainMax additionally caps
+	// how many terminal jobs are retained, evicting oldest-finished first
+	// (0 = unlimited). Queued, running and suspended jobs are never
+	// touched: the daemon still owes that work.
+	RetainTTL time.Duration
+	RetainMax int
+	// RetainSweep is the retention sweep cadence (default 1m when either
+	// retention knob is set).
+	RetainSweep time.Duration
 }
 
 // withDefaults returns cfg with zero fields replaced by defaults.
@@ -127,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.GraphCacheSize == 0 {
 		c.GraphCacheSize = 16
 	}
+	if c.RetainSweep == 0 {
+		c.RetainSweep = time.Minute
+	}
 	return c
 }
 
@@ -146,6 +169,7 @@ type Server struct {
 
 	draining  chan struct{} // closed when admission stops
 	drainOnce sync.Once
+	retainWG  sync.WaitGroup
 
 	handler http.Handler
 }
@@ -176,6 +200,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Dist {
 		s.coord = dist.NewCoordinator()
+		// Distributed jobs journal their lease book under the state dir,
+		// so a daemon killed mid-fan-out replays the merged prefix on
+		// restart instead of recomputing it.
+		s.coord.Journal = &dist.Journal{Dir: filepath.Join(cfg.StateDir, "dist")}
 	}
 	recovered, err := s.recover()
 	if err != nil {
@@ -189,6 +217,10 @@ func New(cfg Config) (*Server, error) {
 		s.sched.enqueueRecovered(job)
 	}
 	s.sched.start()
+	if cfg.RetainTTL > 0 || cfg.RetainMax > 0 {
+		s.retainWG.Add(1)
+		go s.retentionLoop()
+	}
 	s.handler = s.routes()
 	return s, nil
 }
@@ -213,7 +245,9 @@ func (s *Server) Draining() bool {
 // ctx bounds the total wait for runners to unwind; Drain is idempotent.
 func (s *Server) Drain(ctx context.Context) error {
 	s.drainOnce.Do(func() { close(s.draining) })
-	return s.sched.drain(ctx, s.cfg.DrainGrace)
+	err := s.sched.drain(ctx, s.cfg.DrainGrace)
+	s.retainWG.Wait() // the sweeper exits on the draining close above
+	return err
 }
 
 // DrainBudget is the wall-clock bound a caller should allow a Drain

@@ -150,6 +150,16 @@ func (st *stateStore) saveResult(doc resultDoc) error {
 	return nil
 }
 
+// removeResult and removeJournal erase a retired job's result document
+// and event journal during retention eviction.
+func (st *stateStore) removeResult(id string) {
+	os.Remove(st.resultPath(id))
+}
+
+func (st *stateStore) removeJournal(id string) {
+	os.Remove(st.journalPath(id))
+}
+
 // loadResult returns the persisted result document bytes, or
 // (nil, nil) when none exists.
 func (st *stateStore) loadResult(id string) ([]byte, error) {

@@ -34,6 +34,14 @@ type Metrics struct {
 	CheckpointSaves   int64 `json:"checkpoint_saves"`
 	CheckpointRetries int64 `json:"checkpoint_retries"`
 
+	// Distributed-worker health: lease-loop failures split by kind and
+	// coordinator reconnections after an unreachable spell.
+	DistLeaseErrors    int64 `json:"dist_lease_errors"`
+	DistCompleteErrors int64 `json:"dist_complete_errors"`
+	DistGraphErrors    int64 `json:"dist_graph_errors"`
+	DistExecErrors     int64 `json:"dist_exec_errors"`
+	DistReconnects     int64 `json:"dist_reconnects"`
+
 	// EventsDropped counts events discarded because the observer ring
 	// was full (filled in by the Observer wrapper, not the registry).
 	EventsDropped int64 `json:"events_dropped"`

@@ -29,10 +29,29 @@ func WritePrometheus(w io.Writer, m Metrics) error {
 		{"mpmb_checkpoint_saves_total", "Successful checkpoint saves.", m.CheckpointSaves},
 		{"mpmb_checkpoint_retries_total", "Retried checkpoint save/load attempts.", m.CheckpointRetries},
 		{"mpmb_events_dropped_total", "Observer events dropped because the ring was full.", m.EventsDropped},
+		{"mpmb_dist_worker_reconnects_total", "Coordinator connections re-established after an unreachable spell.", m.DistReconnects},
 	}
 	for _, c := range counters {
 		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n",
 			c.name, c.help, c.name, c.name, c.value); err != nil {
+			return err
+		}
+	}
+
+	const distErrs = "mpmb_dist_worker_errors_total"
+	if _, err := fmt.Fprintf(w, "# HELP %s Distributed worker lease-loop failures by kind.\n# TYPE %s counter\n", distErrs, distErrs); err != nil {
+		return err
+	}
+	for _, kv := range []struct {
+		kind  string
+		value int64
+	}{
+		{"lease", m.DistLeaseErrors},
+		{"complete", m.DistCompleteErrors},
+		{"graph", m.DistGraphErrors},
+		{"exec", m.DistExecErrors},
+	} {
+		if _, err := fmt.Fprintf(w, "%s{kind=%q} %d\n", distErrs, kv.kind, kv.value); err != nil {
 			return err
 		}
 	}

@@ -65,6 +65,19 @@ const (
 	// checkpoint store operations and retried attempts.
 	CounterCheckpointSaves
 	CounterCheckpointRetries
+	// CounterDistLeaseErrors / CounterDistCompleteErrors /
+	// CounterDistGraphErrors / CounterDistExecErrors split a distributed
+	// worker's lease-loop failures by kind (transport faults on the
+	// lease, complete and graph exchanges vs local execution faults), so
+	// fleet dashboards can tell a sick network from a sick kernel.
+	CounterDistLeaseErrors
+	CounterDistCompleteErrors
+	CounterDistGraphErrors
+	CounterDistExecErrors
+	// CounterDistReconnects counts re-established coordinator
+	// connections after an unreachable spell (the worker parked in its
+	// reconnect loop and the coordinator came back).
+	CounterDistReconnects
 
 	numCounters
 )
@@ -222,22 +235,27 @@ func (r *Registry) Snapshot() Metrics {
 	}
 
 	m := Metrics{
-		Workers:           int(r.workers.Load()),
-		Trials:            tot[CounterTrials],
-		TrialHits:         tot[CounterTrialHits],
-		PrepTrials:        tot[CounterPrepTrials],
-		EdgesScanned:      tot[CounterEdgesScanned],
-		EdgesPruned:       tot[CounterEdgesPruned],
-		CandScanned:       tot[CounterCandScanned],
-		CandPruned:        tot[CounterCandPruned],
-		Candidates:        tot[CounterCandidates],
-		Audits:            tot[CounterAudits],
-		AuditMisses:       tot[CounterAuditMisses],
-		Escalations:       tot[CounterEscalations],
-		CheckpointSaves:   tot[CounterCheckpointSaves],
-		CheckpointRetries: tot[CounterCheckpointRetries],
-		LeaderP:           math.Float64frombits(r.leaderP.Load()),
-		LeaderHalfWidth:   math.Float64frombits(r.leaderHW.Load()),
+		Workers:            int(r.workers.Load()),
+		Trials:             tot[CounterTrials],
+		TrialHits:          tot[CounterTrialHits],
+		PrepTrials:         tot[CounterPrepTrials],
+		EdgesScanned:       tot[CounterEdgesScanned],
+		EdgesPruned:        tot[CounterEdgesPruned],
+		CandScanned:        tot[CounterCandScanned],
+		CandPruned:         tot[CounterCandPruned],
+		Candidates:         tot[CounterCandidates],
+		Audits:             tot[CounterAudits],
+		AuditMisses:        tot[CounterAuditMisses],
+		Escalations:        tot[CounterEscalations],
+		CheckpointSaves:    tot[CounterCheckpointSaves],
+		CheckpointRetries:  tot[CounterCheckpointRetries],
+		DistLeaseErrors:    tot[CounterDistLeaseErrors],
+		DistCompleteErrors: tot[CounterDistCompleteErrors],
+		DistGraphErrors:    tot[CounterDistGraphErrors],
+		DistExecErrors:     tot[CounterDistExecErrors],
+		DistReconnects:     tot[CounterDistReconnects],
+		LeaderP:            math.Float64frombits(r.leaderP.Load()),
+		LeaderHalfWidth:    math.Float64frombits(r.leaderHW.Load()),
 	}
 	m.TrialNs.Counts = hist[:]
 	m.TrialNs.SumNs = sum
