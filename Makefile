@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-race cover bench microbench fuzz vet fmt experiments clean
+.PHONY: all build test test-race cover bench bench-compare microbench fuzz vet fmt experiments clean
 
 all: build test
 
@@ -19,10 +19,28 @@ cover:
 	$(GO) test -cover ./...
 
 # Benchmark trajectory: time the flat-memory OS trial kernel against the
-# frozen seed baseline on the pinned corpus and write BENCH_core.json
-# (kernel/seed ns per trial, allocations, prune effectiveness, speedup).
+# frozen seed baseline on the pinned corpora (headline + secondary) and
+# write BENCH_core.json (kernel/seed ns per trial, allocations, prune and
+# prefix-fallback effectiveness, speedup).
 bench:
-	$(GO) run ./cmd/mpmb-bench perf -bench-out BENCH_core.json
+	$(GO) run ./cmd/mpmb-bench perf -bench-out BENCH_core.json -secondary
+
+# Re-run the core micro-benchmarks and diff them against the committed
+# baseline. Uses benchstat when it is on PATH; otherwise degrades to
+# printing the raw old/new numbers side by side (no network install is
+# attempted, so this works offline).
+BENCH_BASELINE := internal/core/testdata/bench_baseline.txt
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -count 3 ./internal/core/ | tee /tmp/bench_new.txt
+	@if command -v benchstat >/dev/null 2>&1; then \
+		benchstat $(BENCH_BASELINE) /tmp/bench_new.txt; \
+	else \
+		echo "benchstat not installed; raw comparison below (install golang.org/x/perf/cmd/benchstat for statistics)"; \
+		echo "--- baseline ($(BENCH_BASELINE)) ---"; \
+		grep '^Benchmark' $(BENCH_BASELINE) || true; \
+		echo "--- new (/tmp/bench_new.txt) ---"; \
+		grep '^Benchmark' /tmp/bench_new.txt || true; \
+	fi
 
 # All go-test micro-benchmarks (per paper table/figure plus ablations).
 microbench:

@@ -56,6 +56,7 @@ func runPerf(args []string, out io.Writer) (retErr error) {
 	var (
 		benchOut   = fs.String("bench-out", "BENCH_core.json", "write the JSON report here (empty = stdout table only)")
 		rounds     = fs.Int("rounds", bench.DefaultPerfRounds, "interleaved kernel/seed measurement rounds (min is kept)")
+		secondary  = fs.Bool("secondary", false, "also measure the pinned secondary corpus (denser, uniform weights)")
 		numL       = fs.Int("corpus-l", def.NumL, "corpus left vertices")
 		numR       = fs.Int("corpus-r", def.NumR, "corpus right vertices")
 		numEdges   = fs.Int("corpus-edges", def.NumEdges, "corpus edges")
@@ -95,6 +96,11 @@ func runPerf(args []string, out io.Writer) (retErr error) {
 	rep, err := bench.RunPerfCorpus(corpus, *rounds)
 	if err != nil {
 		return err
+	}
+	if *secondary {
+		if err := bench.AttachSecondary(rep, *rounds); err != nil {
+			return err
+		}
 	}
 	bench.PrintPerf(out, rep)
 	if f != nil {

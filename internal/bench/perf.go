@@ -11,6 +11,7 @@ import (
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/core"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
+	"github.com/uncertain-graphs/mpmb/internal/telemetry"
 )
 
 // This file is the benchmark trajectory harness behind `mpmb-bench perf`
@@ -32,7 +33,20 @@ type PerfCorpus struct {
 	PLo      float64 `json:"p_lo"`
 	PHi      float64 `json:"p_hi"`
 	Seed     uint64  `json:"seed"`
+	// WeightKind selects the weight distribution: WeightHalfGrid (the
+	// default, also used when empty) draws from the half-integer grid
+	// {0.5, 1.0, …, 5.0} so exact weight ties are common and the A1/A2
+	// tie machinery stays hot; WeightUniform draws continuously from
+	// [0.5, 10), making ties measure-zero so w_max rises often and the
+	// prune and angle-table regimes differ sharply from the grid corpus.
+	WeightKind string `json:"weight_kind,omitempty"`
 }
+
+// Weight distributions for PerfCorpus.WeightKind.
+const (
+	WeightHalfGrid = "halfgrid"
+	WeightUniform  = "uniform"
+)
 
 // DefaultPerfCorpus is the pinned headline workload: a skewed bipartite
 // graph (2000 left vertices sharing 100 right vertices, average right
@@ -48,10 +62,25 @@ var DefaultPerfCorpus = PerfCorpus{
 	PLo: 0.2, PHi: 0.8, Seed: 1009,
 }
 
+// SecondaryPerfCorpus is the pinned counterpoint workload
+// (`mpmb-bench perf -secondary`): half the edge density budget of the
+// graph is used (25000 of 50000 possible pairs), probabilities are high,
+// and weights are continuous-uniform so exact ties are measure-zero.
+// Where the headline corpus is tie-heavy (half-grid weights keep w_max
+// flat and the angle classes full), this one raises w_max frequently and
+// keeps the Section V-B prune biting early — the two corpora bracket the
+// kernel's behavior regimes so a change that helps one but regresses the
+// other shows up in the trajectory.
+var SecondaryPerfCorpus = PerfCorpus{
+	NumL: 500, NumR: 100, NumEdges: 25000,
+	PLo: 0.5, PHi: 0.9, Seed: 2017, WeightKind: WeightUniform,
+}
+
 // Build materializes the corpus graph deterministically from its seed.
-// Weights are drawn from a half-integer grid so exact weight ties occur
-// and the A1/A2 angle classes stay populated, matching how the test
-// corpora elsewhere in the repository are built.
+// Weights follow WeightKind: the half-integer grid (default) makes exact
+// weight ties common so the A1/A2 angle classes stay populated, matching
+// how the test corpora elsewhere in the repository are built; the uniform
+// kind draws continuously so ties are measure-zero.
 func (c PerfCorpus) Build() *bigraph.Graph {
 	r := randx.New(c.Seed)
 	b := bigraph.NewBuilder(c.NumL, c.NumR)
@@ -63,7 +92,13 @@ func (c PerfCorpus) Build() *bigraph.Graph {
 			continue
 		}
 		seen[key] = true
-		w := 0.5 * float64(1+r.Intn(10))
+		var w float64
+		switch c.WeightKind {
+		case WeightUniform:
+			w = 0.5 + 9.5*r.Float64()
+		default: // WeightHalfGrid
+			w = 0.5 * float64(1+r.Intn(10))
+		}
 		p := c.PLo + (c.PHi-c.PLo)*r.Float64()
 		b.MustAddEdge(bigraph.VertexID(u), bigraph.VertexID(v), w, p)
 		added++
@@ -84,6 +119,11 @@ type PerfEntry struct {
 	// skipped (OS rows only).
 	EdgesScannedPerTrial float64 `json:"edges_scanned_per_trial,omitempty"`
 	EdgesPrunedPerTrial  float64 `json:"edges_pruned_per_trial,omitempty"`
+	// PrefixFallbacksPerTrial is the fraction of trials that scanned past
+	// the snapshot's calibrated edge-prefix boundary (OS rows only). The
+	// calibration targets P(fallback) ≤ 1/(K+1) per trial, so this should
+	// stay well under ~0.02.
+	PrefixFallbacksPerTrial float64 `json:"prefix_fallbacks_per_trial,omitempty"`
 	// TrialsTimed is how many trials the benchmark runtime settled on.
 	TrialsTimed int `json:"trials_timed"`
 }
@@ -101,6 +141,14 @@ type PerfReport struct {
 	// pre-rewrite seed implementation, measured back to back on this
 	// machine in this run.
 	SpeedupOSKernelVsSeed float64 `json:"speedup_os_kernel_vs_seed"`
+	// SecondaryCorpus/SecondaryEntries are the same rows measured on
+	// SecondaryPerfCorpus when the run asked for it
+	// (`mpmb-bench perf -secondary`); absent otherwise.
+	SecondaryCorpus  *PerfCorpus `json:"secondary_corpus,omitempty"`
+	SecondaryEntries []PerfEntry `json:"secondary_entries,omitempty"`
+	// SecondarySpeedupOSKernelVsSeed is the kernel-vs-seed ratio on the
+	// secondary corpus.
+	SecondarySpeedupOSKernelVsSeed float64 `json:"secondary_speedup_os_kernel_vs_seed,omitempty"`
 }
 
 // perfEstimatorTrials is the inner trial count per benchmark op for the
@@ -146,7 +194,7 @@ func RunPerfCorpus(corpus PerfCorpus, rounds int) (*PerfReport, error) {
 	// inflating one side of the speedup ratio; the minimum over rounds is
 	// the standard robust statistic for "how fast does this code actually
 	// run".
-	var kernelScanned float64
+	var kernelScanned, kernelFallbacks float64
 	var kernelRes, seedRes testing.BenchmarkResult
 	for round := 0; round < rounds; round++ {
 		kr := testing.Benchmark(func(b *testing.B) {
@@ -155,12 +203,14 @@ func RunPerfCorpus(corpus PerfCorpus, rounds int) (*PerfReport, error) {
 				kb.Trial(t) // grow pools to steady state before the timer
 			}
 			scanned := 0
+			fb0 := kb.Fallbacks()
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				scanned += kb.Trial(i + 1)
 			}
 			kernelScanned = float64(scanned) / float64(b.N)
+			kernelFallbacks = float64(kb.Fallbacks()-fb0) / float64(b.N)
 		})
 		if round == 0 || kr.NsPerOp() < kernelRes.NsPerOp() {
 			kernelRes = kr
@@ -183,26 +233,41 @@ func RunPerfCorpus(corpus PerfCorpus, rounds int) (*PerfReport, error) {
 	kernel := entryFromResult("os_kernel", kernelRes, 1)
 	kernel.EdgesScannedPerTrial = kernelScanned
 	kernel.EdgesPrunedPerTrial = float64(g.NumEdges()) - kernelScanned
+	kernel.PrefixFallbacksPerTrial = kernelFallbacks
 	rep.Entries = append(rep.Entries, kernel)
 	rep.Entries = append(rep.Entries, entryFromResult("os_seed_baseline", seedRes, 1))
 
-	// os_parallel: the batched worker path, amortized per trial.
+	// os_parallel: the batched worker path, amortized per trial. A
+	// registry-backed probe rides along so the row reports the same
+	// scanned/pruned/fallback split as the sequential kernel row — the
+	// workers' trial meters flush into it per chunk, and dividing the
+	// accumulated counters by the accumulated trial count amortizes over
+	// every benchmark iteration (the probe costs one predictable branch
+	// per trial, so it does not distort the timing).
 	workers := runtime.NumCPU()
 	if workers > 8 {
 		workers = 8
 	}
 	const parTrials = 512
+	parReg := telemetry.NewRegistry()
 	parRes := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := core.OSParallel(g, core.OSOptions{Trials: parTrials, Seed: 42}, workers); err != nil {
+			opts := core.OSOptions{Trials: parTrials, Seed: 42,
+				Probe: &telemetry.Probe{Reg: parReg, Method: "os"}}
+			if _, err := core.OSParallel(g, opts, workers); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
-	rep.Entries = append(rep.Entries,
-		entryFromResult(fmt.Sprintf("os_parallel_w%d", workers), parRes, parTrials))
+	par := entryFromResult(fmt.Sprintf("os_parallel_w%d", workers), parRes, parTrials)
+	if pm := parReg.Snapshot(); pm.Trials > 0 {
+		par.EdgesScannedPerTrial = float64(pm.EdgesScanned) / float64(pm.Trials)
+		par.EdgesPrunedPerTrial = float64(pm.EdgesPruned) / float64(pm.Trials)
+		par.PrefixFallbacksPerTrial = float64(pm.PrefixFallbacks) / float64(pm.Trials)
+	}
+	rep.Entries = append(rep.Entries, par)
 
 	// optimized_estimator: Algorithm 5 over a prepared candidate set.
 	cands, err := core.PrepareCandidates(g, 50, 42, core.OSOptions{})
@@ -227,6 +292,21 @@ func RunPerfCorpus(corpus PerfCorpus, rounds int) (*PerfReport, error) {
 		rep.SpeedupOSKernelVsSeed = seed.NsPerTrial / kern.NsPerTrial
 	}
 	return rep, nil
+}
+
+// AttachSecondary measures the same rows on SecondaryPerfCorpus and
+// embeds them in rep as the secondary block (`mpmb-bench perf
+// -secondary`).
+func AttachSecondary(rep *PerfReport, rounds int) error {
+	sec, err := RunPerfCorpus(SecondaryPerfCorpus, rounds)
+	if err != nil {
+		return err
+	}
+	c := sec.Corpus
+	rep.SecondaryCorpus = &c
+	rep.SecondaryEntries = sec.Entries
+	rep.SecondarySpeedupOSKernelVsSeed = sec.SpeedupOSKernelVsSeed
+	return nil
 }
 
 // entryFromResult converts a benchmark result into a report row,
@@ -260,17 +340,30 @@ func (r *PerfReport) WriteJSON(w io.Writer) error {
 }
 
 // PrintPerf renders the report as an aligned text table with the headline
-// speedup underneath.
+// speedup underneath, followed by the secondary corpus block if present.
 func PrintPerf(w io.Writer, r *PerfReport) {
-	fmt.Fprintf(w, "kernel performance on pinned corpus %dx%d |E|=%d p=[%.2f,%.2f] (%s/%s, %d cpus)\n",
-		r.Corpus.NumL, r.Corpus.NumR, r.Corpus.NumEdges, r.Corpus.PLo, r.Corpus.PHi,
+	printPerfTable(w, "pinned corpus", r.Corpus, r.Entries, r.SpeedupOSKernelVsSeed,
 		r.GoOS, r.GoArch, r.NumCPU)
-	fmt.Fprintf(w, "%-22s %14s %14s %14s %12s %12s\n",
-		"entry", "ns/trial", "allocs/trial", "B/trial", "scanned", "pruned")
-	for _, e := range r.Entries {
-		fmt.Fprintf(w, "%-22s %14.1f %14.3f %14.1f %12.1f %12.1f\n",
-			e.Name, e.NsPerTrial, e.AllocsPerTrial, e.BytesPerTrial,
-			e.EdgesScannedPerTrial, e.EdgesPrunedPerTrial)
+	if r.SecondaryCorpus != nil {
+		fmt.Fprintln(w)
+		printPerfTable(w, "secondary corpus", *r.SecondaryCorpus, r.SecondaryEntries,
+			r.SecondarySpeedupOSKernelVsSeed, r.GoOS, r.GoArch, r.NumCPU)
 	}
-	fmt.Fprintf(w, "os kernel speedup vs seed baseline: %.2fx\n", r.SpeedupOSKernelVsSeed)
+}
+
+func printPerfTable(w io.Writer, label string, c PerfCorpus, entries []PerfEntry, speedup float64, goos, goarch string, ncpu int) {
+	kind := c.WeightKind
+	if kind == "" {
+		kind = WeightHalfGrid
+	}
+	fmt.Fprintf(w, "kernel performance on %s %dx%d |E|=%d p=[%.2f,%.2f] w=%s (%s/%s, %d cpus)\n",
+		label, c.NumL, c.NumR, c.NumEdges, c.PLo, c.PHi, kind, goos, goarch, ncpu)
+	fmt.Fprintf(w, "%-22s %14s %14s %14s %12s %12s %10s\n",
+		"entry", "ns/trial", "allocs/trial", "B/trial", "scanned", "pruned", "fallback")
+	for _, e := range entries {
+		fmt.Fprintf(w, "%-22s %14.1f %14.3f %14.1f %12.1f %12.1f %10.4f\n",
+			e.Name, e.NsPerTrial, e.AllocsPerTrial, e.BytesPerTrial,
+			e.EdgesScannedPerTrial, e.EdgesPrunedPerTrial, e.PrefixFallbacksPerTrial)
+	}
+	fmt.Fprintf(w, "os kernel speedup vs seed baseline: %.2fx\n", speedup)
 }

@@ -75,9 +75,16 @@ func TestRunPerfCorpus(t *testing.T) {
 		t.Fatalf("speedup %v, want seed/kernel = %v", rep.SpeedupOSKernelVsSeed, want)
 	}
 	var haveParallel, haveOpt bool
-	for _, e := range rep.Entries {
+	for i := range rep.Entries {
+		e := &rep.Entries[i]
 		if strings.HasPrefix(e.Name, "os_parallel_w") {
 			haveParallel = true
+			// The probe-backed parallel row must report the same scan
+			// partition as the sequential kernel row.
+			if got := e.EdgesScannedPerTrial + e.EdgesPrunedPerTrial; got != float64(tinyPerfCorpus.NumEdges) {
+				t.Fatalf("parallel scanned %v + pruned %v = %v, want %d edges",
+					e.EdgesScannedPerTrial, e.EdgesPrunedPerTrial, got, tinyPerfCorpus.NumEdges)
+			}
 		}
 		if e.Name == "optimized_estimator" {
 			haveOpt = true
@@ -85,6 +92,15 @@ func TestRunPerfCorpus(t *testing.T) {
 	}
 	if !haveParallel || !haveOpt {
 		t.Fatalf("missing parallel/estimator rows in %+v", rep.Entries)
+	}
+	// Prefix fallbacks are a per-trial probability; the calibration
+	// targets ≤ 1/(K+1), so anything near 1 means the counter is wired
+	// wrong.
+	for _, e := range []*PerfEntry{kern, seed} {
+		if e.PrefixFallbacksPerTrial < 0 || e.PrefixFallbacksPerTrial > 0.5 {
+			t.Fatalf("row %s prefix fallbacks per trial = %v, want a small probability",
+				e.Name, e.PrefixFallbacksPerTrial)
+		}
 	}
 
 	// The JSON document must round-trip with the headline fields intact.
@@ -111,5 +127,58 @@ func TestRunPerfCorpus(t *testing.T) {
 	}
 	if !strings.Contains(tbl.String(), "speedup vs seed baseline") {
 		t.Fatalf("table missing speedup line:\n%s", tbl.String())
+	}
+}
+
+// TestPerfCorpusUniformWeights pins the secondary corpus's weight kind:
+// deterministic builds, continuous weights in [0.5, 10) that do NOT sit
+// on the half-integer grid (that's the point — exact ties become
+// measure-zero).
+func TestPerfCorpusUniformWeights(t *testing.T) {
+	c := tinyPerfCorpus
+	c.WeightKind = WeightUniform
+	g1, g2 := c.Build(), c.Build()
+	offGrid := 0
+	for id := 0; id < g1.NumEdges(); id++ {
+		e1, e2 := g1.Edge(bigraph.EdgeID(id)), g2.Edge(bigraph.EdgeID(id))
+		if e1 != e2 {
+			t.Fatalf("edge %d differs between builds: %+v vs %+v", id, e1, e2)
+		}
+		if e1.W < 0.5 || e1.W >= 10 {
+			t.Fatalf("edge %d weight %v outside [0.5, 10)", id, e1.W)
+		}
+		if w := e1.W * 2; w != math.Trunc(w) {
+			offGrid++
+		}
+	}
+	if offGrid == 0 {
+		t.Fatal("uniform corpus produced only half-grid weights")
+	}
+}
+
+// TestPrintPerfSecondaryBlock renders a synthetic report with a secondary
+// corpus attached and requires both tables plus both speedup lines — the
+// measurement itself is covered by TestRunPerfCorpus, so this one stays
+// cheap.
+func TestPrintPerfSecondaryBlock(t *testing.T) {
+	sec := SecondaryPerfCorpus
+	rep := &PerfReport{
+		Corpus:                         tinyPerfCorpus,
+		Entries:                        []PerfEntry{{Name: "os_kernel", NsPerTrial: 10}},
+		SpeedupOSKernelVsSeed:          2,
+		SecondaryCorpus:                &sec,
+		SecondaryEntries:               []PerfEntry{{Name: "os_kernel", NsPerTrial: 20}},
+		SecondarySpeedupOSKernelVsSeed: 3,
+	}
+	var tbl bytes.Buffer
+	PrintPerf(&tbl, rep)
+	out := tbl.String()
+	for _, want := range []string{"pinned corpus", "secondary corpus", "w=uniform", "w=halfgrid", "fallback"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Count(out, "speedup vs seed baseline") != 2 {
+		t.Fatalf("expected two speedup lines:\n%s", out)
 	}
 }

@@ -68,6 +68,30 @@ func TestOSTrialZeroAllocsAblations(t *testing.T) {
 	}
 }
 
+// TestOSParallelLowAllocs pins the parallel executor's allocation
+// behavior at steady state. Before the snapshot cache and kernel pool,
+// every parallel chunk built a fresh ~1MB osIndex and the path paid ~40
+// allocations (~25KB) per trial; with the cache warm, a whole run costs
+// only its fixed orchestration allocations (goroutines, chunk
+// bookkeeping, per-worker accumulators), so the per-trial share must stay
+// far below one.
+func TestOSParallelLowAllocs(t *testing.T) {
+	r := rand.New(rand.NewSource(89))
+	g := randGraph(r, 40, 20, 300)
+	const trials, workers = 512, 2
+	run := func() {
+		if _, err := OSParallel(g, OSOptions{Trials: trials, Seed: 33}, workers); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm: build and calibrate the snapshot, pool the kernels
+	allocs := testing.AllocsPerRun(10, run)
+	if perTrial := allocs / trials; perTrial >= 1 {
+		t.Fatalf("parallel OS allocates %.0f per run of %d trials (%.2f per trial), want well under 1 per trial",
+			allocs, trials, perTrial)
+	}
+}
+
 // TestOptimizedEstimatorTrialZeroAllocs measures the optimized
 // estimator's marginal cost per trial: two runs differing by exactly
 // extraTrials trials must allocate the same amount, i.e. everything the

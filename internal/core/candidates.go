@@ -55,7 +55,8 @@ func prepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions
 	if nPrep <= 0 {
 		return nil, false, fmt.Errorf("core: preparing phase requires nPrep > 0, got %d", nPrep)
 	}
-	idx := newOSIndex(g, osOpt)
+	idx := acquireKernel(g, osOpt)
+	defer releaseKernel(idx)
 	root := randx.New(seed)
 	hits := make(map[butterfly.Butterfly]int)
 	for _, e := range resume {
@@ -71,7 +72,7 @@ func prepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions
 			interrupted = true
 			break
 		}
-		scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
+		scanned, fellBack := idx.runTrialSeeded(root, uint64(trial), &sMB)
 		for _, b := range sMB.Set {
 			if probe != nil {
 				if _, seen := hits[b]; !seen {
@@ -84,7 +85,7 @@ func prepareCandidates(g *bigraph.Graph, nPrep int, seed uint64, osOpt OSOptions
 			}
 			hits[b]++
 		}
-		meter.observe(trial, scanned, !sMB.Empty())
+		meter.observe(trial, scanned, fellBack, !sMB.Empty())
 		done = trial
 	}
 	meter.flush(done)

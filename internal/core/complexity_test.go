@@ -29,27 +29,40 @@ func TestLemmaV1AngleWorkMatchesTheory(t *testing.T) {
 		}
 		g := b.Build()
 
-		// Exact expectation: Σ over right vertices of Σ_{a<b} p_a·p_b.
-		exact := 0.0
-		for v := 0; v < numR; v++ {
-			nbrs := g.NeighborsR(bigraph.VertexID(v))
+		const trials = 20000
+		idx := newOSIndex(g, OSOptions{DisableEdgePrune: true})
+
+		// The kernel centers angle formation on the side with the smaller
+		// expected pair-work (edgeSnapshot.flip), which is exactly the
+		// min(Σ_L, Σ_R) the lemma allows. Compute the exact expectation
+		// and the lemma bound over the side the snapshot chose: Σ over
+		// center vertices of Σ_{a<b} p_a·p_b, bounded by Σ d̄²/2 (the
+		// squared expected degree includes the diagonal, so it dominates
+		// the pair count).
+		exact, bound := 0.0, 0.0
+		numCtr := numR
+		if idx.snap.flip {
+			numCtr = numL
+		}
+		for c := 0; c < numCtr; c++ {
+			var nbrs []bigraph.Half
+			var dbar float64
+			if idx.snap.flip {
+				nbrs = g.NeighborsL(bigraph.VertexID(c))
+				dbar = g.ExpectedSquaredDegreeL(bigraph.VertexID(c))
+			} else {
+				nbrs = g.NeighborsR(bigraph.VertexID(c))
+				dbar = g.ExpectedSquaredDegreeR(bigraph.VertexID(c))
+			}
 			for a := 0; a < len(nbrs); a++ {
 				pa := g.Edge(nbrs[a].E).P
 				for bj := a + 1; bj < len(nbrs); bj++ {
 					exact += pa * g.Edge(nbrs[bj].E).P
 				}
 			}
-		}
-		// Lemma bound: Σ_v d̄²(v) / 2 (expected squared degree includes
-		// the diagonal, so it dominates the pair count).
-		bound := 0.0
-		for v := 0; v < numR; v++ {
-			bound += g.ExpectedSquaredDegreeR(bigraph.VertexID(v))
+			bound += dbar
 		}
 		bound /= 2
-
-		const trials = 20000
-		idx := newOSIndex(g, OSOptions{DisableEdgePrune: true})
 		idx.instrumented = true
 		root := randx.New(uint64(trial) + 5)
 		var sMB maxSetScratch

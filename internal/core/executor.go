@@ -237,21 +237,27 @@ func (e *LocalExecutor) runOS(job *ExecJob) (*ExecResult, error) {
 	job.Probe.EnsureWorkers(workers)
 	root := randx.New(job.Seed)
 	accs := make([]*probAccumulator, workers)
+	idxs := make([]*osIndex, workers)
 	done, err := parLoop(job.Start, job.Units, workers, job.Interrupt, func(w int) func(int, int) {
 		acc := newProbAccumulator()
 		accs[w] = acc
-		idx := newOSIndex(job.Graph, job.OS)
+		// Worker kernels come from the graph snapshot's pool: across runs
+		// over the same graph the ~1MB per-kernel scratch is reused instead
+		// of reallocated, which is what held the parallel path at ~40
+		// allocs per trial.
+		idx := acquireKernel(job.Graph, job.OS)
+		idxs[w] = idx
 		var sMB butterfly.MaxSet
 		job.Probe.LabelWorker(w)
 		meter := newTrialMeter(job.Probe, w, idx.snap.numEdges(), false)
 		return func(lo, hi int) {
 			for trial := lo; trial <= hi; trial++ {
-				scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
+				scanned, fellBack := idx.runTrialSeeded(root, uint64(trial), &sMB)
 				hit := !sMB.Empty()
 				if hit {
 					acc.addMaxSet(&sMB)
 				}
-				meter.observe(trial, scanned, hit)
+				meter.observe(trial, scanned, fellBack, hit)
 			}
 			// Chunks are always fully executed, so flushing per chunk keeps
 			// the registry's counters an exact function of the done-prefix —
@@ -259,6 +265,13 @@ func (e *LocalExecutor) runOS(job *ExecJob) (*ExecResult, error) {
 			meter.flush(hi)
 		}
 	})
+	// parLoop has joined every worker goroutine, so the kernels are idle
+	// and can rejoin the snapshot's pool (even on a worker panic).
+	for _, idx := range idxs {
+		if idx != nil {
+			releaseKernel(idx)
+		}
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -322,7 +335,7 @@ func (e *LocalExecutor) runOptimized(job *ExecJob) (*ExecResult, error) {
 						wMax = cand.Weight
 					}
 				}
-				meter.observe(trial, examined, !math.IsInf(wMax, -1))
+				meter.observe(trial, examined, false, !math.IsInf(wMax, -1))
 			}
 			meter.flush(hi)
 		}

@@ -36,9 +36,16 @@ func benchGraph() *bigraph.Graph {
 // against BenchmarkOSReferenceTrial for the kernel-vs-seed speedup.
 func BenchmarkOSKernelTrial(b *testing.B) {
 	g := benchGraph()
-	idx := newOSIndex(g, OSOptions{})
+	// acquireKernel is the production entry point: it uses the cached,
+	// calibrated snapshot (truncated prefix, support-sharpened budgets),
+	// so this row measures the same code path OS and the parallel workers
+	// run.
+	idx := acquireKernel(g, OSOptions{})
 	root := randx.New(42)
 	var sMB butterfly.MaxSet
+	for t := 1; t <= 128; t++ {
+		idx.runTrialSeeded(root, uint64(t), &sMB) // steady-state warmup
+	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -112,7 +112,7 @@ func MCVP(g *bigraph.Graph, opt MCVPOptions) (*Result, error) {
 		if opt.OnTrial != nil {
 			opt.OnTrial(trial, &sMB)
 		}
-		if meter.observe(trial, 0, hit) {
+		if meter.observe(trial, 0, false, hit) {
 			probeEstimate(opt.Probe, 0, int64(acc.leadCount), trial, acc.leadB, acc.leadW)
 		}
 	}

@@ -167,7 +167,7 @@ func EstimateOptimized(c *Candidates, opt OptimizedOptions) ([]float64, error) {
 		if opt.OnTrial != nil {
 			opt.OnTrial(trial, hits)
 		}
-		if meter.observe(trial, examined, len(hits) > 0) {
+		if meter.observe(trial, examined, false, len(hits) > 0) {
 			probeOptimizedLeader(opt.Probe, c, counts, trial)
 		}
 	}

@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"math/bits"
 
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
 	"github.com/uncertain-graphs/mpmb/internal/butterfly"
@@ -90,7 +91,8 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 	if opt.Trials <= 0 {
 		return nil, fmt.Errorf("core: OS requires Trials > 0, got %d", opt.Trials)
 	}
-	idx := newOSIndex(g, opt)
+	idx := acquireKernel(g, opt)
+	defer releaseKernel(idx)
 	acc := newProbAccumulator()
 	start := 1
 	if opt.Resume != nil {
@@ -110,7 +112,7 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 			probeFinish(opt.Probe, res)
 			return res, nil
 		}
-		scanned := idx.runTrialSeeded(root, uint64(trial), &sMB)
+		scanned, fellBack := idx.runTrialSeeded(root, uint64(trial), &sMB)
 		hit := !sMB.Empty()
 		if hit {
 			acc.addMaxSet(&sMB)
@@ -118,7 +120,7 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 		if opt.OnTrial != nil {
 			opt.OnTrial(trial, &sMB)
 		}
-		if meter.observe(trial, scanned, hit) {
+		if meter.observe(trial, scanned, fellBack, hit) {
 			probeEstimate(opt.Probe, 0, int64(acc.leadCount), trial, acc.leadB, acc.leadW)
 		}
 	}
@@ -134,7 +136,8 @@ func OS(g *bigraph.Graph, opt OSOptions) (*Result, error) {
 // brute-force enumeration on the same world, which makes the OS pruning
 // logic checkable without any statistics.
 func OSOnWorld(g *bigraph.Graph, w *possible.World, opt OSOptions) butterfly.MaxSet {
-	idx := newOSIndex(g, opt)
+	idx := acquireKernel(g, opt)
+	defer releaseKernel(idx)
 	var sMB butterfly.MaxSet
 	idx.runTrial(&sMB, w.Has)
 	return sMB
@@ -149,7 +152,9 @@ func OSOnWorld(g *bigraph.Graph, w *possible.World, opt OSOptions) butterfly.Max
 //     an arbitrary oracle (runTrial) for the per-world variant and the
 //     supervisor's audit trials.
 //   - N̂_E(v) lives in one flat slice partitioned by the snapshot's CSR
-//     offsets, each right vertex owning a region of capacity deg(v).
+//     offsets, each center vertex owning a region of capacity deg(v)
+//     (the center side is chosen per graph by the snapshot; see
+//     edgeSnapshot.flip).
 //   - The angle tables A1/A2 are pool entries indexed through a
 //     generation-stamped open-addressing table, so per-trial reset is a
 //     generation bump.
@@ -158,7 +163,7 @@ type osIndex struct {
 	opt  OSOptions
 	snap *edgeSnapshot
 
-	// Flat N̂_E: right vertex v's live processed edges are
+	// Flat N̂_E: center vertex v's live processed edges are
 	// liveFlat[snap.liveOff[v] : snap.liveOff[v]+n] where n is live[v].n if
 	// live[v].gen matches liveCur and 0 otherwise — the same
 	// generation-stamp trick as the angle table, so per-trial reset of
@@ -201,9 +206,11 @@ type osIndex struct {
 
 // angleEntry is one endpoint pair's angle bookkeeping: the largest (w1,
 // mids1) and second-largest (w2, mids2) angle weight classes, per Table
-// II. With KeepAllAngles it additionally records every angle.
+// II. With KeepAllAngles it additionally records every angle. The pair
+// vertices live on the snapshot's pairing side and the middles on its
+// center side (left/right assignment depends on edgeSnapshot.flip).
 type angleEntry struct {
-	u1, u2 bigraph.VertexID // endpoint pair, u1 < u2
+	u1, u2 bigraph.VertexID // pairing-side endpoint pair, u1 < u2
 	w1     float64
 	mids1  []bigraph.VertexID
 	w2     float64
@@ -219,7 +226,7 @@ type midW struct {
 	w   float64
 }
 
-// liveMeta is one right vertex's live-list length, valid only when its
+// liveMeta is one center vertex's live-list length, valid only when its
 // generation stamp matches osIndex.liveCur. Packed into 8 bytes so the
 // hot path reads length and validity in a single load.
 type liveMeta struct {
@@ -228,18 +235,46 @@ type liveMeta struct {
 }
 
 func newOSIndex(g *bigraph.Graph, opt OSOptions) *osIndex {
-	snap := newEdgeSnapshot(g)
+	return newOSIndexFromSnapshot(g, opt, newEdgeSnapshot(g))
+}
+
+func newOSIndexFromSnapshot(g *bigraph.Graph, opt OSOptions, snap *edgeSnapshot) *osIndex {
 	x := &osIndex{
 		g:        g,
 		opt:      opt,
 		snap:     snap,
 		liveFlat: make([]liveEdge, snap.numEdges()),
-		live:     make([]liveMeta, g.NumR()),
+		live:     make([]liveMeta, len(snap.liveOff)-1),
 		liveCur:  1,
 		tab:      newAngleTable(minAngleTableCap),
 	}
 	x.tab.tok = snap.tok // Zobrist pair hashing, shared with the inlined probe
 	return x
+}
+
+// acquireKernel returns a trial kernel over g's cached calibrated
+// snapshot, reusing a previously released kernel when the snapshot's pool
+// has one. This is how every production runner (sequential OS, parallel
+// workers, candidate prep, the bench harness) obtains its kernel: repeat
+// runs and parallel chunks over the same graph stop paying the ~1MB
+// per-kernel build, which is what held the parallel path at ~40 allocs
+// per trial.
+func acquireKernel(g *bigraph.Graph, opt OSOptions) *osIndex {
+	snap := snapshotFor(g)
+	if k, ok := snap.kernels.Get().(*osIndex); ok && k != nil {
+		k.opt = opt
+		k.instrumented = false
+		return k
+	}
+	return newOSIndexFromSnapshot(g, opt, snap)
+}
+
+// releaseKernel returns a kernel obtained from acquireKernel to its
+// snapshot's pool. The options are cleared so a pooled kernel does not
+// retain caller hooks (OnTrial/Interrupt/Probe closures) beyond its run.
+func releaseKernel(x *osIndex) {
+	x.opt = OSOptions{}
+	x.snap.kernels.Put(x)
 }
 
 func (x *osIndex) resetTrial() {
@@ -339,35 +374,65 @@ func (e *angleEntry) bestWeight() float64 {
 // the production hot path: it performs zero allocations at steady state
 // and its Result contribution is bit-identical to the seed
 // implementation's rng.Bernoulli closure over a Derive(id) stream.
-func (x *osIndex) runTrialSeeded(root *randx.RNG, id uint64, sMB *butterfly.MaxSet) (scanned int) {
+// fellBack reports that the trial crossed the snapshot's calibrated
+// prefix boundary (the prefix-sufficiency check failed and the scan
+// continued into the tail) — a telemetry signal, never a correctness
+// one, since the tail scan is exact.
+func (x *osIndex) runTrialSeeded(root *randx.RNG, id uint64, sMB *butterfly.MaxSet) (scanned int, fellBack bool) {
 	root.DeriveInto(id, &x.rng)
 	return x.runTrialRNG(sMB, &x.rng)
 }
 
 // runTrialRNG executes lines 4–20 of Algorithm 2 with edge presence
 // decided by the snapshot's precomputed thresholds against rng's raw
-// words: one shift-and-compare per undetermined edge, no draw for edges
-// with p ∈ {0, 1} — the exact stream consumption of randx.Bernoulli. It
-// returns how many snapshot positions were scanned before the Section
-// V-B prune stopped the trial (the benchmark harness reports the
-// remainder as pruned).
+// words, generated rngBlock positions at a time (see below). Draw
+// consumption is positional — the k-th p ∈ (0,1) snapshot position of
+// the trial compares against the k-th raw word, no draw for p ∈ {0,1} —
+// which is the exact stream consumption of randx.Bernoulli, so Results
+// are bit-identical to the seed implementation. It returns the snapshot
+// position the scan stopped at (the benchmark harness reports the
+// remainder as pruned) and whether the scan fell back past the
+// calibrated prefix.
 //
-// The production configuration (no ablations, no instrumentation) runs a
-// specialized loop with the angle admission inlined: the generator is
-// copied into a local so its state lives in registers for the whole
-// trial, and each angle costs one getOrPut probe plus the Table II
-// update, with no per-edge function calls. The ablation and
-// instrumentation paths share the generic admitEdge walk instead — both
-// produce identical Results; only the instruction stream differs.
-func (x *osIndex) runTrialRNG(sMB *butterfly.MaxSet, rng *randx.RNG) (scanned int) {
+// The production configuration (no ablations, no instrumentation) runs
+// the specialized v2 loop:
+//
+//   - Block RNG: the block's raw words are generated into a stack
+//     buffer in one burst, then every position is tested branch-free
+//     against its normalized admission threshold ((word>>11 − th) >> 63),
+//     producing one presence bitmask per block; present positions are
+//     visited via trailing-zero iteration. Zero-support and p=0 edges
+//     have threshold 0 and never set a bit, but still consume their
+//     word positionally, so the schedule matches randx.Bernoulli
+//     draw for draw.
+//   - Support-sharpened pruning: stops use wBarS (top-3 support-positive
+//     weights) instead of the global wBar, and angle work is cut by the
+//     wBar2S bounds — every skip is provably inert (the skipped work
+//     could neither raise nor tie the final w_max; see
+//     docs/ALGORITHMS.md), so Results stay bit-identical.
+//   - Truncated prefix: the block-entry stop check at the calibrated
+//     boundary prefixLen doubles as the prefix-sufficiency bound; when
+//     it fails the scan simply continues into the tail (exact fallback)
+//     and the trial is flagged fellBack for telemetry.
+//
+// The ablation and instrumentation paths share the generic admitEdge
+// walk instead — identical Results; only the instruction stream differs.
+func (x *osIndex) runTrialRNG(sMB *butterfly.MaxSet, rng *randx.RNG) (scanned int, fellBack bool) {
 	if x.opt.KeepAllAngles || x.opt.DropA2 || x.instrumented {
-		return x.runTrialRNGGeneric(sMB, rng)
+		return x.runTrialRNGGeneric(sMB, rng), false
+	}
+	snap := x.snap
+	if snap.barren {
+		// No edge lies on any backbone butterfly: every possible world's
+		// maximum set is empty, and no draws are needed (each trial
+		// re-derives its stream, so skipping them is invisible).
+		sMB.Reset()
+		return 0, false
 	}
 	x.resetTrial()
 	sMB.Reset()
-	snap := x.snap
 	prune := !x.opt.DisableEdgePrune
-	wBar := snap.wBar
+	wBarS, wBar2S := snap.wBarS, snap.wBar2S
 	wMax := math.Inf(-1)
 
 	// Local generator copy: every draw is inlined register arithmetic.
@@ -376,8 +441,8 @@ func (x *osIndex) runTrialRNG(sMB *butterfly.MaxSet, rng *randx.RNG) (scanned in
 	// bookkeeping likewise run on locals and are stored back once after
 	// the scan.
 	lr := *rng
-	thresh := snap.thresh
-	ws, uvs := snap.w, snap.uv
+	ws, pcs := snap.w, snap.pc
+	admitTh, wordOf, ndraws := snap.admitTh, snap.wordOf, snap.ndraws
 	liveFlat, live, liveOff := x.liveFlat, x.live, snap.liveOff
 	liveCur := x.liveCur
 	toks := snap.tok
@@ -385,108 +450,164 @@ func (x *osIndex) runTrialRNG(sMB *butterfly.MaxSet, rng *randx.RNG) (scanned in
 	pool, poolN := x.pool, x.poolN
 	negInf := math.Inf(-1)
 
-	i := 0
-	for ; i < len(thresh); i++ {
-		if prune && ws[i]+wBar < wMax { // line 9
+	n := len(ws)
+	limit := n
+	if prune {
+		limit = snap.prefixLen // block-aligned, or n
+	}
+	// words is the block draw buffer. Deterministic positions may index
+	// one slot past the block's generated words (wordOf points at the
+	// next undetermined position); the read is harmless garbage — their
+	// sentinel thresholds (0 / 2^53) decide regardless of the word — so
+	// the mask loop stays branch-free.
+	var words [rngBlock]uint64
+	scanned = n
+
+scan:
+	for b := 0; b < n; {
+		if prune && ws[b]+wBarS < wMax { // line 9, block granularity
+			scanned = b
 			break
 		}
-		th := thresh[i]
-		if th == randx.BernoulliNever {
-			continue
+		if b == limit {
+			// The sufficiency check above did not stop the scan at the
+			// calibrated boundary: this trial needs the tail. The scan
+			// continues exactly as if no prefix existed.
+			fellBack = true
 		}
-		if th != randx.BernoulliAlways && lr.Uint64()>>11 >= th {
-			continue
+		be := b + rngBlock
+		if be > n {
+			be = n
 		}
-		// Lines 10–14, inlined from admitEdge/entryFor.
-		uvp := uvs[i]
-		ui, vj := bigraph.VertexID(uvp>>32), bigraph.VertexID(uvp&0xffffffff)
-		w := ws[i]
-		base := liveOff[vj]
-		lm := live[vj]
-		n := lm.n
-		if lm.gen != liveCur {
-			n = 0
+		nd := int(ndraws[b>>rngBlockShift])
+		for k := 0; k < nd; k++ {
+			words[k] = lr.Uint64()
 		}
-		tu := toks[ui]
-		for s := base; s < base+n; s++ {
-			hb := &liveFlat[s]
-			uk := hb.to
-			if uk == ui {
-				continue
+		// Branch-free batched threshold test: bit k of mask is set iff
+		// position b+k is present. Both operands are < 2^63 (words are
+		// 53-bit after the shift, thresholds normalized to ≤ 2^53), so
+		// the sign of the subtraction is exactly the comparison.
+		var mask uint64
+		ath := admitTh[b:be]
+		wof := wordOf[b:be]
+		for k := 0; k < len(ath); k++ {
+			u := words[wof[k]] >> 11
+			mask |= ((u - ath[k]) >> 63) << uint(k)
+		}
+		for mask != 0 {
+			k := bits.TrailingZeros64(mask)
+			mask &= mask - 1
+			i := b + k
+			w := ws[i]
+			if prune && w+wBarS < wMax { // line 9, exact position
+				scanned = i
+				break scan
 			}
-			angleW := w + hb.w // line 11: ∠_new = e_a ⊕ e_b
-			a, b := ui, uk
-			if a > b {
-				a, b = b, a
+			// Lines 10–14, inlined from admitEdge/entryFor. ui is the
+			// pairing endpoint, vj the center (middle) endpoint.
+			uvp := pcs[i]
+			ui, vj := bigraph.VertexID(uvp>>32), bigraph.VertexID(uvp&0xffffffff)
+			base := liveOff[vj]
+			lm := live[vj]
+			nLive := lm.n
+			if lm.gen != liveCur {
+				nLive = 0
 			}
-			key := uint64(a)<<32 | uint64(b)
-			// angleTable.getOrPut, manually inlined with the Zobrist
-			// hash (symmetric in the pair, so it skips the canonical
-			// ordering and the multiply chain of mix64; the partner's
-			// token rides in the liveEdge). Must stay
-			// position-compatible with angleTable.hash — grow() re-probes
-			// through it.
-			h := (tu ^ hb.tok) & tb.mask
-			var ei int32
-			for {
-				sl := &tb.slots[h]
-				if sl.gen != tb.cur {
-					// Miss: claim the slot and a pool entry.
-					ei = int32(poolN)
-					if (tb.live+1)*4 > len(tb.slots)*3 {
-						tb.grow()
-						tb.put(key, ei)
-					} else {
-						*sl = atSlot{key: key, val: ei, gen: tb.cur}
-						tb.live++
-					}
-					if poolN == len(pool) {
-						pool = append(pool, angleEntry{})
-					}
-					e := &pool[ei]
-					e.mids1 = e.mids1[:0]
-					e.mids2 = e.mids2[:0]
-					e.all = e.all[:0]
-					e.u1, e.u2 = a, b
-					e.w1, e.w2 = negInf, negInf
-					poolN++
+			tu := toks[ui]
+			for s := base; s < base+nLive; s++ {
+				hb := &liveFlat[s]
+				angleW := w + hb.w // line 11: ∠_new = e_a ⊕ e_b
+				if angleW+wBar2S < wMax {
+					// Live entries are appended in descending weight
+					// order, so every later partner forms a lighter
+					// angle; none can complete a butterfly at w_max
+					// (the completing angle is bounded by wBar2S).
 					break
 				}
-				if sl.key == key {
-					ei = sl.val
-					break
+				uk := hb.to
+				if uk == ui {
+					continue
 				}
-				h = (h + 1) & tb.mask
-			}
-			ent := &pool[ei]
-			ent.update(angleW, vj) // line 12, Table II
-			if bw := ent.bestWeight(); bw > wMax {
-				wMax = bw // line 13
-				x.maxGen++
-				x.maxList = append(x.maxList[:0], ei)
-				ent.mark = x.maxGen
-			} else if bw == wMax && bw != negInf && ent.mark != x.maxGen {
-				// This pair ties the running maximum: record it once,
-				// keeping maxList in ascending pool order so the
-				// materialization order matches the seed's pool walk.
-				ent.mark = x.maxGen
-				ml := x.maxList
-				j := len(ml)
-				ml = append(ml, ei)
-				for j > 0 && ml[j-1] > ei {
-					ml[j] = ml[j-1]
-					j--
+				a, b := ui, uk
+				if a > b {
+					a, b = b, a
 				}
-				ml[j] = ei
-				x.maxList = ml
+				key := uint64(a)<<32 | uint64(b)
+				// angleTable.getOrPut, manually inlined with the Zobrist
+				// hash (symmetric in the pair, so it skips the canonical
+				// ordering and the multiply chain of mix64; the partner's
+				// token rides in the liveEdge). Must stay
+				// position-compatible with angleTable.hash — grow()
+				// re-probes through it.
+				h := (tu ^ hb.tok) & tb.mask
+				var ei int32
+				for {
+					sl := &tb.slots[h]
+					if sl.gen != tb.cur {
+						// Miss: claim the slot and a pool entry.
+						ei = int32(poolN)
+						if (tb.live+1)*4 > len(tb.slots)*3 {
+							tb.grow()
+							tb.put(key, ei)
+						} else {
+							*sl = atSlot{key: key, val: ei, gen: tb.cur}
+							tb.live++
+						}
+						if poolN == len(pool) {
+							pool = append(pool, angleEntry{})
+						}
+						e := &pool[ei]
+						e.mids1 = e.mids1[:0]
+						e.mids2 = e.mids2[:0]
+						e.all = e.all[:0]
+						e.u1, e.u2 = a, b
+						e.w1, e.w2 = negInf, negInf
+						poolN++
+						break
+					}
+					if sl.key == key {
+						ei = sl.val
+						break
+					}
+					h = (h + 1) & tb.mask
+				}
+				ent := &pool[ei]
+				ent.update(angleW, vj) // line 12, Table II
+				if bw := ent.bestWeight(); bw > wMax {
+					wMax = bw // line 13
+					x.maxGen++
+					x.maxList = append(x.maxList[:0], ei)
+					ent.mark = x.maxGen
+				} else if bw == wMax && bw != negInf && ent.mark != x.maxGen {
+					// This pair ties the running maximum: record it once,
+					// keeping maxList in ascending pool order so the
+					// materialization order matches the seed's pool walk.
+					ent.mark = x.maxGen
+					ml := x.maxList
+					j := len(ml)
+					ml = append(ml, ei)
+					for j > 0 && ml[j-1] > ei {
+						ml[j] = ml[j-1]
+						j--
+					}
+					ml[j] = ei
+					x.maxList = ml
+				}
 			}
+			if 2*w+wBar2S >= wMax {
+				liveFlat[base+nLive] = liveEdge{to: ui, w: w, tok: tu} // line 14
+				live[vj] = liveMeta{n: nLive + 1, gen: liveCur}
+			}
+			// else: every future angle through this edge is ≤ 2w (its
+			// partner is no heavier) and completes to < w_max — the
+			// entry could never contribute, so it is not recorded. The
+			// region slot stays free for the next recorded edge.
 		}
-		liveFlat[base+n] = liveEdge{to: ui, w: w, tok: tu} // line 14
-		live[vj] = liveMeta{n: n + 1, gen: liveCur}
+		b = be
 	}
 	x.pool, x.poolN = pool, poolN
 	x.materializeList(sMB, wMax)
-	return i
+	return scanned, fellBack
 }
 
 // runTrialRNGGeneric is the unspecialized threshold trial: same
@@ -544,12 +665,12 @@ func (x *osIndex) runTrial(sMB *butterfly.MaxSet, present func(bigraph.EdgeID) b
 }
 
 // admitEdge processes the live edge at snapshot position i (lines 10–14):
-// form an angle with every live edge already recorded at its right
+// form an angle with every live edge already recorded at its center
 // endpoint, push each through the Table II update, lift w_max, and append
-// the edge to its right vertex's flat N̂_E region.
+// the edge to its center vertex's flat N̂_E region.
 func (x *osIndex) admitEdge(i int, wMax float64) float64 {
 	snap := x.snap
-	ui, vj, w := snap.u[i], snap.v[i], snap.w[i]
+	ui, vj, w := snap.prt[i], snap.ctr[i], snap.w[i]
 	base := snap.liveOff[vj]
 	lm := x.live[vj]
 	n := lm.n
@@ -584,6 +705,19 @@ func (x *osIndex) admitEdge(i int, wMax float64) float64 {
 	return wMax
 }
 
+// emit adds one maximum butterfly, mapping the kernel's pair/middle roles
+// back to the graph's left/right sides: the pair vertices are left and
+// the middles right unless the snapshot flipped the center side.
+// butterfly.New canonicalizes within each side, so the emitted butterfly
+// is identical to the unflipped (seed/oracle) orientation.
+func (x *osIndex) emit(sMB *butterfly.MaxSet, ent *angleEntry, m1, m2 bigraph.VertexID, w float64) {
+	if x.snap.flip {
+		sMB.Add(butterfly.New(m1, m2, ent.u1, ent.u2), w)
+		return
+	}
+	sMB.Add(butterfly.New(ent.u1, ent.u2, m1, m2), w)
+}
+
 // materializeList emits the butterflies of weight w_max from the
 // specialized path's candidate list instead of rewalking the whole pool:
 // maxList holds, in ascending pool order, exactly the entries whose
@@ -602,12 +736,12 @@ func (x *osIndex) materializeList(sMB *butterfly.MaxSet, wMax float64) {
 		case len(ent.mids1) >= 2 && 2*ent.w1 == wMax: // line 16
 			for a := 0; a < len(ent.mids1); a++ {
 				for b := a + 1; b < len(ent.mids1); b++ {
-					sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[a], ent.mids1[b]), wMax)
+					x.emit(sMB, ent, ent.mids1[a], ent.mids1[b], wMax)
 				}
 			}
 		case len(ent.mids1) == 1 && len(ent.mids2) >= 1 && ent.w1+ent.w2 == wMax: // line 18
 			for _, m2 := range ent.mids2 {
-				sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[0], m2), wMax)
+				x.emit(sMB, ent, ent.mids1[0], m2, wMax)
 			}
 		}
 	}
@@ -630,7 +764,7 @@ func (x *osIndex) materialize(sMB *butterfly.MaxSet, wMax float64) {
 						continue
 					}
 					if w := ent.all[a].w + ent.all[b].w; w == wMax {
-						sMB.Add(butterfly.New(ent.u1, ent.u2, ent.all[a].mid, ent.all[b].mid), wMax)
+						x.emit(sMB, ent, ent.all[a].mid, ent.all[b].mid, wMax)
 					}
 				}
 			}
@@ -640,12 +774,12 @@ func (x *osIndex) materialize(sMB *butterfly.MaxSet, wMax float64) {
 		case len(ent.mids1) >= 2 && 2*ent.w1 == wMax: // line 16
 			for a := 0; a < len(ent.mids1); a++ {
 				for b := a + 1; b < len(ent.mids1); b++ {
-					sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[a], ent.mids1[b]), wMax)
+					x.emit(sMB, ent, ent.mids1[a], ent.mids1[b], wMax)
 				}
 			}
 		case len(ent.mids1) == 1 && len(ent.mids2) >= 1 && ent.w1+ent.w2 == wMax: // line 18
 			for _, m2 := range ent.mids2 {
-				sMB.Add(butterfly.New(ent.u1, ent.u2, ent.mids1[0], m2), wMax)
+				x.emit(sMB, ent, ent.mids1[0], m2, wMax)
 			}
 		}
 	}

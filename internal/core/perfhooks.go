@@ -16,23 +16,33 @@ import (
 // flat-memory kernel (the production path of OS/OSParallel), with the same
 // per-trial stream derivation the samplers use.
 type KernelBench struct {
-	idx  *osIndex
-	root *randx.RNG
-	sMB  butterfly.MaxSet
+	idx       *osIndex
+	root      *randx.RNG
+	sMB       butterfly.MaxSet
+	fallbacks int64
 }
 
-// NewKernelBench prepares the kernel for g once (snapshot, thresholds,
-// angle table); subsequent Trial calls reuse that state exactly like a
-// sampler's trial loop does.
+// NewKernelBench prepares the kernel for g once (calibrated snapshot,
+// thresholds, angle table) through the same acquire path the samplers
+// use; subsequent Trial calls reuse that state exactly like a sampler's
+// trial loop does.
 func NewKernelBench(g *bigraph.Graph, opt OSOptions) *KernelBench {
-	return &KernelBench{idx: newOSIndex(g, opt), root: randx.New(opt.Seed)}
+	return &KernelBench{idx: acquireKernel(g, opt), root: randx.New(opt.Seed)}
 }
 
 // Trial runs the 1-based trial and reports how many snapshot positions
 // the scan covered before the Section V-B prune stopped it.
 func (k *KernelBench) Trial(trial int) (scanned int) {
-	return k.idx.runTrialSeeded(k.root, uint64(trial), &k.sMB)
+	scanned, fellBack := k.idx.runTrialSeeded(k.root, uint64(trial), &k.sMB)
+	if fellBack {
+		k.fallbacks++
+	}
+	return scanned
 }
+
+// Fallbacks reports how many Trial calls crossed the snapshot's
+// calibrated prefix boundary into the full-scan tail.
+func (k *KernelBench) Fallbacks() int64 { return k.fallbacks }
 
 // NumEdges returns the snapshot size, so callers can convert scanned
 // positions into pruned positions.

@@ -1,9 +1,39 @@
 package core
 
 import (
+	"math"
+	"sync"
+
 	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
 	"github.com/uncertain-graphs/mpmb/internal/randx"
 )
+
+// rngBlock is the batch width of the kernel's block RNG generation: raw
+// generator words are produced rngBlock snapshot positions at a time and
+// turned into a presence bitmask by branch-free threshold subtraction
+// (see runTrialRNG). 64 positions fit exactly one mask word, and a
+// 64-word buffer stays comfortably on the stack.
+const (
+	rngBlock      = 64
+	rngBlockShift = 6
+)
+
+// calibrationTrials is K, the number of reserved trials the snapshot
+// build runs to place the truncated edge-prefix boundary. The boundary
+// is the maximum prune point those K trials observed (plus margin); by
+// exchangeability a fresh trial's prune point exceeds the maximum of K
+// i.i.d. calibration trials with probability at most 1/(K+1), so the
+// prefix-sufficiency check trips into the full-scan fallback on at most
+// ~1.5% of trials even before the margin. See docs/ALGORITHMS.md,
+// "Performance engineering v2".
+const calibrationTrials = 64
+
+// calibrationSalt seeds the calibration stream family together with the
+// graph checksum, keeping the prefix boundary a pure function of the
+// graph — never of a run's seed — so one calibrated snapshot serves
+// every run over the same graph.
+const calibrationSalt = 0x5ca1ab1e0ddba11d
 
 // edgeSnapshot is the struct-of-arrays view of a graph the flat OS trial
 // kernel scans: one parallel slice per field, in descending-weight order
@@ -19,33 +49,116 @@ import (
 // already-processed edges occupy liveFlat[liveOff[v] : liveOff[v]+len],
 // where the region capacity is deg(v) — the most live edges v can ever
 // accumulate in one trial — so per-trial bookkeeping never allocates.
+//
+// Since PR 9 the snapshot is immutable after snapshotFor returns and is
+// shared by every kernel over the same graph (see snapshotFor): it
+// additionally precomputes the batched-RNG draw schedule (admitTh,
+// wordOf, ndraws), the per-edge butterfly support counts and the
+// support-sharpened prune budgets (wBarS, wBar2S), and the calibrated
+// truncated-prefix boundary (prefixLen).
 type edgeSnapshot struct {
 	w      []float64          // edge weight, descending
-	u      []bigraph.VertexID // left endpoint
-	v      []bigraph.VertexID // right endpoint
-	uv     []uint64           // uint64(u)<<32 | uint64(v): both endpoints in one load
+	prt    []bigraph.VertexID // pairing endpoint (outer side of the angle)
+	ctr    []bigraph.VertexID // center endpoint (middle side, owns the live lists)
+	pc     []uint64           // uint64(prt)<<32 | uint64(ctr): both endpoints in one load
 	id     []bigraph.EdgeID   // original edge id (oracle path, butterflies)
 	thresh []uint64           // randx.BernoulliThreshold of the edge's p
 
 	wBar float64 // w(e1)+w(e2)+w(e3), the Section V-B prune budget
 
-	liveOff []int32 // per right vertex offset into liveFlat, len numR+1
+	// flip selects which side the angle middles live on. An angle is two
+	// present edges sharing a middle vertex; a butterfly is two angles
+	// sharing the same outer pair with distinct middles — the definition
+	// is side-symmetric, so the kernel may center its live lists on
+	// either side and produce the same butterfly set. The build centers
+	// on the side with the smaller expected pair-work Σ d̄(x)² (d̄ = sum
+	// of incident edge probabilities) — the wing-decomposition /
+	// vertex-priority side-selection rule — which on skewed graphs cuts
+	// the per-trial angle count by orders of magnitude. flip=false
+	// centers on the right side (middles are right vertices, the seed
+	// implementation's fixed choice); flip=true centers on the left.
+	flip bool
 
-	// tok holds one fixed random 64-bit token per left vertex. The angle
-	// table hashes an endpoint pair as tok[u1]^tok[u2] (Zobrist hashing):
-	// two L1 loads and an XOR, symmetric in the pair so the kernel needs
-	// no canonical ordering before hashing, and cheaper than running the
-	// packed key through a multiply-based finalizer on every angle.
+	liveOff []int32 // per center vertex offset into liveFlat, len numCenter+1
+
+	// tok holds one fixed random 64-bit token per pairing-side vertex.
+	// The angle table hashes an endpoint pair as tok[a]^tok[b] (Zobrist
+	// hashing): two L1 loads and an XOR, symmetric in the pair so the
+	// kernel needs no canonical ordering before hashing, and cheaper than
+	// running the packed key through a multiply-based finalizer on every
+	// angle.
 	tok []uint64
+
+	// support is the exact number of backbone butterflies (4-cycles)
+	// containing each snapshot position's edge, computed once at build in
+	// the wing-decomposition style (per-edge support via wedge counts from
+	// the cheaper side; cf. ParButterfly's wing ordering). An edge with
+	// support 0 lies on no backbone butterfly, so no possible world can
+	// materialize a butterfly through it: the kernel never admits it
+	// (admitTh 0), though the edge still consumes its Bernoulli draw so
+	// the word schedule of every later edge is unchanged. Counts saturate
+	// at MaxInt32; only >0 matters to the kernel.
+	support []int32
+
+	// admitTh is the batched-admission threshold of each position,
+	// normalized into [0, 2^53] so one branch-free comparison per edge
+	// decides admission: a position is admitted iff word>>11 < admitTh.
+	// p <= 0 and support-0 edges map to 0 (word>>11 < 0 is never true),
+	// p >= 1 maps to 2^53 (word>>11 <= 2^53-1 < 2^53 is always true),
+	// and p in (0, 1) keeps its BernoulliThreshold in [1, 2^53].
+	admitTh []uint64
+
+	// wordOf[i] is the index, within position i's rngBlock-wide block, of
+	// the raw generator word position i compares against: the count of
+	// draw-consuming (p in (0,1)) positions between the block start and i.
+	// Deterministic positions point at the next undetermined position's
+	// word (or one past the block's words — a garbage slot the kernel
+	// provides); their admitTh sentinel decides regardless of the word's
+	// value, so the read is harmless and the loop stays branch-free.
+	wordOf []uint8
+
+	// ndraws[b] is how many raw words block b consumes: the number of
+	// p in (0,1) positions in [b*rngBlock, min((b+1)*rngBlock, n)).
+	ndraws []uint8
+
+	// wBarS / wBar2S are the support-sharpened prune budgets: the sum of
+	// the three (resp. two) largest weights among support-positive edges.
+	// Every edge of any butterfly is support-positive, so any butterfly
+	// containing the edge at position i weighs at most w[i]+wBarS, and
+	// any butterfly completing a given angle weighs at most the angle's
+	// weight plus wBar2S — both bounds strict below the running w_max
+	// certify that skipping the position/angle cannot change the Result.
+	wBarS  float64
+	wBar2S float64
+
+	// barren reports that no edge has butterfly support: the backbone
+	// contains no 4-cycle, so every trial's maximum set is empty and the
+	// kernel returns immediately.
+	barren bool
+
+	// prefixLen is the calibrated truncated-prefix boundary m (a multiple
+	// of rngBlock, or numEdges): the kernel scans only positions < m and
+	// runs the deterministic sufficiency check w[m]+wBarS < w_max at the
+	// boundary, falling back to the tail scan — counted in telemetry —
+	// exactly when the check fails. Uncalibrated snapshots use the full
+	// length, which disables the fallback path entirely.
+	prefixLen int
+
+	// kernels recycles osIndex instances built over this snapshot, so a
+	// run (or a parallel worker) that needs a kernel for an already-seen
+	// graph reuses the previous run's allocations instead of rebuilding
+	// ~1MB of per-kernel scratch. Kernels are only ever pooled with their
+	// own snapshot, so a pooled kernel always matches the graph.
+	kernels sync.Pool
 }
 
 // liveEdge is one flat N̂_E entry: a live, already-processed edge incident
-// to the region's right vertex. The weight and the left endpoint's Zobrist
-// token ride along so angle formation (∠ = e_a ⊕ e_b) and the angle-table
-// hash read everything from the same cache line instead of re-fetching the
-// AoS edge record and the token array.
+// to the region's center vertex. The weight and the pairing endpoint's
+// Zobrist token ride along so angle formation (∠ = e_a ⊕ e_b) and the
+// angle-table hash read everything from the same cache line instead of
+// re-fetching the AoS edge record and the token array.
 type liveEdge struct {
-	to  bigraph.VertexID // left endpoint
+	to  bigraph.VertexID // pairing endpoint
 	w   float64
 	tok uint64 // snap.tok[to]
 }
@@ -54,37 +167,289 @@ func newEdgeSnapshot(g *bigraph.Graph) *edgeSnapshot {
 	sorted := g.EdgesByWeightDesc()
 	n := len(sorted)
 	s := &edgeSnapshot{
-		w:       make([]float64, n),
-		u:       make([]bigraph.VertexID, n),
-		v:       make([]bigraph.VertexID, n),
-		id:      make([]bigraph.EdgeID, n),
-		thresh:  make([]uint64, n),
-		wBar:    g.TopWeightSum(3),
-		liveOff: make([]int32, g.NumR()+1),
+		w:      make([]float64, n),
+		prt:    make([]bigraph.VertexID, n),
+		ctr:    make([]bigraph.VertexID, n),
+		id:     make([]bigraph.EdgeID, n),
+		thresh: make([]uint64, n),
+		wBar:   g.TopWeightSum(3),
 	}
-	s.uv = make([]uint64, n)
+	// Side selection: center the live middle lists on the side with the
+	// smaller expected pair-work Σ_x d̄(x)² — the number of angles a trial
+	// forms is Σ over center vertices of C(present degree, 2).
+	var workL, workR float64
+	for u := 0; u < g.NumL(); u++ {
+		d := g.ExpectedDegreeL(bigraph.VertexID(u))
+		workL += d * d
+	}
+	for v := 0; v < g.NumR(); v++ {
+		d := g.ExpectedDegreeR(bigraph.VertexID(v))
+		workR += d * d
+	}
+	s.flip = workL < workR
+	s.pc = make([]uint64, n)
 	for i, eid := range sorted {
 		e := g.Edge(eid)
 		s.w[i] = e.W
-		s.u[i] = e.U
-		s.v[i] = e.V
-		s.uv[i] = uint64(e.U)<<32 | uint64(e.V)
+		if s.flip {
+			s.prt[i], s.ctr[i] = e.V, e.U
+		} else {
+			s.prt[i], s.ctr[i] = e.U, e.V
+		}
+		s.pc[i] = uint64(s.prt[i])<<32 | uint64(s.ctr[i])
 		s.id[i] = eid
 		s.thresh[i] = randx.BernoulliThreshold(e.P)
 	}
-	for v := 0; v < g.NumR(); v++ {
-		s.liveOff[v+1] = s.liveOff[v] + int32(g.DegreeR(bigraph.VertexID(v)))
+	numCtr, numPrt := g.NumR(), g.NumL()
+	if s.flip {
+		numCtr, numPrt = g.NumL(), g.NumR()
 	}
-	s.tok = make([]uint64, g.NumL())
+	s.liveOff = make([]int32, numCtr+1)
+	for c := 0; c < numCtr; c++ {
+		var deg int
+		if s.flip {
+			deg = g.DegreeL(bigraph.VertexID(c))
+		} else {
+			deg = g.DegreeR(bigraph.VertexID(c))
+		}
+		s.liveOff[c+1] = s.liveOff[c] + int32(deg)
+	}
+	s.tok = make([]uint64, numPrt)
 	for u := range s.tok {
 		sm := uint64(u) ^ 0x6a09e667f3bcc908 // fixed salt; any constant works
 		s.tok[u] = randx.SplitMix64(&sm)
 	}
+
+	// Per-edge butterfly support, then the support-dependent kernel
+	// tables: normalized admission thresholds, the block draw schedule,
+	// and the sharpened prune budgets.
+	sup := edgeSupport(g)
+	s.support = make([]int32, n)
+	s.admitTh = make([]uint64, n)
+	s.wordOf = make([]uint8, n)
+	s.ndraws = make([]uint8, (n+rngBlock-1)/rngBlock)
+	var draws uint8 // draw-consuming positions so far in the current block
+	for i := 0; i < n; i++ {
+		if i&(rngBlock-1) == 0 {
+			draws = 0
+		}
+		s.wordOf[i] = draws
+		th := s.thresh[i]
+		if th != randx.BernoulliNever && th != randx.BernoulliAlways {
+			draws++
+		}
+		s.ndraws[i>>rngBlockShift] = draws
+		supI := sup[s.id[i]]
+		s.support[i] = supI
+		switch {
+		case supI == 0 || th == randx.BernoulliNever:
+			s.admitTh[i] = 0
+		case th == randx.BernoulliAlways:
+			s.admitTh[i] = 1 << 53
+		default:
+			s.admitTh[i] = th
+		}
+	}
+	// Top-3/top-2 support-positive weights: positions are already weight
+	// descending, so the first three support-positive positions are the
+	// maxima.
+	var top [3]float64
+	found := 0
+	for i := 0; i < n && found < 3; i++ {
+		if s.support[i] > 0 {
+			top[found] = s.w[i]
+			found++
+		}
+	}
+	s.barren = found == 0
+	s.wBarS = top[0] + top[1] + top[2]
+	s.wBar2S = top[0] + top[1]
+	s.prefixLen = n // uncalibrated: full scan, no fallback path
 	return s
 }
 
 // numEdges returns the snapshot length.
 func (s *edgeSnapshot) numEdges() int { return len(s.id) }
+
+// edgeSupport counts, for every backbone edge, the backbone butterflies
+// (4-cycles) containing it. The count is exact; values saturate at
+// MaxInt32.
+//
+// The algorithm is the wedge-counting discipline of wing decomposition
+// (ParButterfly): fix a center vertex u on one side; one pass over the
+// neighborhoods of N(u) tallies cnt[u'] = |N(u) ∩ N(u')| for every
+// same-side vertex u'; a second pass then charges each edge (u, v) with
+// Σ_{u' ∈ N(v), u' ≠ u} (cnt[u'] − 1) — the number of butterflies
+// {u, u', v, v'} through (u, v). Total work is Σ over the opposite
+// side's degrees squared, so the center side is chosen to minimize it
+// (the same side-selection rule wing decomposition uses).
+func edgeSupport(g *bigraph.Graph) []int32 {
+	sup := make([]int32, g.NumEdges())
+	var sumL2, sumR2 int64
+	for u := 0; u < g.NumL(); u++ {
+		d := int64(g.DegreeL(bigraph.VertexID(u)))
+		sumL2 += d * d
+	}
+	for v := 0; v < g.NumR(); v++ {
+		d := int64(g.DegreeR(bigraph.VertexID(v)))
+		sumR2 += d * d
+	}
+	if sumR2 <= sumL2 {
+		// Left centers: inner loops walk right neighborhoods (cost Σ_R d²).
+		cnt := make([]int32, g.NumL())
+		for u := 0; u < g.NumL(); u++ {
+			uid := bigraph.VertexID(u)
+			for _, h := range g.NeighborsL(uid) {
+				for _, h2 := range g.NeighborsR(h.To) {
+					if h2.To != uid {
+						cnt[h2.To]++
+					}
+				}
+			}
+			for _, h := range g.NeighborsL(uid) {
+				var c int64
+				for _, h2 := range g.NeighborsR(h.To) {
+					if h2.To == uid {
+						continue
+					}
+					c += int64(cnt[h2.To] - 1)
+				}
+				sup[h.E] = satInt32(c)
+			}
+			for _, h := range g.NeighborsL(uid) {
+				for _, h2 := range g.NeighborsR(h.To) {
+					cnt[h2.To] = 0
+				}
+			}
+		}
+		return sup
+	}
+	// Right centers: symmetric, inner loops walk left neighborhoods
+	// (cost Σ_L d²).
+	cnt := make([]int32, g.NumR())
+	for v := 0; v < g.NumR(); v++ {
+		vid := bigraph.VertexID(v)
+		for _, h := range g.NeighborsR(vid) {
+			for _, h2 := range g.NeighborsL(h.To) {
+				if h2.To != vid {
+					cnt[h2.To]++
+				}
+			}
+		}
+		for _, h := range g.NeighborsR(vid) {
+			var c int64
+			for _, h2 := range g.NeighborsL(h.To) {
+				if h2.To == vid {
+					continue
+				}
+				c += int64(cnt[h2.To] - 1)
+			}
+			sup[h.E] = satInt32(c)
+		}
+		for _, h := range g.NeighborsR(vid) {
+			for _, h2 := range g.NeighborsL(h.To) {
+				cnt[h2.To] = 0
+			}
+		}
+	}
+	return sup
+}
+
+func satInt32(v int64) int32 {
+	if v > math.MaxInt32 {
+		return math.MaxInt32
+	}
+	return int32(v)
+}
+
+// calibrate places the truncated-prefix boundary by running
+// calibrationTrials reserved trials whose streams derive from the graph
+// checksum (never a run seed), recording the maximum position the
+// support-sharpened prune let any of them reach, and rounding that high
+// -water mark — plus a 1/8 margin and one spare block — up to a block
+// multiple. A fresh run trial then needs the tail beyond the boundary
+// with probability at most 1/(K+1) (exchangeability of K+1 i.i.d.
+// trials), before the margin; when it does, the kernel's sufficiency
+// check fails closed into the exact full-scan continuation and the
+// fallback is counted in telemetry.
+func (s *edgeSnapshot) calibrate(g *bigraph.Graph) {
+	n := s.numEdges()
+	s.prefixLen = n
+	if s.barren || n <= rngBlock {
+		return
+	}
+	x := newOSIndexFromSnapshot(g, OSOptions{}, s)
+	root := randx.New(uint64(g.Checksum())*0x9e3779b97f4a7c15 ^ calibrationSalt)
+	var sMB butterfly.MaxSet
+	maxStop := 0
+	for t := 1; t <= calibrationTrials; t++ {
+		stop, _ := x.runTrialSeeded(root, uint64(t), &sMB)
+		if stop > maxStop {
+			maxStop = stop
+		}
+	}
+	m := maxStop + maxStop/8 + rngBlock
+	m = (m + rngBlock - 1) &^ (rngBlock - 1)
+	if m < n {
+		s.prefixLen = m
+	}
+	s.kernels.Put(x) // the calibration kernel seeds the snapshot's pool
+}
+
+// snapCache memoizes calibrated snapshots per graph, keyed by graph
+// identity (graphs are immutable). Capacity is small — the cache exists
+// so repeated runs, parallel workers and pooled service jobs over the
+// same few graphs stop rebuilding ~1MB of SoA tables plus the support
+// counts per kernel — and old entries fall off the MRU tail, so at most
+// snapCacheCap graphs are kept alive by it.
+const snapCacheCap = 4
+
+var snapCache struct {
+	sync.Mutex
+	entries []snapCacheEntry
+}
+
+type snapCacheEntry struct {
+	g *bigraph.Graph
+	s *edgeSnapshot
+}
+
+// snapshotFor returns the calibrated snapshot for g, building it on the
+// first request. Building (support counting + calibration trials)
+// happens outside the cache lock, so concurrent first requests for the
+// same graph may build duplicates — each fully calibrated and
+// interchangeable; one of them wins the cache slot.
+func snapshotFor(g *bigraph.Graph) *edgeSnapshot {
+	snapCache.Lock()
+	for i := range snapCache.entries {
+		if snapCache.entries[i].g == g {
+			e := snapCache.entries[i]
+			copy(snapCache.entries[1:i+1], snapCache.entries[:i])
+			snapCache.entries[0] = e
+			snapCache.Unlock()
+			return e.s
+		}
+	}
+	snapCache.Unlock()
+
+	s := newEdgeSnapshot(g)
+	s.calibrate(g)
+
+	snapCache.Lock()
+	defer snapCache.Unlock()
+	for i := range snapCache.entries {
+		if snapCache.entries[i].g == g {
+			return snapCache.entries[i].s // lost the build race; use the winner
+		}
+	}
+	snapCache.entries = append(snapCache.entries, snapCacheEntry{})
+	copy(snapCache.entries[1:], snapCache.entries)
+	snapCache.entries[0] = snapCacheEntry{g: g, s: s}
+	if len(snapCache.entries) > snapCacheCap {
+		snapCache.entries = snapCache.entries[:snapCacheCap]
+	}
+	return s
+}
 
 // edgeThresholds precomputes the Bernoulli threshold of every backbone
 // edge, indexed by edge id. The candidate estimators (Algorithms 4 and 5)

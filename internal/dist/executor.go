@@ -219,12 +219,13 @@ func executeSpan(job *core.ExecJob, jobID, leaseID uint64, lo, hi, pool int) (*L
 		Hi:      hi,
 		Payload: payload,
 		Counters: Counters{
-			Trials:       m.Trials,
-			TrialHits:    m.TrialHits,
-			EdgesScanned: m.EdgesScanned,
-			EdgesPruned:  m.EdgesPruned,
-			CandScanned:  m.CandScanned,
-			CandPruned:   m.CandPruned,
+			Trials:          m.Trials,
+			TrialHits:       m.TrialHits,
+			EdgesScanned:    m.EdgesScanned,
+			EdgesPruned:     m.EdgesPruned,
+			CandScanned:     m.CandScanned,
+			CandPruned:      m.CandPruned,
+			PrefixFallbacks: m.PrefixFallbacks,
 		},
 	}, nil
 }

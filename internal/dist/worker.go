@@ -340,12 +340,13 @@ func (w *Worker) execute(ctx context.Context, rep *LeaseReply) (*LeaseComplete, 
 		Hi:      rep.Hi,
 		Payload: payload,
 		Counters: Counters{
-			Trials:       m.Trials,
-			TrialHits:    m.TrialHits,
-			EdgesScanned: m.EdgesScanned,
-			EdgesPruned:  m.EdgesPruned,
-			CandScanned:  m.CandScanned,
-			CandPruned:   m.CandPruned,
+			Trials:          m.Trials,
+			TrialHits:       m.TrialHits,
+			EdgesScanned:    m.EdgesScanned,
+			EdgesPruned:     m.EdgesPruned,
+			CandScanned:     m.CandScanned,
+			CandPruned:      m.CandPruned,
+			PrefixFallbacks: m.PrefixFallbacks,
 		},
 	}, nil
 }

@@ -21,6 +21,9 @@ type Metrics struct {
 	EdgesPruned  int64 `json:"edges_pruned"`
 	CandScanned  int64 `json:"cand_scanned"`
 	CandPruned   int64 `json:"cand_pruned"`
+	// PrefixFallbacks counts OS kernel trials that crossed the calibrated
+	// truncated-prefix boundary into the full-scan tail.
+	PrefixFallbacks int64 `json:"prefix_fallbacks"`
 
 	// Candidates counts butterflies promoted into C_MB.
 	Candidates int64 `json:"candidates"`
