@@ -45,6 +45,7 @@ import (
 
 	"github.com/uncertain-graphs/mpmb/internal/bench"
 	"github.com/uncertain-graphs/mpmb/internal/cliflags"
+	"github.com/uncertain-graphs/mpmb/internal/core"
 	"github.com/uncertain-graphs/mpmb/internal/profiling"
 )
 
@@ -63,9 +64,14 @@ func runPerf(args []string, out io.Writer) (retErr error) {
 		pLo        = fs.Float64("corpus-plo", def.PLo, "corpus minimum edge probability")
 		pHi        = fs.Float64("corpus-phi", def.PHi, "corpus maximum edge probability")
 		corpusSeed = fs.Uint64("corpus-seed", def.Seed, "corpus generation seed")
+		query      = fs.QueryFlags()
 	)
 	cpuProfile, memProfile := fs.Profiling()
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	anchor, err := perfAnchor(query)
+	if err != nil {
 		return err
 	}
 	stopProf, err := profiling.Start(*cpuProfile, *memProfile)
@@ -93,7 +99,7 @@ func runPerf(args []string, out io.Writer) (retErr error) {
 		NumL: *numL, NumR: *numR, NumEdges: *numEdges,
 		PLo: *pLo, PHi: *pHi, Seed: *corpusSeed,
 	}
-	rep, err := bench.RunPerfCorpus(corpus, *rounds)
+	rep, err := bench.RunPerfCorpusAnchor(corpus, *rounds, anchor)
 	if err != nil {
 		return err
 	}
@@ -113,6 +119,40 @@ func runPerf(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintf(out, "wrote %s\n", *benchOut)
 	}
 	return nil
+}
+
+// perfAnchor converts the shared anchor flags into the anchored_os
+// row's anchor; nil keeps the default heaviest-edge anchor. The
+// community and adaptive-prep variants have no benchmark row, so perf
+// rejects their flags rather than silently ignoring them.
+func perfAnchor(query *cliflags.QueryValues) (*core.Anchor, error) {
+	q, err := query.Build()
+	if err != nil {
+		return nil, err
+	}
+	if q == nil {
+		return nil, nil
+	}
+	if q.Community != nil || q.AdaptivePrep {
+		return nil, fmt.Errorf("perf supports only the anchor flags (-anchor-l, -anchor-r, -anchor-edge)")
+	}
+	set := 0
+	for _, on := range []bool{q.AnchorL != nil, q.AnchorR != nil, q.AnchorEdge != nil} {
+		if on {
+			set++
+		}
+	}
+	if set > 1 {
+		return nil, fmt.Errorf("at most one of -anchor-l, -anchor-r and -anchor-edge may be set")
+	}
+	switch {
+	case q.AnchorL != nil:
+		return &core.Anchor{Kind: core.AnchorLeft, U: *q.AnchorL}, nil
+	case q.AnchorR != nil:
+		return &core.Anchor{Kind: core.AnchorRight, V: *q.AnchorR}, nil
+	default:
+		return &core.Anchor{Kind: core.AnchorEdge, U: q.AnchorEdge.U, V: q.AnchorEdge.V}, nil
+	}
 }
 
 func main() {

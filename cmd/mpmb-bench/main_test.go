@@ -70,8 +70,8 @@ func TestRunConformanceSubcommand(t *testing.T) {
 	if !rep.Pass {
 		t.Fatalf("conformance reported failure:\n%s", out)
 	}
-	if len(rep.Methods) != 4 {
-		t.Fatalf("expected 4 method summaries, got %d", len(rep.Methods))
+	if len(rep.Methods) != 7 {
+		t.Fatalf("expected 7 method summaries (4 estimators + 3 query variants), got %d", len(rep.Methods))
 	}
 	for _, m := range rep.Methods {
 		if m.TrialsToTolerance <= 0 {

@@ -117,7 +117,8 @@ func run(args []string, out io.Writer) (retErr error) {
 		deadline   = fs.Duration("deadline", 0, "wall-clock budget; stop at the trial boundary past it (0 = off)")
 		stall      = fs.Duration("stall-timeout", 0, "fail with a stall error after this long without progress (0 = off)")
 
-		tele = fs.TelemetryFlags()
+		tele  = fs.TelemetryFlags()
+		query = fs.QueryFlags()
 	)
 	cpuProfile, memProfile := fs.Profiling()
 	// Old spellings keep parsing, hidden from -help.
@@ -190,6 +191,9 @@ func run(args []string, out io.Writer) (retErr error) {
 	if *deadline > 0 {
 		opt.Deadline = time.Now().Add(*deadline)
 	}
+	if opt.Query, err = query.Build(); err != nil {
+		return err
+	}
 	if *distListen != "" {
 		coord := dist.NewCoordinator()
 		if *distJournal != "" {
@@ -252,6 +256,25 @@ func run(args []string, out io.Writer) (retErr error) {
 		fmt.Fprintf(out, " final-method=%s\n", ad.FinalMethod)
 		for _, tr := range ad.Transitions {
 			fmt.Fprintf(out, "adaptive: transition %s -> %s (%s, at trial %d)\n", tr.From, tr.To, tr.Reason, tr.AtTrial)
+		}
+		if s := ad.PrepSizing; s != nil {
+			mode := fmt.Sprintf("sampled %d edges", s.SampledEdges)
+			if s.Exhaustive {
+				mode = "exhaustive"
+			}
+			fmt.Fprintf(out, "prep-sizing: expected-butterflies=%.4g prep-trials=%d entry=%s (%s pre-pass)\n",
+				s.ExpectedButterflies, s.PrepTrials, s.EntryMethod, mode)
+		}
+	}
+	if len(res.Communities) > 0 {
+		fmt.Fprintf(out, "per-community results (%d communities):\n", len(res.Communities))
+		for _, cr := range res.Communities {
+			if best, ok := cr.Result.Best(); ok {
+				fmt.Fprintf(out, "  community %-4d %-20s weight=%-10.4g P̂=%.4f (%d estimates)\n",
+					cr.Community, best.B, best.Weight, best.P, len(cr.Result.Estimates))
+			} else {
+				fmt.Fprintf(out, "  community %-4d no butterfly was ever maximum\n", cr.Community)
+			}
 		}
 	}
 	if res.Partial {
@@ -319,15 +342,16 @@ func writeJSON(path string, res *mpmb.Result, top []mpmb.Estimate) error {
 		P              float64
 	}
 	doc := struct {
-		Method     string               `json:"method"`
-		Trials     int                  `json:"trials"`
-		PrepTrials int                  `json:"prep_trials,omitempty"`
-		Partial    bool                 `json:"partial,omitempty"`
-		TrialsDone int                  `json:"trials_done,omitempty"`
-		Adaptive   *mpmb.AdaptiveReport `json:"adaptive,omitempty"`
-		Metrics    *mpmb.Metrics        `json:"metrics,omitempty"`
-		Top        []jsonButterfly      `json:"top"`
-	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial, Adaptive: res.Adaptive, Metrics: res.Metrics}
+		Method      string                 `json:"method"`
+		Trials      int                    `json:"trials"`
+		PrepTrials  int                    `json:"prep_trials,omitempty"`
+		Partial     bool                   `json:"partial,omitempty"`
+		TrialsDone  int                    `json:"trials_done,omitempty"`
+		Adaptive    *mpmb.AdaptiveReport   `json:"adaptive,omitempty"`
+		Metrics     *mpmb.Metrics          `json:"metrics,omitempty"`
+		Communities []mpmb.CommunityResult `json:"communities,omitempty"`
+		Top         []jsonButterfly        `json:"top"`
+	}{Method: res.Method, Trials: res.Trials, PrepTrials: res.PrepTrials, Partial: res.Partial, Adaptive: res.Adaptive, Metrics: res.Metrics, Communities: res.Communities}
 	if res.Partial {
 		doc.TrialsDone = res.TrialsDone
 	}

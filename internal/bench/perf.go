@@ -175,6 +175,15 @@ func RunPerf() (*PerfReport, error) {
 // RunPerfCorpus times every row on the given corpus. rounds ≤ 0 means
 // DefaultPerfRounds.
 func RunPerfCorpus(corpus PerfCorpus, rounds int) (*PerfReport, error) {
+	return RunPerfCorpusAnchor(corpus, rounds, nil)
+}
+
+// RunPerfCorpusAnchor is RunPerfCorpus with the anchored_os row's anchor
+// pinned (`mpmb-bench perf -anchor-l/...`). nil picks the default: the
+// heaviest edge's left endpoint — a popular vertex in the skewed
+// corpus, so the anchored two-hop enumeration is a real workload rather
+// than an empty scan.
+func RunPerfCorpusAnchor(corpus PerfCorpus, rounds int, anchor *core.Anchor) (*PerfReport, error) {
 	if rounds <= 0 {
 		rounds = DefaultPerfRounds
 	}
@@ -287,6 +296,36 @@ func RunPerfCorpus(corpus PerfCorpus, rounds int) (*PerfReport, error) {
 	})
 	rep.Entries = append(rep.Entries,
 		entryFromResult("optimized_estimator", optRes, perfEstimatorTrials))
+
+	// anchored_os: the anchored counting kernel, amortized per trial.
+	// The anchored trial enumerates only the anchor's two-hop
+	// neighbourhood with lazy edge draws, so its ns/trial against
+	// os_kernel quantifies the locality win of the anchored query path.
+	a := core.Anchor{}
+	if anchor != nil {
+		a = *anchor
+	} else if ids := g.EdgesByWeightDesc(); len(ids) > 0 {
+		a = core.Anchor{Kind: core.AnchorLeft, U: g.Edge(ids[0]).U}
+	}
+	if a.Kind != 0 {
+		if err := a.Validate(g); err != nil {
+			return nil, fmt.Errorf("bench: perf anchor: %w", err)
+		}
+		const anchoredTrials = 256
+		anchRes := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.AnchoredOS(g, a, core.OSOptions{
+					Trials: anchoredTrials, Seed: 42,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rep.Entries = append(rep.Entries,
+			entryFromResult("anchored_os", anchRes, anchoredTrials))
+	}
 
 	if seed, kern := rep.find("os_seed_baseline"), rep.find("os_kernel"); seed != nil && kern != nil && kern.NsPerTrial > 0 {
 		rep.SpeedupOSKernelVsSeed = seed.NsPerTrial / kern.NsPerTrial

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+)
+
+// CommunitySpec labels every vertex with a community. Labels are
+// arbitrary nonnegative integers; a label of -1 excludes the vertex from
+// every community. A butterfly belongs to community c exactly when all
+// four of its vertices carry label c, so cross-community butterflies are
+// outside the scope of a per-community query by definition.
+type CommunitySpec struct {
+	L []int // one label per left vertex
+	R []int // one label per right vertex
+}
+
+// Validate checks the label slices against the graph's vertex counts.
+func (sp CommunitySpec) Validate(g *bigraph.Graph) error {
+	if len(sp.L) != g.NumL() {
+		return fmt.Errorf("core: community spec has %d left labels, graph has %d left vertices", len(sp.L), g.NumL())
+	}
+	if len(sp.R) != g.NumR() {
+		return fmt.Errorf("core: community spec has %d right labels, graph has %d right vertices", len(sp.R), g.NumR())
+	}
+	for i, c := range sp.L {
+		if c < -1 {
+			return fmt.Errorf("core: left vertex %d has invalid community label %d", i, c)
+		}
+	}
+	for i, c := range sp.R {
+		if c < -1 {
+			return fmt.Errorf("core: right vertex %d has invalid community label %d", i, c)
+		}
+	}
+	return nil
+}
+
+// CommunityGraph is one community's induced subgraph together with the
+// keep slices that map its dense vertex ids back to the parent graph.
+type CommunityGraph struct {
+	ID    int
+	G     *bigraph.Graph
+	KeepL []bigraph.VertexID
+	KeepR []bigraph.VertexID
+}
+
+// CommunitySubgraphs splits g by the spec into one induced subgraph per
+// community label, in ascending label order. Labels appearing on only one
+// side still produce a (butterfly-free) subgraph, so callers can report a
+// deterministic entry for every requested community.
+func CommunitySubgraphs(g *bigraph.Graph, sp CommunitySpec) ([]CommunityGraph, error) {
+	if err := sp.Validate(g); err != nil {
+		return nil, err
+	}
+	labels := map[int]struct{}{}
+	for _, c := range sp.L {
+		if c >= 0 {
+			labels[c] = struct{}{}
+		}
+	}
+	for _, c := range sp.R {
+		if c >= 0 {
+			labels[c] = struct{}{}
+		}
+	}
+	ids := make([]int, 0, len(labels))
+	for c := range labels {
+		ids = append(ids, c)
+	}
+	sort.Ints(ids)
+	subs := make([]CommunityGraph, 0, len(ids))
+	for _, c := range ids {
+		var keepL, keepR []bigraph.VertexID
+		for i, lc := range sp.L {
+			if lc == c {
+				keepL = append(keepL, bigraph.VertexID(i))
+			}
+		}
+		for i, rc := range sp.R {
+			if rc == c {
+				keepR = append(keepR, bigraph.VertexID(i))
+			}
+		}
+		sub, err := g.InducedSubgraph(keepL, keepR)
+		if err != nil {
+			return nil, fmt.Errorf("core: community %d subgraph: %w", c, err)
+		}
+		subs = append(subs, CommunityGraph{ID: c, G: sub, KeepL: keepL, KeepR: keepR})
+	}
+	return subs, nil
+}
+
+// RemapButterfly translates a butterfly on the community subgraph back to
+// parent-graph vertex ids.
+func (cg CommunityGraph) RemapButterfly(b butterfly.Butterfly) butterfly.Butterfly {
+	return butterfly.New(cg.KeepL[b.U1], cg.KeepL[b.U2], cg.KeepR[b.V1], cg.KeepR[b.V2])
+}
+
+// RemapResult returns a copy of a subgraph result with every estimate
+// translated to parent-graph vertex ids. Checkpoints are dropped (they
+// are subgraph-relative and community runs are not resumable); the sort
+// order is preserved because remapping never changes P or weight, only
+// the canonical tie order among equal (P, weight) pairs.
+func (cg CommunityGraph) RemapResult(res *Result) *Result {
+	if res == nil {
+		return nil
+	}
+	out := *res
+	out.Checkpoint = nil
+	out.Estimates = make([]Estimate, len(res.Estimates))
+	for i, e := range res.Estimates {
+		out.Estimates[i] = Estimate{B: cg.RemapButterfly(e.B), Weight: e.Weight, P: e.P}
+	}
+	sortEstimates(out.Estimates)
+	return &out
+}
+
+// CommunityResult pairs one community label with its (parent-id-mapped)
+// search result.
+type CommunityResult struct {
+	Community int     `json:"community"`
+	Result    *Result `json:"result"`
+}
+
+// AssembleCommunityResult merges per-community results into one Result:
+// Estimates concatenates each community's top-k (re-sorted into the
+// canonical order), Communities keeps the full per-community results, and
+// the run is partial when any community run was. parts must be in
+// ascending community order (as produced by CommunitySubgraphs).
+func AssembleCommunityResult(method string, trials, prepTrials, topK int, parts []CommunityResult) *Result {
+	if topK <= 0 {
+		topK = 1
+	}
+	res := &Result{
+		Method:      method,
+		Trials:      trials,
+		PrepTrials:  prepTrials,
+		TrialsDone:  trials,
+		Communities: parts,
+	}
+	for _, p := range parts {
+		if p.Result == nil {
+			continue
+		}
+		res.Estimates = append(res.Estimates, p.Result.TopK(topK)...)
+		if p.Result.Partial {
+			res.Partial = true
+			if p.Result.TrialsDone < res.TrialsDone {
+				res.TrialsDone = p.Result.TrialsDone
+			}
+		}
+	}
+	sortEstimates(res.Estimates)
+	return res
+}

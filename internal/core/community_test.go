@@ -1,0 +1,165 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/butterfly"
+	"github.com/uncertain-graphs/mpmb/internal/possible"
+)
+
+// refExactCommunity computes, on the PARENT graph, the probability of
+// each community-c butterfly being the maximum among community-c
+// butterflies — the semantics CommunitySubgraphs + Exact must reproduce.
+func refExactCommunity(t *testing.T, g *bigraph.Graph, sp CommunitySpec, c int) map[butterfly.Butterfly]float64 {
+	t.Helper()
+	probs := make(map[butterfly.Butterfly]float64)
+	err := possible.Enumerate(g, func(w *possible.World, pr float64) bool {
+		if pr == 0 {
+			return true
+		}
+		var m butterfly.MaxSet
+		butterfly.ForEachInWorld(g, w, func(b butterfly.Butterfly, wt float64) bool {
+			if sp.L[b.U1] == c && sp.L[b.U2] == c && sp.R[b.V1] == c && sp.R[b.V2] == c {
+				m.Add(b, wt)
+			}
+			return true
+		})
+		for _, b := range m.Set {
+			probs[b] += pr
+		}
+		return true
+	})
+	if err != nil {
+		t.Fatalf("enumerate: %v", err)
+	}
+	return probs
+}
+
+// halfSplit labels vertices alternately into communities 0 and 1.
+func halfSplit(g *bigraph.Graph) CommunitySpec {
+	sp := CommunitySpec{L: make([]int, g.NumL()), R: make([]int, g.NumR())}
+	for i := range sp.L {
+		sp.L[i] = i % 2
+	}
+	for i := range sp.R {
+		sp.R[i] = i % 2
+	}
+	return sp
+}
+
+// TestCommunitySubgraphExactMatchesReference: Exact on each community's
+// induced subgraph, remapped to parent ids, must equal the parent-graph
+// reference restricted to that community.
+func TestCommunitySubgraphExactMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(81))
+	for gi := 0; gi < 20; gi++ {
+		g := randGraph(r, 5, 5, 12)
+		sp := halfSplit(g)
+		subs, err := CommunitySubgraphs(g, sp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cg := range subs {
+			ref := refExactCommunity(t, g, sp, cg.ID)
+			res, err := Exact(cg.G)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mapped := cg.RemapResult(res)
+			if len(mapped.Estimates) != len(ref) {
+				t.Fatalf("graph %d community %d: got %d estimates, want %d", gi, cg.ID, len(mapped.Estimates), len(ref))
+			}
+			for _, e := range mapped.Estimates {
+				if want := ref[e.B]; math.Abs(e.P-want) > 1e-12 {
+					t.Fatalf("graph %d community %d: P(%v) = %v, want %v", gi, cg.ID, e.B, e.P, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCommunitySpecValidate(t *testing.T) {
+	g := figure1Graph()
+	if err := (CommunitySpec{L: []int{0}, R: []int{0, 0, 0}}).Validate(g); err == nil {
+		t.Fatal("short L labels: expected error")
+	}
+	if err := (CommunitySpec{L: []int{0, 0}, R: []int{0, 0}}).Validate(g); err == nil {
+		t.Fatal("short R labels: expected error")
+	}
+	if err := (CommunitySpec{L: []int{0, -2}, R: []int{0, 0, 0}}).Validate(g); err == nil {
+		t.Fatal("label -2: expected error")
+	}
+	if err := (CommunitySpec{L: []int{0, -1}, R: []int{0, 0, 1}}).Validate(g); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+}
+
+// TestCommunityExclusion: label -1 keeps a vertex out of every
+// community, and one-sided labels yield butterfly-free subgraphs rather
+// than errors.
+func TestCommunityExclusion(t *testing.T) {
+	g := figure1Graph()
+	sp := CommunitySpec{L: []int{0, -1}, R: []int{0, 0, 1}}
+	subs, err := CommunitySubgraphs(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 2 {
+		t.Fatalf("got %d communities, want 2", len(subs))
+	}
+	if subs[0].ID != 0 || subs[1].ID != 1 {
+		t.Fatalf("community order: %d, %d", subs[0].ID, subs[1].ID)
+	}
+	// Community 0: L={u1}, R={v1,v2} — one left vertex, no butterfly.
+	if subs[0].G.NumL() != 1 || subs[0].G.NumR() != 2 {
+		t.Fatalf("community 0 dims: %dx%d", subs[0].G.NumL(), subs[0].G.NumR())
+	}
+	// Community 1: only v3, no left vertices at all.
+	if subs[1].G.NumL() != 0 || subs[1].G.NumR() != 1 {
+		t.Fatalf("community 1 dims: %dx%d", subs[1].G.NumL(), subs[1].G.NumR())
+	}
+	res, err := Exact(subs[0].G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Estimates) != 0 {
+		t.Fatal("butterfly-free community produced estimates")
+	}
+}
+
+func TestAssembleCommunityResult(t *testing.T) {
+	g := figure1Graph()
+	sp := CommunitySpec{L: []int{0, 0}, R: []int{0, 0, 0}}
+	subs, err := CommunitySubgraphs(g, sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 1 {
+		t.Fatalf("got %d communities", len(subs))
+	}
+	res, err := Exact(subs[0].G)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := []CommunityResult{{Community: 0, Result: subs[0].RemapResult(res)}}
+	out := AssembleCommunityResult("exact", 0, 0, 2, parts)
+	if len(out.Communities) != 1 || out.Communities[0].Community != 0 {
+		t.Fatalf("communities: %+v", out.Communities)
+	}
+	if len(out.Estimates) != 2 {
+		t.Fatalf("top-2 concat: got %d estimates", len(out.Estimates))
+	}
+	if out.Partial {
+		t.Fatal("complete parts marked partial")
+	}
+	// Partial propagation.
+	parts[0].Result.Partial = true
+	parts[0].Result.TrialsDone = 7
+	out = AssembleCommunityResult("os", 100, 0, 1, parts)
+	if !out.Partial || out.TrialsDone != 7 {
+		t.Fatalf("partial propagation: partial=%v done=%d", out.Partial, out.TrialsDone)
+	}
+}

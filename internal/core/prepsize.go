@@ -1,0 +1,209 @@
+package core
+
+import (
+	"math"
+
+	"github.com/uncertain-graphs/mpmb/internal/bigraph"
+	"github.com/uncertain-graphs/mpmb/internal/randx"
+)
+
+// Adaptive prep sizing: a sublinear pre-pass in the spirit of Luo et
+// al.'s approximate butterfly counting (PAPERS.md). Instead of counting
+// butterflies exactly (quadratic in neighbourhood sizes over the whole
+// graph), we sample a handful of edges, take each sampled edge's expected
+// per-edge butterfly support — the sum over its wedge pairs of the
+// product of the three completing probabilities — and scale up. The
+// estimated expected butterfly count B̂ then picks PrepTrials (how many
+// preparing trials the OLS candidate union needs before the coverage
+// audit would stop escalating) and the degradation-ladder entry point
+// (graphs whose expected candidate population dwarfs the trial budget
+// skip the listing phase and enter at OS).
+const (
+	// prepSizeSamples is the edge-sample budget of the pre-pass. Graphs
+	// (or anchor neighbourhoods) with at most this many edges are measured
+	// exhaustively, making B̂ exact in expectation.
+	prepSizeSamples = 64
+	// prepSizeNeighborCap bounds the wedge enumeration per sampled edge;
+	// truncated neighbourhoods are scaled linearly.
+	prepSizeNeighborCap = 128
+	// prepSizeSalt decorrelates the pre-pass stream from the prep and
+	// sampling streams derived from the same user seed.
+	prepSizeSalt = 0x5eed512e0fabc0de
+	// prepSizeMinTrials is the floor for graphs with any expected
+	// butterfly mass: the paper's default preparing budget, which the PR 3
+	// coverage audit certifies on the oracle corpus.
+	prepSizeMinTrials = 100
+	// prepSizeMaxTrials caps the sized budget.
+	prepSizeMaxTrials = 800
+	// prepSizeBarrenTrials is used when the exhaustive pre-pass proves the
+	// expected butterfly count is zero: a token budget (the candidate set
+	// will be empty whatever the count).
+	prepSizeBarrenTrials = 16
+	// prepSizeOSEntryCeiling is the B̂ above which the ladder enters at OS:
+	// the candidate union would grow with the butterfly population, so the
+	// listing phase stops paying for itself.
+	prepSizeOSEntryCeiling = 1 << 20
+)
+
+// PrepSizing records the adaptive prep-sizing pre-pass of one query, for
+// Result.Adaptive.
+type PrepSizing struct {
+	// SampledEdges is how many edges the pre-pass measured.
+	SampledEdges int `json:"sampled_edges"`
+	// Exhaustive is true when every eligible edge was measured, making
+	// ExpectedButterflies exact rather than a sampled estimate.
+	Exhaustive bool `json:"exhaustive,omitempty"`
+	// ExpectedButterflies is B̂, the estimated expected number of
+	// butterflies (restricted to the anchor when one is set).
+	ExpectedButterflies float64 `json:"expected_butterflies"`
+	// PrepTrials is the chosen preparing-phase budget.
+	PrepTrials int `json:"prep_trials"`
+	// EntryMethod is the chosen degradation-ladder entry point: "ols"
+	// normally, "os" when B̂ exceeds the listing ceiling.
+	EntryMethod string `json:"entry_method"`
+}
+
+// SizePrep runs the pre-pass on g (restricted to the anchor's incident
+// edges when anchor is non-nil) and returns the sized preparing budget
+// and ladder entry point. The result is deterministic in (g, anchor,
+// seed).
+func SizePrep(g *bigraph.Graph, anchor *Anchor, seed uint64) PrepSizing {
+	pool := prepSizePool(g, anchor)
+	s := PrepSizing{EntryMethod: "ols"}
+	scale := 1.0
+	if len(pool) <= prepSizeSamples {
+		s.Exhaustive = true
+		s.SampledEdges = len(pool)
+	} else {
+		rng := randx.New(seed ^ prepSizeSalt)
+		sampled := make([]bigraph.EdgeID, prepSizeSamples)
+		for i := range sampled {
+			sampled[i] = pool[rng.Intn(len(pool))]
+		}
+		scale = float64(len(pool)) / float64(prepSizeSamples)
+		pool = sampled
+		s.SampledEdges = len(pool)
+	}
+	var sum float64
+	for _, id := range pool {
+		sum += edgeButterflyExpectation(g, id)
+	}
+	// Each butterfly holds 4 edges, 2 of them incident to a vertex anchor;
+	// the anchored-edge pool is the single anchor edge, counted once.
+	div := 4.0
+	if anchor != nil {
+		switch anchor.Kind {
+		case AnchorLeft, AnchorRight:
+			div = 2.0
+		case AnchorEdge:
+			div = 1.0
+		}
+	}
+	s.ExpectedButterflies = sum * scale / div
+	s.PrepTrials = sizePrepTrials(s.ExpectedButterflies, s.Exhaustive)
+	if s.ExpectedButterflies > prepSizeOSEntryCeiling {
+		s.EntryMethod = "os"
+	}
+	return s
+}
+
+// prepSizePool is the edge population the pre-pass samples from: all
+// edges for a global query, the anchor's incident edges for a vertex
+// anchor, the anchor edge itself for an edge anchor.
+func prepSizePool(g *bigraph.Graph, anchor *Anchor) []bigraph.EdgeID {
+	if anchor == nil || anchor.Kind == 0 {
+		ids := make([]bigraph.EdgeID, g.NumEdges())
+		for i := range ids {
+			ids[i] = bigraph.EdgeID(i)
+		}
+		return ids
+	}
+	switch anchor.Kind {
+	case AnchorLeft:
+		halves := g.NeighborsL(anchor.U)
+		ids := make([]bigraph.EdgeID, len(halves))
+		for i, h := range halves {
+			ids[i] = h.E
+		}
+		return ids
+	case AnchorRight:
+		halves := g.NeighborsR(anchor.V)
+		ids := make([]bigraph.EdgeID, len(halves))
+		for i, h := range halves {
+			ids[i] = h.E
+		}
+		return ids
+	case AnchorEdge:
+		if id, ok := g.FindEdge(anchor.U, anchor.V); ok {
+			return []bigraph.EdgeID{id}
+		}
+	}
+	return nil
+}
+
+// edgeButterflyExpectation is the expected number of butterflies through
+// edge id: p(e) times the sum over wedge pairs (u,v2),(u2,v) of
+// p(u,v2)·p(u2,v)·p(u2,v2). Neighbourhoods beyond prepSizeNeighborCap are
+// truncated and scaled linearly, keeping the per-edge cost bounded.
+func edgeButterflyExpectation(g *bigraph.Graph, id bigraph.EdgeID) float64 {
+	e := g.Edge(id)
+	if e.P == 0 {
+		return 0
+	}
+	nu := g.NeighborsL(e.U)
+	nv := g.NeighborsR(e.V)
+	scaleU, nu2 := truncHalves(nu)
+	scaleV, nv2 := truncHalves(nv)
+	var sum float64
+	for _, h1 := range nu2 {
+		v2 := h1.To
+		if v2 == e.V {
+			continue
+		}
+		p1 := g.Edge(h1.E).P
+		if p1 == 0 {
+			continue
+		}
+		for _, h2 := range nv2 {
+			u2 := h2.To
+			if u2 == e.U {
+				continue
+			}
+			p2 := g.Edge(h2.E).P
+			if p2 == 0 {
+				continue
+			}
+			closing, ok := g.FindEdge(u2, v2)
+			if !ok {
+				continue
+			}
+			sum += p1 * p2 * g.Edge(closing).P
+		}
+	}
+	return e.P * sum * scaleU * scaleV
+}
+
+func truncHalves(h []bigraph.Half) (float64, []bigraph.Half) {
+	if len(h) <= prepSizeNeighborCap {
+		return 1, h
+	}
+	return float64(len(h)) / float64(prepSizeNeighborCap), h[:prepSizeNeighborCap]
+}
+
+// sizePrepTrials maps B̂ to a preparing budget: the paper default for
+// modest populations, growing logarithmically for dense graphs (more
+// co-maximal candidates to cover), and a token budget when an exhaustive
+// pre-pass proves the graph butterfly-free.
+func sizePrepTrials(bhat float64, exhaustive bool) int {
+	if bhat == 0 && exhaustive {
+		return prepSizeBarrenTrials
+	}
+	n := prepSizeMinTrials * int(math.Ceil(math.Log2(2+bhat)/4))
+	if n < prepSizeMinTrials {
+		n = prepSizeMinTrials
+	}
+	if n > prepSizeMaxTrials {
+		n = prepSizeMaxTrials
+	}
+	return n
+}

@@ -67,6 +67,10 @@ type Result struct {
 	// terminal leader estimate. It is nil unless the run was invoked with
 	// an observer attached.
 	Metrics *telemetry.Metrics
+	// Communities holds the per-community results of a community query, in
+	// ascending community label order; the top-level Estimates then
+	// concatenate each community's top-k. Nil for non-community queries.
+	Communities []CommunityResult
 }
 
 // sortEstimates establishes the canonical result order.

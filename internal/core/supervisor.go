@@ -71,6 +71,10 @@ type AdaptiveReport struct {
 	FinalMethod     string       `json:"final_method"`
 	FinalPrepTrials int          `json:"final_prep_trials,omitempty"`
 	Transitions     []Transition `json:"transitions,omitempty"`
+	// PrepSizing records the adaptive prep-sizing pre-pass when the query
+	// requested one (Query.AdaptivePrep); nil otherwise. It is attached
+	// whether or not the run was otherwise supervised.
+	PrepSizing *PrepSizing `json:"prep_sizing,omitempty"`
 }
 
 // ErrStalled reports a supervised run whose workers stopped making

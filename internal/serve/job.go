@@ -66,6 +66,51 @@ type JobSpec struct {
 	// (Options.StallTimeout): a run making no progress that long fails
 	// with a typed stall error instead of pinning a worker.
 	StallTimeoutMS int64 `json:"stall_timeout_ms,omitempty"`
+
+	// Query variant fields map onto Options.Query. At most one anchor may
+	// be set, anchors and communities are mutually exclusive, and
+	// adaptive prep requires an OLS-family method — the engine's
+	// validation enforces all of it, and handleSubmit surfaces the typed
+	// errors as 400s.
+	AnchorL       *uint32         `json:"anchor_l,omitempty"`
+	AnchorR       *uint32         `json:"anchor_r,omitempty"`
+	AnchorEdge    *edgeAnchorSpec `json:"anchor_edge,omitempty"`
+	CommunitiesL  []int           `json:"communities_l,omitempty"`
+	CommunitiesR  []int           `json:"communities_r,omitempty"`
+	CommunityTopK int             `json:"community_top_k,omitempty"`
+	AdaptivePrep  bool            `json:"adaptive_prep,omitempty"`
+}
+
+// edgeAnchorSpec is the wire form of an edge anchor.
+type edgeAnchorSpec struct {
+	U uint32 `json:"u"`
+	V uint32 `json:"v"`
+}
+
+// query builds the Options.Query for the spec's variant fields, or nil
+// for a plain global search.
+func (sp JobSpec) query() *mpmb.Query {
+	hasCommunity := len(sp.CommunitiesL) > 0 || len(sp.CommunitiesR) > 0 || sp.CommunityTopK != 0
+	if sp.AnchorL == nil && sp.AnchorR == nil && sp.AnchorEdge == nil &&
+		!hasCommunity && !sp.AdaptivePrep {
+		return nil
+	}
+	q := &mpmb.Query{AdaptivePrep: sp.AdaptivePrep}
+	if sp.AnchorL != nil {
+		v := mpmb.VertexID(*sp.AnchorL)
+		q.AnchorL = &v
+	}
+	if sp.AnchorR != nil {
+		v := mpmb.VertexID(*sp.AnchorR)
+		q.AnchorR = &v
+	}
+	if sp.AnchorEdge != nil {
+		q.AnchorEdge = &mpmb.EdgeAnchor{U: mpmb.VertexID(sp.AnchorEdge.U), V: mpmb.VertexID(sp.AnchorEdge.V)}
+	}
+	if hasCommunity {
+		q.Community = &mpmb.Communities{L: sp.CommunitiesL, R: sp.CommunitiesR, TopK: sp.CommunityTopK}
+	}
+	return q
 }
 
 // normalize fills paper defaults the way the CLI does, so persisted
@@ -111,6 +156,7 @@ func (sp JobSpec) options(obs *mpmb.Observer, now time.Time) mpmb.Options {
 	if sp.DeadlineMS > 0 {
 		opt.Deadline = now.Add(time.Duration(sp.DeadlineMS) * time.Millisecond)
 	}
+	opt.Query = sp.query()
 	return opt
 }
 
@@ -125,8 +171,10 @@ func (sp JobSpec) cost() float64 {
 }
 
 // resumable reports whether the method can checkpoint and resume.
+// Query variants cannot: the engine rejects Options.Resume alongside an
+// active Query, so variant jobs run unsliced.
 func (sp JobSpec) resumable() bool {
-	return mpmb.Method(sp.Method) != mpmb.MethodExact
+	return mpmb.Method(sp.Method) != mpmb.MethodExact && sp.query() == nil
 }
 
 // distributable reports whether the job may ride the dist coordinator's
@@ -139,7 +187,11 @@ func (sp JobSpec) distributable() bool {
 	default:
 		return false
 	}
-	return sp.AuditEvery == 0 && sp.Epsilon == 0 && sp.DeadlineMS == 0 && sp.StallTimeoutMS == 0
+	// Query variants also stay local: the engine rejects an explicit
+	// executor alongside an active Query (anchored trials localize around
+	// the anchor, communities run per-subgraph).
+	return sp.AuditEvery == 0 && sp.Epsilon == 0 && sp.DeadlineMS == 0 && sp.StallTimeoutMS == 0 &&
+		sp.query() == nil
 }
 
 // Job is one admitted search: the persisted manifest fields plus the
@@ -388,6 +440,14 @@ type resultDoc struct {
 	Adaptive   *mpmb.AdaptiveReport `json:"adaptive,omitempty"`
 	Metrics    *telemetry.Metrics   `json:"metrics,omitempty"`
 	Top        []estimateDoc        `json:"top"`
+	// Communities carries the per-community top lists for a
+	// per-community query; Top then holds the overall best-of-best.
+	Communities []communityDoc `json:"communities,omitempty"`
+}
+
+type communityDoc struct {
+	Community int           `json:"community"`
+	Top       []estimateDoc `json:"top"`
 }
 
 type estimateDoc struct {
@@ -414,6 +474,16 @@ func resultDocFrom(id string, spec JobSpec, res *mpmb.Result) resultDoc {
 			U1: e.B.U1, U2: e.B.U2, V1: e.B.V1, V2: e.B.V2,
 			Weight: e.Weight, P: e.P,
 		})
+	}
+	for _, cr := range res.Communities {
+		cd := communityDoc{Community: cr.Community, Top: []estimateDoc{}}
+		for _, e := range cr.Result.TopK(spec.TopK) {
+			cd.Top = append(cd.Top, estimateDoc{
+				U1: e.B.U1, U2: e.B.U2, V1: e.B.V1, V2: e.B.V2,
+				Weight: e.Weight, P: e.P,
+			})
+		}
+		doc.Communities = append(doc.Communities, cd)
 	}
 	return doc
 }

@@ -31,6 +31,7 @@ func ShortCorpus() []Case {
 		{Name: "all-certain", G: allCertain()},
 		{Name: "angle-classes", G: angleClasses()},
 		{Name: "single-edge", G: singleEdge()},
+		{Name: "pendant", G: pendant()},
 		{Name: "no-edges", G: bigraph.NewBuilder(2, 2).Build()},
 		{Name: "synth-halfstep", G: synthetic(dataset.SyntheticConfig{
 			Seed: 11, NumL: 3, NumR: 3, NumEdges: 8,
@@ -145,6 +146,21 @@ func angleClasses() *bigraph.Graph {
 		b.MustAddEdge(0, bigraph.VertexID(v), m.w0, m.p0)
 		b.MustAddEdge(1, bigraph.VertexID(v), m.w1, m.p1)
 	}
+	return b.Build()
+}
+
+// pendant holds a real butterfly on {u1,u2}×{v1,v2} while u0 and v0
+// touch only the pendant edge (u0, v0): anchoring on u0, v0 or that edge
+// has zero butterfly support, so every anchored run must return exactly
+// no estimates. The pendant edge carries the heaviest weight so the
+// variant harness's heaviest-edge anchor lands on it.
+func pendant() *bigraph.Graph {
+	b := bigraph.NewBuilder(3, 3)
+	b.MustAddEdge(0, 0, 5, 0.9)
+	b.MustAddEdge(1, 1, 2, 0.5)
+	b.MustAddEdge(1, 2, 3, 0.6)
+	b.MustAddEdge(2, 1, 1, 0.7)
+	b.MustAddEdge(2, 2, 2, 0.8)
 	return b.Build()
 }
 

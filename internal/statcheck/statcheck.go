@@ -153,7 +153,7 @@ type harness struct {
 	acc map[string]*methodAcc
 }
 
-var methodOrder = []string{"mc-vp", "os", "ols", "ols-kl"}
+var methodOrder = []string{"mc-vp", "os", "ols", "ols-kl", "anchored-os", "anchored-ols", "community"}
 
 // Run executes the conformance harness over the corpus and returns the
 // report. An error means the harness itself could not run (oracle
@@ -333,6 +333,10 @@ func (h *harness) runCase(ci int, c Case) error {
 	}
 
 	if err := h.runMetamorphic(ci, &cs, g, exactP); err != nil {
+		return err
+	}
+
+	if err := h.runVariants(ci, &cs, g); err != nil {
 		return err
 	}
 

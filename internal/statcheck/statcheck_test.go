@@ -148,7 +148,10 @@ func TestMethodSummariesAreComplete(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	want := map[string]bool{"mc-vp": true, "os": true, "ols": true, "ols-kl": true}
+	want := map[string]bool{
+		"mc-vp": true, "os": true, "ols": true, "ols-kl": true,
+		"anchored-os": true, "anchored-ols": true, "community": true,
+	}
 	for _, m := range rep.Methods {
 		if !want[m.Method] {
 			t.Errorf("unexpected method %q", m.Method)
@@ -160,7 +163,8 @@ func TestMethodSummariesAreComplete(t *testing.T) {
 		if m.Coverage < 0 || m.Coverage > 1 {
 			t.Errorf("%s: coverage %v outside [0, 1]", m.Method, m.Coverage)
 		}
-		if m.MaxAbsErr < 0 || m.MaxAbsErrVsExact < m.MaxAbsErr-1e-15 && m.Method != "ols" && m.Method != "ols-kl" {
+		if m.MaxAbsErr < 0 || m.MaxAbsErrVsExact < m.MaxAbsErr-1e-15 &&
+			m.Method != "ols" && m.Method != "ols-kl" && m.Method != "anchored-ols" {
 			t.Errorf("%s: inconsistent error stats (max=%v vsExact=%v)", m.Method, m.MaxAbsErr, m.MaxAbsErrVsExact)
 		}
 		if m.TrialsToTolerance <= 0 {
@@ -169,6 +173,34 @@ func TestMethodSummariesAreComplete(t *testing.T) {
 	}
 	for m := range want {
 		t.Errorf("method %q missing from report", m)
+	}
+}
+
+// TestVariantMethodsAreExercised: the query-variant conformance rows
+// must record real comparisons on the short corpus — the anchored
+// kernels on every anchorable case and the community split wherever the
+// half-split leaves butterflies.
+func TestVariantMethodsAreExercised(t *testing.T) {
+	rep, err := Run(DefaultConfig(9), ShortCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"anchored-os", "anchored-ols", "community"} {
+		found := false
+		for _, ms := range rep.Methods {
+			if ms.Method == m {
+				found = true
+				if ms.Comparisons == 0 {
+					t.Errorf("%s: no comparisons recorded", m)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("method %q missing from report", m)
+		}
+	}
+	if !rep.Pass {
+		t.Errorf("conformance failed with variants enabled:\n%s", detailDump(rep))
 	}
 }
 

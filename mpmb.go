@@ -93,6 +93,14 @@ type Estimate = core.Estimate
 // Result is the output of a search: estimates sorted by probability.
 type Result = core.Result
 
+// CommunityResult is one community's full result inside a per-community
+// query's Result.Communities (see Query.Community).
+type CommunityResult = core.CommunityResult
+
+// PrepSizing records an adaptive prep-sizing pre-pass decision (see
+// Query.AdaptivePrep); it appears in Result.Adaptive.PrepSizing.
+type PrepSizing = core.PrepSizing
+
 // Executor is the seam between a search and the machinery that executes
 // its independent trial units (see Options.Executor): the in-process
 // worker pool behind Options.Workers is the default implementation, and
@@ -148,9 +156,25 @@ func searchHook(g *Graph, opt Options, interrupt func() bool) (*Result, error) {
 	if err := opt.validateFor(method); err != nil {
 		return nil, err
 	}
+	if q := opt.Query; q != nil {
+		if q.Community != nil {
+			return searchCommunities(g, opt, method, interrupt)
+		}
+		if q.anchored() {
+			return searchAnchored(g, opt, method, interrupt)
+		}
+	}
+	var sizing *core.PrepSizing
+	if q := opt.Query; q != nil && q.AdaptivePrep {
+		s, m := applySizing(g, &opt, method, nil)
+		sizing, method = &s, m
+	}
 	res, err := dispatch(g, opt, method, interrupt, opt.Observer.probe(method, opt.Workers))
 	if err != nil {
 		return nil, err
+	}
+	if sizing != nil {
+		attachSizing(res, *sizing)
 	}
 	finishMetrics(opt.Observer, res)
 	return res, nil
@@ -232,7 +256,9 @@ func supervisorOptions(opt Options, method Method, interrupt func() bool, prepar
 // SearchMCVP runs the Monte-Carlo with Vertex Priority baseline
 // (Algorithm 1) for opt.Trials sampled worlds.
 //
-// Deprecated: Use Search with Options.Method = MethodMCVP.
+// Deprecated: Use Search with Options.Method = MethodMCVP. Note that
+// the query variants (Options.Query) are not available here: mc-vp
+// cannot restrict its world enumeration to an anchor.
 func SearchMCVP(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodMCVP
 	return searchHook(g, opt, nil)
@@ -241,7 +267,9 @@ func SearchMCVP(g *Graph, opt Options) (*Result, error) {
 // SearchOS runs Ordering Sampling (Algorithm 2) for opt.Trials sampled
 // worlds.
 //
-// Deprecated: Use Search with Options.Method = MethodOS.
+// Deprecated: Use Search with Options.Method = MethodOS — which also
+// unlocks Options.Query (anchored and per-community variants) that this
+// facade predates.
 func SearchOS(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodOS
 	return searchHook(g, opt, nil)
@@ -270,7 +298,9 @@ func SearchOSParallel(g *Graph, opt Options, workers int) (*Result, error) {
 // SearchOLS runs Ordering-Listing Sampling (Algorithm 3) with the paper's
 // optimized shared-trial estimator (Algorithm 5).
 //
-// Deprecated: Use Search with Options.Method = MethodOLS (the default).
+// Deprecated: Use Search with Options.Method = MethodOLS (the
+// default) — which also unlocks Options.Query (anchored search,
+// per-community top-k, adaptive prep sizing) that this facade predates.
 func SearchOLS(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodOLS
 	return searchHook(g, opt, nil)
@@ -280,7 +310,9 @@ func SearchOLS(g *Graph, opt Options) (*Result, error) {
 // (Algorithm 4) in the sampling phase. When opt.Mu > 0, per-candidate
 // trial counts follow Equation 8 relative to opt.Trials.
 //
-// Deprecated: Use Search with Options.Method = MethodOLSKL.
+// Deprecated: Use Search with Options.Method = MethodOLSKL — which
+// also unlocks Options.Query (anchored and per-community variants) that
+// this facade predates.
 func SearchOLSKL(g *Graph, opt Options) (*Result, error) {
 	opt.Method = MethodOLSKL
 	return searchHook(g, opt, nil)

@@ -102,6 +102,12 @@ type Options struct {
 	// making progress, the search returns a *StallError (errors.Is
 	// ErrStalled) instead of hanging.
 	StallTimeout time.Duration
+
+	// Query selects a query variant — vertex- or edge-anchored search,
+	// per-community top-k, adaptive prep sizing. Nil (or the zero Query)
+	// is the default global MPMB query. See the Query type for the
+	// variant semantics and the option combinations each supports.
+	Query *Query
 }
 
 // adaptive reports whether any option routes the run through the
@@ -212,6 +218,11 @@ func (o Options) validateFor(m Method) error {
 	if o.Executor != nil && o.adaptive() {
 		f, v := o.adaptiveField()
 		return &OptionError{Field: f, Value: v, Reason: "adaptive supervision reshapes the trial schedule mid-run and cannot ride an explicit Executor; drop the adaptive options or the Executor"}
+	}
+	if o.Query != nil {
+		if err := o.Query.validate(o, m); err != nil {
+			return err
+		}
 	}
 	if m == MethodExact {
 		if o.Resume != nil {

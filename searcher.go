@@ -25,11 +25,16 @@ type Searcher struct {
 
 	mu    sync.Mutex
 	cands map[candKey]*candEntry
+	comms map[uint64]*commEntry
 }
 
+// candKey identifies one preparing-phase run. The zero anchor is the
+// global preparing phase; anchored queries cache their (disjoint)
+// anchored candidate sets under the same map.
 type candKey struct {
 	prepTrials int
 	seed       uint64
+	anchor     core.Anchor
 }
 
 // candEntry is one single-flight slot: ready closes when the preparing
@@ -40,9 +45,27 @@ type candEntry struct {
 	err   error
 }
 
+// commEntry is one cached community split: the induced subgraphs plus a
+// child Searcher per community, so repeated community queries reuse both
+// the split and each community's preparing phases. Keyed by a hash of
+// the label slices; specL/specR keep the exact labels to rule out
+// collisions.
+type commEntry struct {
+	ready chan struct{}
+	specL []int
+	specR []int
+	subs  []core.CommunityGraph
+	kids  []*Searcher
+	err   error
+}
+
 // NewSearcher wraps g for repeated queries.
 func NewSearcher(g *Graph) *Searcher {
-	return &Searcher{g: g, cands: make(map[candKey]*candEntry)}
+	return &Searcher{
+		g:     g,
+		cands: make(map[candKey]*candEntry),
+		comms: make(map[uint64]*commEntry),
+	}
 }
 
 // Graph returns the wrapped graph.
@@ -77,11 +100,44 @@ func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, erro
 		if err := opt.validateFor(method); err != nil {
 			return nil, err
 		}
+		if q := opt.Query; q != nil && q.Community != nil {
+			return s.searchCommunities(opt, method, interrupt)
+		}
+		anchor := core.Anchor{}
+		var sizing *core.PrepSizing
+		if q := opt.Query; q != nil {
+			if q.anchored() {
+				a, err := q.coreAnchor(s.g)
+				if err != nil {
+					return nil, err
+				}
+				anchor = a
+			}
+			if q.AdaptivePrep {
+				var sizeAnchor *core.Anchor
+				if anchor.Kind != 0 {
+					sizeAnchor = &anchor
+				}
+				sz, m := applySizing(s.g, &opt, method, sizeAnchor)
+				sizing = &sz
+				if m == MethodOS {
+					// The sizing pre-pass entered the ladder at OS: no
+					// preparing phase, so no candidate cache involved.
+					res, err := runAnchoredOrGlobalOS(s.g, anchor, opt, interrupt)
+					if err != nil {
+						return nil, err
+					}
+					attachSizing(res, sz)
+					finishMetrics(opt.Observer, res)
+					return res, nil
+				}
+			}
+		}
 		probe := opt.Observer.probe(method, opt.Workers)
 		// The preparing phase is only instrumented when this call actually
 		// runs it; a cache hit reports no prep trials — the metrics
 		// reflect work done, not work reused.
-		cands, err := s.candidatesProbe(opt.PrepTrials, opt.Seed, probe)
+		cands, err := s.candidatesProbe(opt.PrepTrials, opt.Seed, anchor, probe)
 		if err != nil {
 			return nil, err
 		}
@@ -90,6 +146,8 @@ func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, erro
 			// The supervisor seeds from the cached candidate set; an audit
 			// escalation re-prepares past it (the widened set is not cached
 			// back — it depends on audit state, not on (PrepTrials, Seed)).
+			// Anchored queries reject the adaptive options, so this branch
+			// only runs with the global candidate set.
 			res, err = core.Supervise(s.g, supervisorOptions(opt, method, interrupt, cands, probe))
 		} else {
 			res, err = core.OLSSamplingPhaseParallel(cands, core.OLSOptions{
@@ -107,11 +165,111 @@ func (s *Searcher) searchHook(opt Options, interrupt func() bool) (*Result, erro
 		if err != nil {
 			return nil, err
 		}
+		if sizing != nil {
+			attachSizing(res, *sizing)
+		}
 		finishMetrics(opt.Observer, res)
 		return res, nil
 	default:
 		return searchHook(s.g, opt, interrupt)
 	}
+}
+
+// searchCommunities is the Searcher's community fan-out: the split and
+// one child Searcher per community are cached, so each community's
+// preparing phase is listed once across repeated queries.
+func (s *Searcher) searchCommunities(opt Options, method Method, interrupt func() bool) (*Result, error) {
+	subs, kids, err := s.communityEntry(opt.Query.Community)
+	if err != nil {
+		return nil, err
+	}
+	parts, err := runCommunities(subs, opt, func(i int, cg core.CommunityGraph, innerOpt Options) (*Result, error) {
+		return kids[i].searchHook(innerOpt, interrupt)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return assembleCommunities(opt, method, parts)
+}
+
+// communityEntry returns the cached (or freshly built) community split
+// for the label slices, single-flighted like the candidate cache. A hash
+// collision with different labels bypasses the cache rather than
+// poisoning it.
+func (s *Searcher) communityEntry(c *Communities) ([]core.CommunityGraph, []*Searcher, error) {
+	key := communityLabelHash(c.L, c.R)
+	s.mu.Lock()
+	e, ok := s.comms[key]
+	if ok {
+		s.mu.Unlock()
+		<-e.ready
+		if e.err == nil && intsEqual(e.specL, c.L) && intsEqual(e.specR, c.R) {
+			return e.subs, e.kids, nil
+		}
+		if e.err != nil {
+			return nil, nil, e.err
+		}
+		// Hash collision: build uncached.
+		subs, err := communitySubgraphs(s.g, c)
+		if err != nil {
+			return nil, nil, err
+		}
+		return subs, communityKids(subs), nil
+	}
+	e = &commEntry{ready: make(chan struct{}), specL: append([]int(nil), c.L...), specR: append([]int(nil), c.R...)}
+	s.comms[key] = e
+	s.mu.Unlock()
+
+	e.subs, e.err = communitySubgraphs(s.g, c)
+	if e.err == nil {
+		e.kids = communityKids(e.subs)
+	} else {
+		s.mu.Lock()
+		if s.comms[key] == e {
+			delete(s.comms, key)
+		}
+		s.mu.Unlock()
+	}
+	close(e.ready)
+	return e.subs, e.kids, e.err
+}
+
+func communityKids(subs []core.CommunityGraph) []*Searcher {
+	kids := make([]*Searcher, len(subs))
+	for i, cg := range subs {
+		kids[i] = NewSearcher(cg.G)
+	}
+	return kids
+}
+
+// communityLabelHash is FNV-1a over both label slices.
+func communityLabelHash(l, r []int) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(len(l)))
+	for _, c := range l {
+		mix(uint64(int64(c)))
+	}
+	mix(uint64(len(r)))
+	for _, c := range r {
+		mix(uint64(int64(c)))
+	}
+	return h
+}
+
+func intsEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // CandidateCount reports how many candidate butterflies the preparing
@@ -125,11 +283,11 @@ func (s *Searcher) CandidateCount(prepTrials int, seed uint64) (int, error) {
 }
 
 func (s *Searcher) candidates(prepTrials int, seed uint64) (*core.Candidates, error) {
-	return s.candidatesProbe(prepTrials, seed, nil)
+	return s.candidatesProbe(prepTrials, seed, core.Anchor{}, nil)
 }
 
-func (s *Searcher) candidatesProbe(prepTrials int, seed uint64, probe *telemetry.Probe) (*core.Candidates, error) {
-	key := candKey{prepTrials: prepTrials, seed: seed}
+func (s *Searcher) candidatesProbe(prepTrials int, seed uint64, anchor core.Anchor, probe *telemetry.Probe) (*core.Candidates, error) {
+	key := candKey{prepTrials: prepTrials, seed: seed, anchor: anchor}
 	s.mu.Lock()
 	e, ok := s.cands[key]
 	if ok {
@@ -147,7 +305,11 @@ func (s *Searcher) candidatesProbe(prepTrials int, seed uint64, probe *telemetry
 
 	// Prepare outside the lock: the phase is expensive and the slot
 	// already claims the key, so concurrent identical preps run once.
-	e.cands, e.err = core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{Probe: probe})
+	if anchor.Kind != 0 {
+		e.cands, e.err = core.PrepareAnchoredCandidates(s.g, anchor, prepTrials, seed, nil)
+	} else {
+		e.cands, e.err = core.PrepareCandidates(s.g, prepTrials, seed, core.OSOptions{Probe: probe})
+	}
 	if e.err != nil {
 		// A failed prep must not poison the key forever: evict the slot
 		// so a later call retries (waiters already joined still see the
